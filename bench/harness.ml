@@ -1,0 +1,27 @@
+(* Shared helpers for the experiment harness. *)
+
+open Speedscale_model
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n\n" id title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* Standard random valuable-job family used across experiments. *)
+let random_instance ~alpha ~machines ~seed ~n =
+  let power = Power.make alpha in
+  Speedscale_workload.Generate.random ~power ~machines ~seed ~n
+    ~arrivals:(Poisson (float_of_int machines))
+    ~sizes:(Uniform_size (0.3, 2.5))
+    ~laxity:(0.4, 2.5)
+    ~values:(Uniform_value (0.2, 20.0))
+
+(* Energy-only variant (infinite values). *)
+let random_must_finish ~alpha ~machines ~seed ~n =
+  Instance.with_values
+    (random_instance ~alpha ~machines ~seed ~n)
+    (fun _ -> Float.infinity)
+
+let verdict ~expected ok =
+  Printf.printf "expected shape: %s -> %s\n" expected
+    (if ok then "CONFIRMED" else "NOT CONFIRMED")

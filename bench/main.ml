@@ -1,0 +1,38 @@
+(* Benchmark harness entry point.
+
+     dune exec bench/main.exe            # run every experiment + timings
+     dune exec bench/main.exe -- E2 E5   # run selected experiments
+     dune exec bench/main.exe -- quick   # skip the slow exact-OPT sweeps
+
+   Each experiment regenerates one table or figure of EXPERIMENTS.md and
+   prints a CONFIRMED / NOT CONFIRMED verdict for the expected shape. *)
+
+let slow = [ "E6"; "E7"; "E8"; "E11"; "E18"; "E19"; "E21"; "E22" ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  if args = [ "list" ] then begin
+    Printf.printf "available experiments:\n";
+    List.iter (fun (id, _) -> Printf.printf "  %s\n" id) Experiments.all;
+    Printf.printf "  E12 (timings)\nmodes: quick (skips the slow sweeps: %s)\n"
+      (String.concat ", " slow);
+    exit 0
+  end;
+  let wanted, with_timings =
+    match args with
+    | [] -> (List.map fst Experiments.all, true)
+    | [ "quick" ] ->
+      (List.filter (fun (id, _) -> not (List.mem id slow)) Experiments.all
+       |> List.map fst,
+       false)
+    | ids -> (ids, List.mem "E12" ids || List.mem "timings" ids)
+  in
+  Printf.printf
+    "Profitable Scheduling on Multiple Speed-Scalable Processors —\n\
+     experiment harness (see DESIGN.md / EXPERIMENTS.md for the index)\n";
+  List.iter
+    (fun (id, f) -> if List.mem id wanted then f ())
+    Experiments.all;
+  if with_timings && (args = [] || List.mem "E12" args || List.mem "timings" args)
+  then Timings.run ();
+  Printf.printf "\nAll requested experiments completed.\n"

@@ -1,0 +1,81 @@
+(* E12 — Bechamel micro-timings of the core operations, one Test.make per
+   experiment table so the cost of regenerating each table is itself
+   measured, plus the primitive kernels (Chen partition, YDS, PD arrival
+   processing, dual evaluation). *)
+
+open Bechamel
+open Speedscale_model
+
+let pd_run ~machines ~n =
+  let inst = Harness.random_instance ~alpha:2.0 ~machines ~seed:9 ~n in
+  Staged.stage (fun () -> ignore (Speedscale_core.Pd.run inst))
+
+let chen_kernel ~p =
+  let st = Speedscale_util.Rand.make 5 in
+  let loads =
+    List.init p (fun i -> (i, Speedscale_util.Rand.uniform st ~lo:0.1 ~hi:5.0))
+  in
+  Staged.stage (fun () ->
+      let t = Speedscale_chen.Chen.build ~machines:8 ~length:1.0 loads in
+      ignore (Speedscale_chen.Chen.energy (Power.make 3.0) t))
+
+let yds_kernel ~n =
+  let inst = Harness.random_must_finish ~alpha:2.0 ~machines:1 ~seed:4 ~n in
+  let jobs = Array.to_list inst.jobs in
+  Staged.stage (fun () ->
+      ignore (Speedscale_single.Yds.energy inst.power jobs))
+
+let dual_kernel ~n =
+  let inst = Harness.random_instance ~alpha:2.0 ~machines:4 ~seed:3 ~n in
+  let r = Speedscale_core.Pd.run inst in
+  let tl = Timeline.of_jobs (Array.to_list inst.jobs) in
+  Staged.stage (fun () ->
+      ignore (Speedscale_solver.Dual.evaluate inst tl ~lambda:r.lambda))
+
+let flow_kernel ~n =
+  let inst = Harness.random_must_finish ~alpha:2.0 ~machines:4 ~seed:6 ~n in
+  Staged.stage (fun () ->
+      ignore (Speedscale_flow.Feasibility.min_speed_cap inst))
+
+let opt_exact_kernel ~n =
+  let inst = Harness.random_instance ~alpha:2.0 ~machines:1 ~seed:2 ~n in
+  Staged.stage (fun () -> ignore (Speedscale_multi.Opt.solve inst))
+
+let replay_kernel ~n =
+  let inst = Harness.random_instance ~alpha:2.0 ~machines:4 ~seed:8 ~n in
+  let r = Speedscale_core.Pd.run inst in
+  Staged.stage (fun () ->
+      ignore (Speedscale_engine.Executor.replay inst r.schedule))
+
+let tests =
+  Test.make_grouped ~name:"speedscale"
+    [
+      Test.make ~name:"pd-arrivals-n20-m1" (pd_run ~machines:1 ~n:20);
+      Test.make ~name:"pd-arrivals-n100-m1" (pd_run ~machines:1 ~n:100);
+      Test.make ~name:"pd-arrivals-n100-m8" (pd_run ~machines:8 ~n:100);
+      Test.make ~name:"chen-interval-p100" (chen_kernel ~p:100);
+      Test.make ~name:"chen-interval-p1000" (chen_kernel ~p:1000);
+      Test.make ~name:"yds-n30" (yds_kernel ~n:30);
+      Test.make ~name:"dual-certificate-n50" (dual_kernel ~n:50);
+      Test.make ~name:"min-speed-cap-n24-m4" (flow_kernel ~n:24);
+      Test.make ~name:"opt-exact-n10-m1" (opt_exact_kernel ~n:10);
+      Test.make ~name:"replay-n50-m4" (replay_kernel ~n:50);
+    ]
+
+let run () =
+  Harness.section "E12" "Bechamel micro-timings (ns per run, OLS estimate)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+        Printf.printf "%-40s %14.0f ns/run  (%.3f ms)\n" name est (est /. 1e6)
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare rows)

@@ -1,0 +1,308 @@
+(* psched — command-line front end for the profitable speed-scaling
+   scheduler library.
+
+     psched generate --preset datacenter -n 40 -m 4 -o inst.txt
+     psched run inst.txt --algorithm pd --show-schedule
+     psched compare inst.txt
+     psched certify inst.txt
+
+   Instances are plain text (see Io); every run is validated against the
+   model's feasibility rules before anything is reported. *)
+
+open Cmdliner
+open Speedscale_model
+open Speedscale_sim
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let instance_arg =
+  let doc = "Instance file (format: see `psched generate`)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
+
+let algorithm_conv =
+  let parse s =
+    let s = String.lowercase_ascii s in
+    let found =
+      List.find_opt
+        (fun a -> String.lowercase_ascii a.Driver.name = s)
+        Driver.all
+    in
+    match found with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown algorithm %S (known: %s)" s
+             (String.concat ", "
+                (List.map (fun a -> a.Driver.name) Driver.all))))
+  in
+  let print ppf a = Format.pp_print_string ppf a.Driver.name in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let preset =
+    let doc = "Workload preset: datacenter, random, or bkp." in
+    Arg.(value & opt string "random" & info [ "preset" ] ~doc)
+  in
+  let alpha =
+    Arg.(value & opt float 3.0 & info [ "alpha" ] ~doc:"Energy exponent.")
+  in
+  let machines =
+    Arg.(value & opt int 1 & info [ "m"; "machines" ] ~doc:"Processor count.")
+  in
+  let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Number of jobs.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output file (default: stdout).")
+  in
+  let run preset alpha machines n seed out =
+    let power = Power.make alpha in
+    let inst =
+      match preset with
+      | "datacenter" ->
+        Speedscale_workload.Generate.datacenter ~power ~machines ~seed ~n
+      | "bkp" -> Speedscale_workload.Generate.bkp_lower_bound ~alpha ~n ()
+      | "random" ->
+        Speedscale_workload.Generate.random ~power ~machines ~seed ~n
+          ~arrivals:(Poisson 1.0)
+          ~sizes:(Uniform_size (0.3, 2.5))
+          ~laxity:(0.4, 2.5)
+          ~values:(Uniform_value (0.2, 20.0))
+      | other -> failwith (Printf.sprintf "unknown preset %S" other)
+    in
+    let text = Io.to_string inst in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      Io.save path inst;
+      Printf.printf "wrote %d jobs to %s\n" (Instance.n_jobs inst) path
+  in
+  let info =
+    Cmd.info "generate" ~doc:"Generate a workload instance file."
+  in
+  Cmd.v info Term.(const run $ preset $ alpha $ machines $ n $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_report (r : Driver.report) =
+  Printf.printf "%-12s energy=%.4f lost=%.4f total=%.4f  (%.1f ms)  %s\n"
+    r.algorithm r.cost.energy r.cost.lost_value (Cost.total r.cost)
+    (r.elapsed_s *. 1000.0)
+    (match r.validation with Ok () -> "valid" | Error e -> "INVALID: " ^ e)
+
+let run_cmd =
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Driver.pd
+      & info [ "a"; "algorithm" ] ~doc:"Algorithm to run (default PD).")
+  in
+  let show_schedule =
+    Arg.(value & flag & info [ "show-schedule" ] ~doc:"Print the slices.")
+  in
+  let run file algorithm show_schedule =
+    let inst = Io.load file in
+    if not (algorithm.Driver.applicable inst) then
+      failwith
+        (Printf.sprintf "%s is not applicable to this instance"
+           algorithm.Driver.name);
+    let r = Driver.evaluate algorithm inst in
+    print_report r;
+    if show_schedule then
+      print_string (Format.asprintf "%a" Schedule.pp r.schedule)
+  in
+  let info = Cmd.info "run" ~doc:"Run one algorithm on an instance." in
+  Cmd.v info Term.(const run $ instance_arg $ algorithm $ show_schedule)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run file =
+    let inst = Io.load file in
+    Printf.printf "instance: %s\n\n" (Format.asprintf "%a" Instance.pp inst);
+    List.iter
+      (fun alg ->
+        if alg.Driver.applicable inst then print_report (Driver.evaluate alg inst))
+      Driver.all
+  in
+  let info =
+    Cmd.info "compare" ~doc:"Run every applicable algorithm on an instance."
+  in
+  Cmd.v info Term.(const run $ instance_arg)
+
+(* ------------------------------------------------------------------ *)
+(* certify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let certify_cmd =
+  let run file =
+    let inst = Io.load file in
+    let r = Speedscale_core.Pd.run inst in
+    let cost = Cost.total r.cost in
+    Printf.printf "PD cost            : %.6f\n" cost;
+    Printf.printf "dual bound g(l)    : %.6f  (proven <= OPT)\n" r.dual_bound;
+    Printf.printf "certified ratio    : %.6f\n" (cost /. r.dual_bound);
+    Printf.printf "guarantee (a^a)    : %.6f\n" r.guarantee;
+    Printf.printf "accepted/rejected  : %d/%d\n"
+      (List.length r.accepted) (List.length r.rejected);
+    if cost <= (r.guarantee *. r.dual_bound) +. 1e-9 then
+      print_endline "Theorem 3 certificate: HOLDS"
+    else print_endline "Theorem 3 certificate: VIOLATED (bug!)"
+  in
+  let info =
+    Cmd.info "certify"
+      ~doc:"Run PD and print its per-instance optimality certificate."
+  in
+  Cmd.v info Term.(const run $ instance_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run file =
+    let inst = Io.load file in
+    let r = Speedscale_core.Pd.run inst in
+    let a = Speedscale_core.Analysis.analyze inst r in
+    Printf.printf "%-5s %-11s %9s %9s %9s %9s %9s\n" "job" "category"
+      "lambda" "shat" "xhat" "E_lambda" "E_PD";
+    Array.iter
+      (fun (ji : Speedscale_core.Analysis.job_info) ->
+        Printf.printf "%-5d %-11s %9.4f %9.4f %9.4f %9.4f %9.4f\n" ji.id
+          (Speedscale_core.Analysis.category_name ji.category)
+          ji.lambda ji.shat ji.xhat ji.e_lambda ji.e_pd)
+      a.jobs;
+    Printf.printf
+      "\ng = %.6f (g1 %.4f + g2 %.4f + g3 %.4f); cost(PD) = %.6f\n" a.g_total
+      a.g1 a.g2 a.g3 a.cost_pd;
+    Printf.printf
+      "checks: traces-disjoint=%b prop7=%b prop8b=%b L9=%b L10=%b L11=%b thm3=%b\n"
+      a.traces_disjoint a.prop7_ok a.prop8b_ok a.lemma9_ok a.lemma10_ok
+      a.lemma11_ok a.theorem3_ok
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:"Run PD and print the Section 4 proof anatomy (traces, categories)."
+  in
+  Cmd.v info Term.(const run $ instance_arg)
+
+(* ------------------------------------------------------------------ *)
+(* provision                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let provision_cmd =
+  let run file =
+    let inst = Io.load file in
+    let must = Instance.with_values inst (fun _ -> Float.infinity) in
+    Printf.printf "%-4s %14s\n" "m" "min speed cap";
+    List.iter
+      (fun m ->
+        let inst_m =
+          Instance.make ~power:must.power ~machines:m
+            (Array.to_list must.jobs)
+        in
+        Printf.printf "%-4d %14.6f\n" m
+          (Speedscale_flow.Feasibility.min_speed_cap inst_m))
+      [ 1; 2; 4; 8; 16 ]
+  in
+  let info =
+    Cmd.info "provision"
+      ~doc:
+        "Minimum feasible speed cap (max-flow bisection) across fleet sizes."
+  in
+  Cmd.v info Term.(const run $ instance_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~doc:"Write the event trace to this CSV file.")
+  in
+  let run file csv =
+    let inst = Io.load file in
+    let r = Speedscale_core.Pd.run inst in
+    let run = Speedscale_engine.Executor.replay inst r.schedule in
+    List.iter
+      (fun e ->
+        print_endline
+          (Format.asprintf "%a" Speedscale_engine.Executor.pp_event e))
+      run.events;
+    Printf.printf "\nenergy %.6f, makespan %.6f, %d events\n" run.total_energy
+      run.makespan (List.length run.events);
+    match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Speedscale_engine.Executor.to_csv run));
+      Printf.printf "trace written to %s\n" path
+  in
+  let info =
+    Cmd.info "replay"
+      ~doc:"Run PD and replay the schedule through the event engine."
+  in
+  Cmd.v info Term.(const run $ instance_arg $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* gantt                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gantt_cmd =
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Driver.pd
+      & info [ "a"; "algorithm" ] ~doc:"Algorithm to chart (default PD).")
+  in
+  let width =
+    Arg.(value & opt int 72 & info [ "width" ] ~doc:"Chart width in columns.")
+  in
+  let run file algorithm width =
+    let inst = Io.load file in
+    if not (algorithm.Driver.applicable inst) then
+      failwith
+        (Printf.sprintf "%s is not applicable to this instance"
+           algorithm.Driver.name);
+    let r = Driver.evaluate algorithm inst in
+    Printf.printf "%s on %s\n\n" r.algorithm
+      (Format.asprintf "%a" Instance.pp inst);
+    print_string (Speedscale_metrics.Gantt.render ~width r.schedule);
+    print_report r
+  in
+  let info =
+    Cmd.info "gantt" ~doc:"Render an algorithm's schedule as an ASCII chart."
+  in
+  Cmd.v info Term.(const run $ instance_arg $ algorithm $ width)
+
+let () =
+  let info =
+    Cmd.info "psched" ~version:"1.0.0"
+      ~doc:"Profitable scheduling on multiple speed-scalable processors."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; run_cmd; compare_cmd; certify_cmd; analyze_cmd;
+            provision_cmd; replay_cmd; gantt_cmd;
+          ]))

@@ -1,0 +1,54 @@
+(* Capacity planning: how many processors should the data center buy?
+   The model prices both energy and lost value, so sweeping the machine
+   count m under a fixed workload gives a direct cost curve — more
+   machines let PD run slower (energy drops superlinearly) and reject
+   less, with diminishing returns.
+
+   Run with:  dune exec examples/capacity_planning.exe *)
+
+open Speedscale_model
+open Speedscale_util
+
+let () =
+  let power = Power.make 3.0 in
+  let tab =
+    Tab.create ~title:"PD cost vs fleet size (same 48-job burst workload)"
+      ~header:
+        [ "m"; "energy"; "lost value"; "total"; "rejected"; "certified ratio" ]
+  in
+  let costs =
+    List.map
+      (fun machines ->
+        (* the same logical workload, arriving at the same times *)
+        let inst =
+          Speedscale_workload.Generate.random ~power ~machines:4 ~seed:7 ~n:48
+            ~arrivals:(Bursty { burst = 8; gap = 1.0 })
+            ~sizes:(Pareto_size { shape = 1.9; scale = 0.5 })
+            ~laxity:(0.5, 2.0)
+            ~values:(Lottery { low = 0.6; high = 25.0; p_high = 0.3 })
+        in
+        let inst = Instance.make ~power ~machines (Array.to_list inst.jobs) in
+        let r = Speedscale_core.Pd.run inst in
+        Tab.add_row tab
+          [
+            string_of_int machines;
+            Tab.cell_f r.cost.energy;
+            Tab.cell_f r.cost.lost_value;
+            Tab.cell_f (Cost.total r.cost);
+            Printf.sprintf "%d/48" (List.length r.rejected);
+            Tab.cell_f (Cost.total r.cost /. r.dual_bound);
+          ];
+        (machines, Cost.total r.cost))
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  Tab.print tab;
+  let best, best_cost =
+    List.fold_left
+      (fun (bm, bc) (m, c) -> if c < bc then (m, c) else (bm, bc))
+      (0, Float.infinity) costs
+  in
+  Printf.printf
+    "Total cost decreases with m (energy convexity + fewer rejections) and\n\
+     flattens once every burst fits: beyond m = %d (cost %.2f) extra\n\
+     processors buy almost nothing.\n"
+    best best_cost

@@ -1,0 +1,63 @@
+(* Quickstart: build a small instance by hand, run the paper's PD
+   algorithm, and inspect everything it produces — decisions, the final
+   schedule, its cost, and the per-instance optimality certificate.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Speedscale_model
+
+let () =
+  (* A system of 2 speed-scalable processors with power P(s) = s^3
+     (cube-root rule: the classical CMOS exponent). *)
+  let power = Power.make 3.0 in
+
+  (* Four jobs arriving online.  Job 3 is large but nearly worthless:
+     finishing it would cost more energy than its value. *)
+  let jobs =
+    [
+      Job.make ~id:0 ~release:0.0 ~deadline:2.0 ~workload:2.0 ~value:50.0;
+      Job.make ~id:1 ~release:0.0 ~deadline:1.0 ~workload:1.5 ~value:40.0;
+      Job.make ~id:2 ~release:0.5 ~deadline:3.0 ~workload:1.0 ~value:30.0;
+      Job.make ~id:3 ~release:1.0 ~deadline:1.5 ~workload:3.0 ~value:0.8;
+    ]
+  in
+  let inst = Instance.make ~power ~machines:2 jobs in
+
+  Printf.printf "=== PD quickstart: %d jobs on %d processors, alpha = %g ===\n\n"
+    (Instance.n_jobs inst) inst.machines (Power.alpha power);
+
+  let result = Speedscale_core.Pd.run inst in
+
+  (* 1. the online decisions *)
+  List.iter
+    (fun (d : Speedscale_core.Pd.decision) ->
+      Printf.printf
+        "job %d (r=%g d=%g w=%g v=%g): %s   lambda=%.4f planned speed=%.4f\n"
+        d.job.id d.job.release d.job.deadline d.job.workload d.job.value
+        (if d.accepted then "ACCEPT" else "reject")
+        d.lambda d.planned_speed)
+    result.decisions;
+
+  (* 2. the schedule, as slices and as a Gantt chart *)
+  Printf.printf "\nSchedule:\n%s"
+    (Format.asprintf "%a" Schedule.pp result.schedule);
+  Printf.printf "\n%s"
+    (Speedscale_metrics.Gantt.render ~width:60 result.schedule);
+
+  (* 3. cost and the certificate *)
+  let cost = Cost.total result.cost in
+  Printf.printf
+    "\nenergy = %.4f, lost value = %.4f, total cost = %.4f\n"
+    result.cost.energy result.cost.lost_value cost;
+  Printf.printf
+    "dual certificate g(lambda) = %.4f  (a proven lower bound on OPT)\n"
+    result.dual_bound;
+  Printf.printf
+    "=> certified ratio cost / OPT <= %.4f   (Theorem 3 guarantees <= %g)\n"
+    (cost /. result.dual_bound)
+    result.guarantee;
+
+  (* 4. sanity: the schedule respects every model constraint *)
+  match Schedule.validate inst result.schedule with
+  | Ok () -> Printf.printf "schedule validated: OK\n"
+  | Error e -> Printf.printf "schedule validation FAILED: %s\n" e

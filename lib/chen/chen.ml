@@ -1,0 +1,254 @@
+open Speedscale_util
+open Speedscale_model
+
+type t = {
+  machines : int;
+  length : float;
+  ids : int array;  (* sorted by decreasing load *)
+  loads : float array;  (* sorted decreasing, all > 0 *)
+  prefix : float array;  (* prefix.(i) = loads.(0) + ... + loads.(i-1) *)
+  n_dedicated : int;
+}
+
+let machines t = t.machines
+let interval_length t = t.length
+let total_load t = t.prefix.(Array.length t.loads)
+
+(* The dedicated set is the maximal prefix (in decreasing load order) such
+   that each member carries at least the per-processor average of what
+   follows it (Eq. 5).  With at most m positive loads every job is
+   dedicated; the greedy scan mirrors Chen et al.'s recursive peeling. *)
+let dedicated_prefix ~machines ~loads ~prefix =
+  let p = Array.length loads in
+  let total = prefix.(p) in
+  let rec go d =
+    if d >= p || d >= machines then d
+    else
+      let rest = total -. prefix.(d + 1) in
+      let procs_left = machines - (d + 1) in
+      if procs_left = 0 then if rest <= 0.0 then d + 1 else d
+      else if loads.(d) *. float_of_int procs_left >= rest then go (d + 1)
+      else d
+  in
+  go 0
+
+let build ~machines ~length pairs =
+  if machines < 1 then invalid_arg "Chen.build: machines < 1";
+  if not (Float.is_finite length) || length <= 0.0 then
+    invalid_arg "Chen.build: interval length must be > 0";
+  let pairs =
+    List.filter
+      (fun (_, w) ->
+        if Float.is_nan w then invalid_arg "Chen.build: NaN load";
+        w > 0.0)
+      pairs
+  in
+  let ids_seen = Hashtbl.create 16 in
+  List.iter
+    (fun (id, _) ->
+      if Hashtbl.mem ids_seen id then
+        invalid_arg (Printf.sprintf "Chen.build: duplicate job id %d" id);
+      Hashtbl.add ids_seen id ())
+    pairs;
+  let arr = Array.of_list pairs in
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) arr;
+  let p = Array.length arr in
+  let ids = Array.map fst arr and loads = Array.map snd arr in
+  let prefix = Array.make (p + 1) 0.0 in
+  for i = 0 to p - 1 do
+    prefix.(i + 1) <- prefix.(i) +. loads.(i)
+  done;
+  let n_dedicated = dedicated_prefix ~machines ~loads ~prefix in
+  { machines; length; ids; loads; prefix; n_dedicated }
+
+type partition = {
+  dedicated : (int * float) list;
+  pool : (int * float) list;
+  pool_speed : float;
+  pool_procs : int;
+}
+
+let pool_stats t =
+  let p = Array.length t.loads in
+  let d = t.n_dedicated in
+  let pool_load = t.prefix.(p) -. t.prefix.(d) in
+  let pool_procs = t.machines - d in
+  let pool_speed =
+    if pool_procs <= 0 then 0.0
+    else pool_load /. (float_of_int pool_procs *. t.length)
+  in
+  (pool_load, pool_procs, pool_speed)
+
+let partition t =
+  let d = t.n_dedicated in
+  let take lo hi =
+    List.init (hi - lo) (fun i -> (t.ids.(lo + i), t.loads.(lo + i)))
+  in
+  let _, pool_procs, pool_speed = pool_stats t in
+  {
+    dedicated = take 0 d;
+    pool = take d (Array.length t.loads);
+    pool_speed;
+    pool_procs;
+  }
+
+let energy power t =
+  let d = t.n_dedicated in
+  let acc = Ksum.create () in
+  for i = 0 to d - 1 do
+    Ksum.add acc
+      (Power.energy power ~speed:(t.loads.(i) /. t.length) ~duration:t.length)
+  done;
+  let _, pool_procs, pool_speed = pool_stats t in
+  if pool_procs > 0 && pool_speed > 0.0 then
+    Ksum.add acc
+      (float_of_int pool_procs
+      *. Power.energy power ~speed:pool_speed ~duration:t.length);
+  Ksum.total acc
+
+let speed_of_job t id =
+  let rec find i =
+    if i >= Array.length t.ids then raise Not_found
+    else if t.ids.(i) = id then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  if i < t.n_dedicated then t.loads.(i) /. t.length
+  else
+    let _, _, pool_speed = pool_stats t in
+    pool_speed
+
+let job_speeds t =
+  let _, _, pool_speed = pool_stats t in
+  List.init (Array.length t.ids) (fun i ->
+      ( t.ids.(i),
+        if i < t.n_dedicated then t.loads.(i) /. t.length else pool_speed ))
+
+let processor_loads t =
+  let d = t.n_dedicated in
+  let _, _, pool_speed = pool_stats t in
+  Array.init t.machines (fun i ->
+      if i < d then t.loads.(i) else pool_speed *. t.length)
+
+(* Number of stored loads strictly greater than [x] (loads sorted desc). *)
+let count_gt t x =
+  let loads = t.loads in
+  let p = Array.length loads in
+  let rec go lo hi =
+    (* invariant: loads.(i) > x for i < lo; loads.(i) <= x for i >= hi *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if loads.(mid) > x then go (mid + 1) hi else go lo mid
+  in
+  go 0 p
+
+let probe_speed_zero t =
+  let d = t.n_dedicated in
+  let _, pool_procs, pool_speed = pool_stats t in
+  if pool_procs > 0 then pool_speed
+  else
+    (* all m processors dedicated; an infinitesimal probe would pool with
+       the smallest dedicated job *)
+    t.loads.(d - 1) /. t.length
+
+let probe_speed t z =
+  if z < 0.0 || Float.is_nan z then invalid_arg "Chen.probe_speed: bad load";
+  if z = 0.0 then probe_speed_zero t
+  else begin
+    (* Recompute the partition with the probe merged in.  The probe gets a
+       fresh id below any real one; only its speed is needed. *)
+    let p = Array.length t.loads in
+    let pos = count_gt t z in
+    let loads = Array.make (p + 1) 0.0 in
+    Array.blit t.loads 0 loads 0 pos;
+    loads.(pos) <- z;
+    Array.blit t.loads pos loads (pos + 1) (p - pos);
+    let prefix = Array.make (p + 2) 0.0 in
+    for i = 0 to p do
+      prefix.(i + 1) <- prefix.(i) +. loads.(i)
+    done;
+    let d = dedicated_prefix ~machines:t.machines ~loads ~prefix in
+    if pos < d then z /. t.length
+    else
+      let pool_load = prefix.(p + 1) -. prefix.(d) in
+      let pool_procs = t.machines - d in
+      pool_load /. (float_of_int pool_procs *. t.length)
+  end
+
+let probe_load_for_speed t s =
+  if s < 0.0 || Float.is_nan s then
+    invalid_arg "Chen.probe_load_for_speed: bad speed";
+  if s <= 0.0 || s <= probe_speed_zero t then 0.0
+  else
+    let sl = s *. t.length in
+    let d = count_gt t sl in
+    if d >= t.machines then 0.0
+    else
+      let pool_others = total_load t -. t.prefix.(d) in
+      let z_pool = (sl *. float_of_int (t.machines - d)) -. pool_others in
+      let z = Float.min z_pool sl in
+      Float.max z 0.0
+
+let marginal_power power t = Power.deriv power (probe_speed_zero t)
+
+let slices t ~t0 ~t1 =
+  if not (Feq.approx (t1 -. t0) t.length) then
+    invalid_arg
+      (Printf.sprintf "Chen.slices: window [%g,%g) has length %g, expected %g"
+         t0 t1 (t1 -. t0) t.length);
+  let d = t.n_dedicated in
+  let dedicated =
+    List.init d (fun i ->
+        {
+          Schedule.proc = i;
+          t0;
+          t1;
+          job = t.ids.(i);
+          speed = t.loads.(i) /. t.length;
+        })
+  in
+  let _, pool_procs, pool_speed = pool_stats t in
+  if pool_procs <= 0 || pool_speed <= 0.0 then dedicated
+  else begin
+    (* McNaughton wrap-around on processors d .. m-1: valid because every
+       pool load is at most pool_speed * length. *)
+    let l = t.length in
+    let acc = ref dedicated in
+    let proc = ref d and offset = ref 0.0 in
+    let emit p lo hi id =
+      if hi -. lo > 1e-12 *. (1.0 +. l) then
+        acc :=
+          { Schedule.proc = p; t0 = t0 +. lo; t1 = t0 +. hi; job = id;
+            speed = pool_speed }
+          :: !acc
+    in
+    for i = d to Array.length t.loads - 1 do
+      let id = t.ids.(i) in
+      let dur = t.loads.(i) /. pool_speed in
+      let cap = l -. !offset in
+      let last_proc = !proc >= t.machines - 1 in
+      if dur <= cap +. (1e-9 *. l) || last_proc then begin
+        (* fits (or this is the final processor: accumulated rounding can
+           claim an overflow of order 1e-9*l — squeeze it in, the work
+           tolerance absorbs it) *)
+        let dur = Float.min dur cap in
+        emit !proc !offset (!offset +. dur) id;
+        offset := !offset +. dur;
+        if l -. !offset <= 1e-9 *. l && not last_proc then begin
+          incr proc;
+          offset := 0.0
+        end
+      end
+      else begin
+        emit !proc !offset l id;
+        let rest = dur -. cap in
+        incr proc;
+        (* the wrapped piece ends before the first piece started, so the
+           job never runs on two processors at once *)
+        emit !proc 0.0 rest id;
+        offset := rest
+      end
+    done;
+    !acc
+  end

@@ -1,0 +1,90 @@
+(** Chen et al.'s energy-optimal multiprocessor schedule for one atomic
+    interval (ECRTS 2004), as used by the paper in Section 2.2.
+
+    Input: an interval of length [l], [m] processors, and an absolute
+    workload [W_j] for each job assigned to the interval.  The energy-
+    minimal schedule splits jobs into {e dedicated} jobs — each larger than
+    the average of what remains, run alone on its own processor at speed
+    [W_j / l] — and {e pool} jobs, which timeshare the remaining processors
+    at one common speed.  Formally (Equation (5) of the paper), after
+    sorting [W_1 >= W_2 >= ...], job [j] is dedicated iff
+
+    {v j <= m  /\  W_j > 0  /\  W_j >= (Σ_{j' > j} W_j') / (m - j) v}
+
+    and the dedicated set is a prefix of the sorted order.
+
+    The module works in absolute loads; the caller converts the paper's
+    fractional variables via [W_j = x_jk * w_j].
+
+    Besides the partition itself this module exposes the quantities PD's
+    analysis needs: the interval energy [P_k] (Eq. 6), the marginal power
+    [∂P_k/∂load_j = P'_α(s_j)] (Prop. 1(b)), and a closed-form inverse
+    [probe_load_for_speed] that answers "how much load must a {e new} job
+    place into this interval to be scheduled at speed [s]?" — the primitive
+    from which PD's water-filling is built. *)
+
+open Speedscale_model
+
+type t
+(** An interval problem: [m], [l], and the (id, load) pairs with load > 0,
+    preprocessed (sorted, prefix sums) for O(log p) queries. *)
+
+val build : machines:int -> length:float -> (int * float) list -> t
+(** Loads with non-positive values are dropped.  Duplicated ids, a
+    non-positive length or [machines < 1] raise [Invalid_argument]. *)
+
+val machines : t -> int
+val interval_length : t -> float
+
+val total_load : t -> float
+(** Sum of all job loads in the interval. *)
+
+type partition = {
+  dedicated : (int * float) list;
+      (** (id, load), in decreasing load order; job [i] in this list runs
+          alone on processor [i] at speed [load / l]. *)
+  pool : (int * float) list;  (** remaining jobs, any order *)
+  pool_speed : float;  (** common speed of pool processors (0 if none) *)
+  pool_procs : int;  (** [m - |dedicated|] *)
+}
+
+val partition : t -> partition
+
+val energy : Power.t -> t -> float
+(** [P_k] of Equation (6): dedicated jobs at their own speed plus pool
+    processors at the pool speed, over the interval length. *)
+
+val speed_of_job : t -> int -> float
+(** Speed at which the given job runs ([load/l] if dedicated, pool speed
+    otherwise).  Raises [Not_found] for ids without load. *)
+
+val job_speeds : t -> (int * float) list
+(** All (id, speed) pairs in one O(p) pass — the full gradient direction
+    of [P_k] via Prop. 1(b). *)
+
+val processor_loads : t -> float array
+(** Work processed by each processor, sorted in decreasing order — the
+    [L_i] of Proposition 2. *)
+
+val probe_speed : t -> float -> float
+(** [probe_speed t z] is the speed a {e new} job with load [z >= 0] would
+    receive if added to the interval.  At [z = 0] this is the right limit —
+    the marginal speed: the pool speed if a pool processor exists, else the
+    smallest dedicated speed. *)
+
+val probe_load_for_speed : t -> float -> float
+(** [probe_load_for_speed t s] is the unique load [z > 0] such that
+    [probe_speed t z = s], or [0] when [probe_speed t 0 >= s] (the interval
+    is already running at least that fast).  Closed form, O(log p).
+    Satisfies [probe_speed t (probe_load_for_speed t s) = s] whenever the
+    result is positive. *)
+
+val marginal_power : Power.t -> t -> float
+(** [P'_α(probe_speed t 0)] — the marginal energy cost per unit of load a
+    new job pays in this interval; [λ_jk / (δ w_j)] at [x_jk = 0]. *)
+
+val slices : t -> t0:float -> t1:float -> Schedule.slice list
+(** Realize the partition on the concrete time window [[t0, t1)] (whose
+    width must equal the interval length): dedicated job [i] on processor
+    [i]; pool jobs wrapped across processors [d..m-1] by McNaughton's rule,
+    which is valid because every pool load is at most [pool_speed * l]. *)

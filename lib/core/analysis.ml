@@ -1,0 +1,200 @@
+open Speedscale_util
+open Speedscale_model
+open Speedscale_chen
+
+type category = Finished | Low_yield | High_yield
+
+let category_name = function
+  | Finished -> "finished"
+  | Low_yield -> "low-yield"
+  | High_yield -> "high-yield"
+
+type job_info = {
+  id : int;
+  category : category;
+  lambda : float;
+  shat : float;
+  stilde : float;
+  xhat : float;
+  l_hat : float;
+  e_lambda : float;
+  e_pd : float;
+  trace : (int * int) list;
+}
+
+type t = {
+  jobs : job_info array;
+  g_total : float;
+  g1 : float;
+  g2 : float;
+  g3 : float;
+  e_pd_total : float;
+  cost_pd : float;
+  traces_disjoint : bool;
+  prop7_ok : bool;
+  prop8b_ok : bool;
+  lemma9_ok : bool;
+  lemma10_ok : bool;
+  lemma11_ok : bool;
+  theorem3_ok : bool;
+}
+
+let rel_ok ~slack lhs rhs = lhs >= rhs -. (slack *. (1.0 +. Float.abs rhs))
+
+let analyze (inst : Instance.t) (r : Pd.result) =
+  let n = Instance.n_jobs inst in
+  let power = inst.power in
+  let alpha = Power.alpha power in
+  let delta = r.delta in
+  let bounds = r.final_boundaries in
+  let n_intervals = Array.length bounds - 1 in
+  let finished = Array.make n false in
+  List.iter (fun id -> finished.(id) <- true) r.accepted;
+  (* hypothetical and planned speeds *)
+  let shat =
+    Array.init n (fun j ->
+        Power.inv_deriv power (r.lambda.(j) /. (Instance.job inst j).workload))
+  in
+  let stilde =
+    Array.map (fun s -> (delta ** (-1.0 /. (alpha -. 1.0))) *. s) shat
+  in
+  (* per-interval: contributing jobs (Lemma 5c) and PD's processor speeds *)
+  let xhat = Array.make n 0.0 in
+  let l_hat = Array.make n 0.0 in
+  let traces = Array.make n [] in
+  let e_pd = Array.make n 0.0 in
+  let prop7_ok = ref true in
+  let occupied = Hashtbl.create 64 in
+  let traces_disjoint = ref true in
+  for k = 0 to n_intervals - 1 do
+    let lo = bounds.(k) and hi = bounds.(k + 1) in
+    let lk = hi -. lo in
+    (* available jobs with positive hypothetical speed, ranked by shat *)
+    let available = ref [] in
+    for j = 0 to n - 1 do
+      let job = Instance.job inst j in
+      if Job.covers job ~lo ~hi && shat.(j) > 0.0 then
+        available := j :: !available
+    done;
+    let ranked =
+      List.sort
+        (fun a b ->
+          match Float.compare shat.(b) shat.(a) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        !available
+    in
+    let contributors = List.filteri (fun i _ -> i < inst.machines) ranked in
+    (* PD's processor speeds in this interval, fastest first *)
+    let chen = Chen.build ~machines:inst.machines ~length:lk r.final_loads.(k) in
+    let proc_speeds =
+      Array.map (fun load -> load /. lk) (Chen.processor_loads chen)
+    in
+    (* trace ranks: finished contributors first (by decreasing shat), then
+       unfinished contributors *)
+    let fin, unfin = List.partition (fun j -> finished.(j)) contributors in
+    let assign rank j =
+      traces.(j) <- (k, rank) :: traces.(j);
+      if Hashtbl.mem occupied (k, rank) then traces_disjoint := false;
+      Hashtbl.replace occupied (k, rank) ();
+      xhat.(j) <- xhat.(j) +. (lk *. shat.(j) /. (Instance.job inst j).workload);
+      l_hat.(j) <- l_hat.(j) +. lk;
+      let speed = proc_speeds.(rank) in
+      e_pd.(j) <- e_pd.(j) +. Power.energy power ~speed ~duration:lk;
+      if finished.(j) && speed < stilde.(j) -. (1e-6 *. (1.0 +. stilde.(j)))
+      then prop7_ok := false
+    in
+    List.iteri assign fin;
+    List.iteri (fun i j -> assign (List.length fin + i) j) unfin
+  done;
+  (* categories *)
+  let low_yield_threshold =
+    (alpha -. (alpha ** (1.0 -. alpha))) /. (alpha -. 1.0)
+  in
+  let category j =
+    if finished.(j) then Finished
+    else if xhat.(j) <= low_yield_threshold +. 1e-12 then Low_yield
+    else High_yield
+  in
+  let e_lambda = Array.init n (fun j -> r.lambda.(j) *. xhat.(j) /. alpha) in
+  let jobs =
+    Array.init n (fun j ->
+        {
+          id = j;
+          category = category j;
+          lambda = r.lambda.(j);
+          shat = shat.(j);
+          stilde = stilde.(j);
+          xhat = xhat.(j);
+          l_hat = l_hat.(j);
+          e_lambda = e_lambda.(j);
+          e_pd = e_pd.(j);
+          trace = List.rev traces.(j);
+        })
+  in
+  (* per-category dual contributions g_i = (1-alpha) sum E_lambda + sum
+     lambda *)
+  let g_of cat =
+    let acc = Ksum.create () in
+    Array.iter
+      (fun ji ->
+        if ji.category = cat then begin
+          Ksum.add acc ((1.0 -. alpha) *. ji.e_lambda);
+          Ksum.add acc ji.lambda
+        end)
+      jobs;
+    Ksum.total acc
+  in
+  let g1 = g_of Finished and g2 = g_of Low_yield and g3 = g_of High_yield in
+  let e_pd_total = Schedule.energy power r.schedule in
+  let cost_pd = Cost.total r.cost in
+  (* lemma and proposition checks (small relative slack for float noise) *)
+  let slack = 1e-6 in
+  let sum_cat cat f =
+    Ksum.sum_by f (Array.to_list jobs |> List.filter (fun ji -> ji.category = cat))
+  in
+  let prop8b_ok =
+    Array.for_all
+      (fun ji ->
+        ji.category <> Finished
+        || ji.e_lambda
+           <= (delta ** (alpha /. (alpha -. 1.0)) *. ji.e_pd)
+              +. (slack *. (1.0 +. ji.e_pd)))
+      jobs
+  in
+  let lemma9_rhs =
+    (delta *. e_pd_total)
+    +. ((1.0 -. alpha)
+       *. (delta ** (alpha /. (alpha -. 1.0)))
+       *. sum_cat Finished (fun ji -> ji.e_pd))
+  in
+  let lemma9_ok = rel_ok ~slack g1 lemma9_rhs in
+  let lemma10_rhs =
+    (alpha ** -.alpha)
+    *. sum_cat Low_yield (fun ji -> (Instance.job inst ji.id).value)
+  in
+  let lemma10_ok = rel_ok ~slack g2 lemma10_rhs in
+  let lemma11_rhs =
+    ((1.0 -. alpha) /. (alpha ** alpha) *. sum_cat High_yield (fun ji -> ji.e_pd))
+    +. ((alpha ** -.alpha)
+       *. sum_cat High_yield (fun ji -> (Instance.job inst ji.id).value))
+  in
+  let lemma11_ok = rel_ok ~slack g3 lemma11_rhs in
+  let g_total = g1 +. g2 +. g3 in
+  let theorem3_ok = rel_ok ~slack g_total ((alpha ** -.alpha) *. cost_pd) in
+  {
+    jobs;
+    g_total;
+    g1;
+    g2;
+    g3;
+    e_pd_total;
+    cost_pd;
+    traces_disjoint = !traces_disjoint;
+    prop7_ok = !prop7_ok;
+    prop8b_ok;
+    lemma9_ok;
+    lemma10_ok;
+    lemma11_ok;
+    theorem3_ok;
+  }

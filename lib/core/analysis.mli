@@ -1,0 +1,66 @@
+(** The machinery of the paper's Section 4, made executable.
+
+    Theorem 3's proof is built from a chain of structural objects: the
+    {e optimal infeasible solution} [(x̂, ŷ)] attaining [g(λ̃)]
+    (Lemmas 4–6), the hypothetical speeds [ŝ_j] and planned speeds
+    [s̃_j = δ^(-1/(α-1)) ŝ_j], the per-job {e trace} [Tr(j)] mapping each
+    job to (interval, processor-rank) pairs of PD's final schedule, the
+    three job categories (finished / unfinished low-yield / unfinished
+    high-yield), and the per-category bounds of Lemmas 9–11 that assemble
+    into [g(λ̃) ≥ α^(-α)·cost(PD)].
+
+    This module constructs all of these for an actual PD run and checks
+    every inequality numerically.  It exists for three reasons: (1) it is
+    the deepest possible correctness test of the implementation — each
+    lemma holds only if the water-filling, the multipliers and the
+    schedule all interlock exactly as the proof requires; (2) it powers
+    the "anatomy of the proof" benchmark (E13); (3) it documents the
+    analysis in runnable form. *)
+
+open Speedscale_model
+
+type category =
+  | Finished  (** [J₁]: jobs PD finished ([ỹ_j = 1]) *)
+  | Low_yield
+      (** [J₂]: rejected, with [x̂_j ≤ (α−α^(1−α))/(α−1)] — their value
+          must be small, bounded via Lemma 10 *)
+  | High_yield
+      (** [J₃]: rejected but scheduled substantially by the optimal
+          infeasible solution — the hard case, Lemma 11 *)
+
+type job_info = {
+  id : int;
+  category : category;
+  lambda : float;
+  shat : float;  (** [ŝ_j = (λ_j/(α w_j))^(1/(α−1))] *)
+  stilde : float;  (** [s̃_j = δ^(−1/(α−1)) · ŝ_j] *)
+  xhat : float;  (** [x̂_j], total fraction in the optimal infeasible solution *)
+  l_hat : float;  (** [l(j)], total time the infeasible solution runs [j] *)
+  e_lambda : float;  (** [E_λ(j) = λ_j x̂_j / α] (Prop. 8a) *)
+  e_pd : float;  (** PD's energy during [j]'s trace *)
+  trace : (int * int) list;  (** (interval index, processor rank) pairs *)
+}
+
+type t = {
+  jobs : job_info array;
+  g_total : float;  (** [g(λ̃)] recomputed from the job decomposition *)
+  g1 : float;
+  g2 : float;
+  g3 : float;  (** per-category contributions, [g = g1+g2+g3] (§4.3) *)
+  e_pd_total : float;  (** PD's total energy *)
+  cost_pd : float;  (** energy + lost value *)
+  traces_disjoint : bool;  (** traces are pairwise disjoint (§4.2) *)
+  prop7_ok : bool;  (** finished jobs: [s(i,k) ≥ s̃_j] on their trace *)
+  prop8b_ok : bool;  (** finished jobs: [E_λ(j) ≤ δ^(α/(α−1)) E_PD(j)] *)
+  lemma9_ok : bool;
+  lemma10_ok : bool;
+  lemma11_ok : bool;
+  theorem3_ok : bool;  (** [g(λ̃) ≥ α^(−α)·cost(PD)] *)
+}
+
+val analyze : Instance.t -> Pd.result -> t
+(** Builds every object of §4 for the given run and evaluates all checks.
+    Lemma 11's bound (and hence the assembled Theorem 3 bound) is only
+    guaranteed for [δ ≤ α^(1-α)], matching the paper's prerequisite. *)
+
+val category_name : category -> string

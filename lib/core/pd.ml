@@ -1,0 +1,403 @@
+open Speedscale_util
+open Speedscale_model
+open Speedscale_chen
+open Speedscale_solver
+
+type t = {
+  power : Power.t;
+  machines : int;
+  delta : float;
+  mutable bounds : float array;  (* strictly increasing; empty before jobs *)
+  mutable loads : (int * float) list array;  (* per interval, committed *)
+  mutable seen : Job.t list;  (* reversed arrival order *)
+  mutable lambda_rev : (int * float) list;
+  mutable accepted_rev : int list;
+  mutable rejected_rev : int list;
+  mutable last_release : float;
+}
+
+let create ?delta ~power ~machines () =
+  if machines < 1 then invalid_arg "Pd.create: machines < 1";
+  let delta = Option.value delta ~default:(Power.delta_star power) in
+  if not (Float.is_finite delta) || delta <= 0.0 then
+    invalid_arg "Pd.create: delta must be finite > 0";
+  {
+    power;
+    machines;
+    delta;
+    bounds = [||];
+    loads = [||];
+    seen = [];
+    lambda_rev = [];
+    accepted_rev = [];
+    rejected_rev = [];
+    last_release = Float.neg_infinity;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Timeline maintenance                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Insert [b] as a boundary.  Inside an interval: split it, dividing the
+   committed loads proportionally to the sub-lengths (this keeps every
+   job's speed unchanged, which is why the reformulated online algorithm
+   computes the same schedule as one knowing the partition a priori).
+   Outside the current horizon: append an empty edge interval. *)
+let insert_boundary t b =
+  let n = Array.length t.bounds in
+  if n = 0 then t.bounds <- [| b |]
+  else if Array.exists (fun x -> x = b) t.bounds then ()
+  else if b < t.bounds.(0) then begin
+    t.bounds <- Array.append [| b |] t.bounds;
+    if n >= 2 then t.loads <- Array.append [| [] |] t.loads
+    else t.loads <- [||]
+    (* n = 1: there were no intervals yet; now one interval [b, old) *)
+  end
+  else if b > t.bounds.(n - 1) then begin
+    t.bounds <- Array.append t.bounds [| b |];
+    if n >= 2 then t.loads <- Array.append t.loads [| [] |]
+  end
+  else begin
+    (* strictly inside: find i with bounds.(i) < b < bounds.(i+1) *)
+    let rec find i = if t.bounds.(i + 1) > b then i else find (i + 1) in
+    let i = find 0 in
+    let lo = t.bounds.(i) and hi = t.bounds.(i + 1) in
+    let frac_left = (b -. lo) /. (hi -. lo) in
+    let left = List.map (fun (id, w) -> (id, w *. frac_left)) t.loads.(i) in
+    let right =
+      List.map (fun (id, w) -> (id, w *. (1.0 -. frac_left))) t.loads.(i)
+    in
+    t.bounds <-
+      Array.init (n + 1) (fun j ->
+          if j <= i then t.bounds.(j)
+          else if j = i + 1 then b
+          else t.bounds.(j - 1));
+    t.loads <-
+      Array.init
+        (Array.length t.loads + 1)
+        (fun j ->
+          if j < i then t.loads.(j)
+          else if j = i then left
+          else if j = i + 1 then right
+          else t.loads.(j - 1))
+  end;
+  (* transition from "single boundary" to "first real interval" *)
+  if Array.length t.bounds >= 2 && Array.length t.loads <> Array.length t.bounds - 1
+  then t.loads <- Array.make (Array.length t.bounds - 1) []
+
+let window_intervals t ~release ~deadline =
+  let acc = ref [] in
+  for k = Array.length t.bounds - 2 downto 0 do
+    if t.bounds.(k) >= release && t.bounds.(k + 1) <= deadline then
+      acc := k :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type decision = {
+  job : Job.t;
+  accepted : bool;
+  lambda : float;
+  planned_speed : float;
+  assignment : (int * float) list;
+}
+
+(* The speed corresponding to price level mu for a job of workload w:
+   mu = delta * w * P'(s). *)
+let speed_of_price t ~workload mu =
+  Power.inv_deriv t.power (mu /. (t.delta *. workload))
+
+let arrive t (job : Job.t) =
+  if List.exists (fun (j : Job.t) -> j.id = job.id) t.seen then
+    invalid_arg "Pd.arrive: duplicate job id";
+  if job.release < t.last_release -. 1e-12 then
+    invalid_arg "Pd.arrive: jobs must arrive in release order";
+  t.last_release <- Float.max t.last_release job.release;
+  t.seen <- job :: t.seen;
+  insert_boundary t job.release;
+  insert_boundary t job.deadline;
+  let window = window_intervals t ~release:job.release ~deadline:job.deadline in
+  (* Chen problems of the committed loads (job j not yet included). *)
+  let problems =
+    List.map
+      (fun k ->
+        let length = t.bounds.(k + 1) -. t.bounds.(k) in
+        (k, Chen.build ~machines:t.machines ~length t.loads.(k)))
+      window
+  in
+  let w = job.workload in
+  (* Work (in load units) job j would commit at price level mu. *)
+  let load_at k_problem s = Float.min (Chen.probe_load_for_speed k_problem s) w in
+  let assigned mu =
+    let s = speed_of_price t ~workload:w mu in
+    Ksum.sum_by (fun (_, p) -> load_at p s) problems
+  in
+  let commit mu =
+    let s = speed_of_price t ~workload:w mu in
+    List.filter_map
+      (fun (k, p) ->
+        let z = load_at p s in
+        if z > 0.0 then Some (k, z) else None)
+      problems
+  in
+  let finalize ~accepted ~lambda ~assignment =
+    let planned_speed = speed_of_price t ~workload:w lambda in
+    t.lambda_rev <- (job.id, lambda) :: t.lambda_rev;
+    if accepted then begin
+      t.accepted_rev <- job.id :: t.accepted_rev;
+      (* rescale so the job is finished exactly despite bisection dust *)
+      let total = Ksum.sum_by snd assignment in
+      let scale = if total > 0.0 then w /. total else 0.0 in
+      let assignment = List.map (fun (k, z) -> (k, z *. scale)) assignment in
+      List.iter
+        (fun (k, z) -> t.loads.(k) <- (job.id, z) :: t.loads.(k))
+        assignment;
+      { job; accepted = true; lambda; planned_speed; assignment }
+    end
+    else begin
+      t.rejected_rev <- job.id :: t.rejected_rev;
+      { job; accepted = false; lambda; planned_speed; assignment = [] }
+    end
+  in
+  (* Decide: can the whole job be placed before the price reaches v_j? *)
+  let at_value = if Float.is_finite job.value then assigned job.value else 0.0 in
+  if Float.is_finite job.value && at_value < w *. (1.0 -. 1e-9) then
+    finalize ~accepted:false ~lambda:job.value ~assignment:[]
+  else begin
+    (* find the finishing price mu_star with assigned mu_star = w *)
+    let hi =
+      if Float.is_finite job.value then job.value
+      else begin
+        (* grow a bracket: the price at which even a single interval could
+           absorb the whole job is a safe upper bound *)
+        let init =
+          t.delta *. w
+          *. Power.deriv t.power
+               ((w +. 1.0) /. Float.max 1e-9 (Job.span job))
+        in
+        Bisect.grow_bracket ~f:assigned ~target:w ~lo:0.0
+          ~init:(Float.max init 1e-9) ()
+      end
+    in
+    let mu_star =
+      Bisect.monotone_inverse ~f:assigned ~target:w ~lo:0.0 ~hi ()
+    in
+    finalize ~accepted:true ~lambda:mu_star ~assignment:(commit mu_star)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let boundaries t = Array.copy t.bounds
+let interval_loads t = Array.copy t.loads
+
+let schedule t =
+  let slices = ref [] in
+  Array.iteri
+    (fun k loads ->
+      if loads <> [] then begin
+        let lo = t.bounds.(k) and hi = t.bounds.(k + 1) in
+        let p = Chen.build ~machines:t.machines ~length:(hi -. lo) loads in
+        slices := Chen.slices p ~t0:lo ~t1:hi @ !slices
+      end)
+    t.loads;
+  Schedule.make ~machines:t.machines ~rejected:(List.rev t.rejected_rev)
+    !slices
+
+let lambdas t = List.rev t.lambda_rev
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "pd-snapshot v1\n";
+  pf "alpha %.17g\n" (Power.alpha t.power);
+  pf "machines %d\n" t.machines;
+  pf "delta %.17g\n" t.delta;
+  pf "last_release %.17g\n" t.last_release;
+  pf "bounds";
+  Array.iter (fun x -> pf " %.17g" x) t.bounds;
+  pf "\n";
+  Array.iteri
+    (fun k loads ->
+      pf "interval %d" k;
+      List.iter (fun (id, load) -> pf " %d:%.17g" id load) loads;
+      pf "\n")
+    t.loads;
+  (* jobs in arrival order with their outcomes *)
+  List.iter
+    (fun (j : Job.t) ->
+      let lambda = List.assoc j.id t.lambda_rev in
+      let status =
+        if List.mem j.id t.accepted_rev then "accepted" else "rejected"
+      in
+      pf "job %d %.17g %.17g %.17g %s lambda %.17g %s\n" j.id j.release
+        j.deadline j.workload
+        (if j.value = Float.infinity then "inf"
+         else Printf.sprintf "%.17g" j.value)
+        lambda status)
+    (List.rev t.seen);
+  Buffer.contents b
+
+let restore text =
+  let fail lineno msg = failwith (Printf.sprintf "Pd.restore: line %d: %s" lineno msg) in
+  let parse_float lineno what s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail lineno (Printf.sprintf "bad %s %S" what s)
+  in
+  let alpha = ref None
+  and machines = ref None
+  and delta = ref None
+  and last_release = ref Float.neg_infinity
+  and bounds = ref [||]
+  and intervals = ref []
+  and jobs = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         match String.split_on_char ' ' (String.trim line)
+               |> List.filter (( <> ) "")
+         with
+         | [] -> ()
+         | [ "pd-snapshot"; "v1" ] -> ()
+         | [ "alpha"; v ] -> alpha := Some (parse_float lineno "alpha" v)
+         | [ "machines"; v ] -> (
+           match int_of_string_opt v with
+           | Some m -> machines := Some m
+           | None -> fail lineno "bad machines")
+         | [ "delta"; v ] -> delta := Some (parse_float lineno "delta" v)
+         | [ "last_release"; v ] ->
+           last_release := parse_float lineno "last_release" v
+         | "bounds" :: rest ->
+           bounds :=
+             Array.of_list (List.map (parse_float lineno "bound") rest)
+         | "interval" :: k :: rest ->
+           let k =
+             match int_of_string_opt k with
+             | Some k -> k
+             | None -> fail lineno "bad interval index"
+           in
+           let loads =
+             List.map
+               (fun pair ->
+                 match String.split_on_char ':' pair with
+                 | [ id; load ] -> (
+                   match int_of_string_opt id with
+                   | Some id -> (id, parse_float lineno "load" load)
+                   | None -> fail lineno "bad load id")
+                 | _ -> fail lineno "bad load pair")
+               rest
+           in
+           intervals := (k, loads) :: !intervals
+         | [ "job"; id; r; d; w; v; "lambda"; l; status ] ->
+           let id =
+             match int_of_string_opt id with
+             | Some id -> id
+             | None -> fail lineno "bad job id"
+           in
+           let value =
+             if v = "inf" then Float.infinity else parse_float lineno "value" v
+           in
+           let job =
+             Job.make ~id ~release:(parse_float lineno "release" r)
+               ~deadline:(parse_float lineno "deadline" d)
+               ~workload:(parse_float lineno "workload" w)
+               ~value
+           in
+           let accepted =
+             match status with
+             | "accepted" -> true
+             | "rejected" -> false
+             | _ -> fail lineno "bad status"
+           in
+           jobs := (job, parse_float lineno "lambda" l, accepted) :: !jobs
+         | _ -> fail lineno (Printf.sprintf "unrecognized %S" line));
+  let alpha = match !alpha with Some a -> a | None -> failwith "Pd.restore: missing alpha" in
+  let machines = match !machines with Some m -> m | None -> failwith "Pd.restore: missing machines" in
+  let delta = match !delta with Some d -> d | None -> failwith "Pd.restore: missing delta" in
+  let t = create ~delta ~power:(Power.make alpha) ~machines () in
+  t.bounds <- !bounds;
+  let n_intervals = max 0 (Array.length !bounds - 1) in
+  let loads = Array.make n_intervals [] in
+  List.iter
+    (fun (k, l) ->
+      if k < 0 || k >= n_intervals then failwith "Pd.restore: interval index out of range";
+      loads.(k) <- l)
+    !intervals;
+  t.loads <- loads;
+  t.last_release <- !last_release;
+  List.iter
+    (fun (job, lambda, accepted) ->
+      (* !jobs is already reversed arrival order, matching the fields *)
+      t.seen <- t.seen @ [ job ];
+      t.lambda_rev <- t.lambda_rev @ [ (job.id, lambda) ];
+      if accepted then t.accepted_rev <- t.accepted_rev @ [ job.id ]
+      else t.rejected_rev <- t.rejected_rev @ [ job.id ])
+    !jobs;
+  t
+
+let certificate t =
+  match t.seen with
+  | [] -> 0.0
+  | seen ->
+    (* Instance.make re-ranks ids by (release, id); mirror that order to
+       line the multipliers up with the re-ranked jobs. *)
+    let sorted = List.stable_sort Job.compare_release seen in
+    let inst = Instance.make ~power:t.power ~machines:t.machines sorted in
+    let lambda =
+      Array.of_list
+        (List.map
+           (fun (j : Job.t) ->
+             match List.assoc_opt j.id t.lambda_rev with
+             | Some l -> l
+             | None -> 0.0)
+           sorted)
+    in
+    (Dual.evaluate inst (Timeline.of_jobs sorted) ~lambda).value
+
+type result = {
+  schedule : Schedule.t;
+  cost : Cost.t;
+  lambda : float array;
+  accepted : int list;
+  rejected : int list;
+  dual_bound : float;
+  guarantee : float;
+  decisions : decision list;
+  delta : float;
+  final_boundaries : float array;
+  final_loads : (int * float) list array;
+}
+
+let run ?delta (inst : Instance.t) =
+  let t = create ?delta ~power:inst.power ~machines:inst.machines () in
+  let decisions =
+    List.init (Instance.n_jobs inst) (fun i -> arrive t (Instance.job inst i))
+  in
+  let sched = schedule t in
+  let n = Instance.n_jobs inst in
+  let lambda = Array.make n 0.0 in
+  List.iter (fun (id, l) -> lambda.(id) <- l) (lambdas t);
+  let tl = Timeline.of_jobs (Array.to_list inst.jobs) in
+  let dual = Dual.evaluate inst tl ~lambda in
+  {
+    schedule = sched;
+    cost = Schedule.cost inst sched;
+    lambda;
+    accepted = List.rev t.accepted_rev;
+    rejected = List.rev t.rejected_rev;
+    dual_bound = dual.value;
+    guarantee = Power.competitive_bound inst.power;
+    decisions;
+    delta = t.delta;
+    final_boundaries = boundaries t;
+    final_loads = interval_loads t;
+  }

@@ -1,0 +1,108 @@
+(** PD — the paper's online greedy primal-dual algorithm for profitable
+    scheduling on [m] speed-scalable processors (Listing 1).
+
+    PD maintains, for every atomic interval [T_k], the workload each
+    previously accepted job has committed to [T_k].  When job [j] arrives:
+
+    + the interval partition is refined with [r_j] and [d_j], splitting
+      committed loads proportionally (Section 3, "Concerning the Time
+      Partitioning");
+    + the {e price} of placing work into interval [T_k] is the marginal
+      energy cost [λ_jk = δ · ∂P_k/∂x_jk], evaluated with Chen et al.'s
+      schedule of the already-committed loads plus [j]'s tentative load;
+    + [j]'s load is poured into the cheapest intervals, keeping their
+      prices equal (water-filling), until either the whole job is placed —
+      job accepted with multiplier [λ_j] = the final common price — or the
+      price reaches [v_j] first — job rejected, its tentative load reset,
+      and [λ_j = v_j].
+
+    Implementation note: instead of simulating the continuous increase we
+    invert it.  A price level [μ] corresponds to the speed
+    [s(μ) = P'^{-1}(μ / (δ w_j))]; the load interval [T_k] absorbs at that
+    price is [Chen.probe_load_for_speed] — a closed form — so the final
+    common price is found by one outer bisection on [μ], which is exactly
+    the water-filling fixed point.  Prices never decrease as load is
+    added, so the assignment function is monotone and the bisection is
+    sound.
+
+    With [δ = α^(1-α)] (the default), PD is [α^α]-competitive (Theorem 3),
+    and the certificate [g(λ̃)] returned in {!result} proves the bound {e
+    per instance}: [cost <= α^α · g(λ̃) <= α^α · OPT]. *)
+
+open Speedscale_model
+
+type t
+(** Mutable online state. *)
+
+val create : ?delta:float -> power:Power.t -> machines:int -> unit -> t
+(** [delta] defaults to [Power.delta_star], the optimal [α^(1-α)].
+    Raises [Invalid_argument] for [delta <= 0] or [machines < 1]. *)
+
+type decision = {
+  job : Job.t;
+  accepted : bool;
+  lambda : float;  (** the multiplier [λ̃_j] fixed at arrival *)
+  planned_speed : float;
+      (** [s̃_j]: the common speed of [j]'s assignment just before [λ̃_j]
+          was fixed (for rejected jobs, the speed at which the job {e
+          would} have run at price [v_j]) *)
+  assignment : (int * float) list;
+      (** committed loads per interval index of the timeline {e at arrival
+          time} (empty for rejected jobs) *)
+}
+
+val arrive : t -> Job.t -> decision
+(** Process one arrival.  Jobs must arrive in non-decreasing release order
+    with distinct ids; raises [Invalid_argument] otherwise. *)
+
+val boundaries : t -> float array
+(** Current atomic-interval boundaries (for inspection/tests). *)
+
+val interval_loads : t -> (int * float) list array
+(** Current committed loads per atomic interval. *)
+
+val schedule : t -> Schedule.t
+(** The concrete schedule realized by Chen et al.'s algorithm in every
+    atomic interval of the {e final} partition. *)
+
+val lambdas : t -> (int * float) list
+(** [(job id, λ̃_j)] in arrival order. *)
+
+val snapshot : t -> string
+(** Serialize the full online state (boundaries, committed loads,
+    multipliers, decisions, seen jobs) as plain text.  A scheduler process
+    can persist this after each arrival and {!restore} after a restart,
+    continuing exactly where it left off. *)
+
+val restore : string -> t
+(** Inverse of {!snapshot}.  Raises [Failure] with a line-numbered message
+    on malformed input.  The restored state processes further arrivals
+    identically to the original (bit-for-bit: the state is exact). *)
+
+val certificate : t -> float
+(** The dual lower bound [g(λ̃)] over the jobs seen {e so far} — a valid
+    lower bound on the optimal cost of the prefix instance at any moment
+    of the online execution (weak duality needs no future knowledge).
+    [0] before the first arrival.  Together with the running cost this
+    gives a live, certified bound on PD's regret. *)
+
+type result = {
+  schedule : Schedule.t;
+  cost : Cost.t;
+  lambda : float array;  (** indexed by job id *)
+  accepted : int list;
+  rejected : int list;
+  dual_bound : float;  (** [g(λ̃)], a certified lower bound on OPT *)
+  guarantee : float;  (** [α^α] *)
+  decisions : decision list;  (** in arrival order *)
+  delta : float;  (** the δ the run used *)
+  final_boundaries : float array;
+      (** atomic-interval boundaries after all refinements *)
+  final_loads : (int * float) list array;
+      (** committed loads per final interval — the [x̃] of the analysis *)
+}
+
+val run : ?delta:float -> Instance.t -> result
+(** Feed all jobs of the instance in release order and assemble the
+    result.  [cost <= guarantee * dual_bound] holds up to numerical
+    tolerance whenever [delta <= delta_star] (Theorem 3). *)

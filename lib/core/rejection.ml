@@ -1,0 +1,11 @@
+open Speedscale_model
+
+let threshold_speed ?delta power (j : Job.t) =
+  if j.value = Float.infinity then Float.infinity
+  else
+    let delta = Option.value delta ~default:(Power.delta_star power) in
+    Power.inv_deriv power (j.value /. (delta *. j.workload))
+
+let energy_budget_factor power =
+  let alpha = Power.alpha power in
+  alpha ** (alpha -. 2.0)

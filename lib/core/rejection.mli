@@ -1,0 +1,24 @@
+(** PD's rejection policy in closed form (Section 3, "Relation to the OA
+    Algorithm").
+
+    PD rejects job [j] exactly when the common price of its water-filled
+    assignment would exceed [v_j] before the job is fully placed, i.e.
+    when the planned speed would exceed the threshold [s] solving
+    [δ · w_j · P'_α(s) = v_j].  With the optimal [δ = α^(1-α)] this
+    threshold equals Chan–Lam–Li's
+
+    {v  α^((α-2)/(α-1)) · (v_j / w_j)^(1/(α-1))  v}
+
+    so on a single processor PD's accept/reject decisions coincide with
+    CLL's — which experiment E3 verifies decision-by-decision. *)
+
+open Speedscale_model
+
+val threshold_speed : ?delta:float -> Power.t -> Job.t -> float
+(** The speed above which PD (with the given [delta], default
+    [Power.delta_star]) rejects the job: [P'^{-1}(v_j / (δ w_j))].
+    [infinity] for must-finish jobs. *)
+
+val energy_budget_factor : Power.t -> float
+(** [α^(α-2)]: with [δ = δ*], PD rejects a job iff the energy its planned
+    schedule would invest exceeds [α^(α-2) · v_j] (Section 3). *)

@@ -1,0 +1,50 @@
+(** Discrete speed levels — bridging the paper's continuous model to real
+    DVFS hardware.
+
+    The paper (like all of the YDS line) assumes a continuum of speeds,
+    while the hardware it motivates (Intel SpeedStep, AMD PowerNow!)
+    exposes a finite level set.  The classical remedy, already present in
+    Chen et al. (ECRTS 2004): a slice at continuous speed [s] between two
+    adjacent levels [l <= s <= h] is emulated by running the fraction
+    [(s − l)/(h − l)] of the slice at [h] and the rest at [l].  Work and
+    the occupied time window are preserved exactly (so feasibility is
+    untouched); by convexity of [P_α] the energy only grows, and the
+    overhead shrinks as the level grid densifies.
+
+    This module converts any {!Schedule.t} produced by the continuous
+    algorithms into a level-feasible schedule and quantifies the overhead
+    (experiment E15). *)
+
+open Speedscale_model
+
+type t
+(** A validated, sorted set of distinct speed levels (all > 0). *)
+
+val make : float list -> t
+(** Raises [Invalid_argument] on an empty list or non-positive levels. *)
+
+val geometric : base:float -> ratio:float -> count:int -> t
+(** [geometric ~base ~ratio ~count]: levels [base·ratio^i], i < count.
+    Requires [base > 0], [ratio > 1], [count >= 1]. *)
+
+val covering : t -> float -> bool
+(** [covering t s]: is there a level [>= s]?  (Speeds above the highest
+    level cannot be emulated.) *)
+
+val max_level : t -> float
+val speeds : t -> float list
+
+val round_slice : t -> Schedule.slice -> Schedule.slice list
+(** Emulate one slice: one or two sub-slices at adjacent levels carrying
+    exactly the original work inside the original window (a slice slower
+    than the lowest level runs at the lowest level for part of the window
+    and idles).  Raises [Invalid_argument] if the slice speed exceeds the
+    highest level. *)
+
+val round_schedule : t -> Schedule.t -> Schedule.t
+(** Apply {!round_slice} to every slice. *)
+
+val energy_overhead : Power.t -> t -> Schedule.t -> float
+(** [energy(rounded) / energy(original)] — always [>= 1], approaching [1]
+    as the grid densifies.  Raises [Invalid_argument] on schedules with
+    zero energy. *)

@@ -1,0 +1,70 @@
+(** Operational execution of schedules: a discrete-event replay engine.
+
+    The analytic layer ([Schedule]) treats a schedule as a set of slices
+    and checks feasibility by sorting and summing.  This module gives the
+    same object {e operational} semantics: a virtual clock advances
+    through the schedule, every processor runs a little state machine, and
+    each observable transition becomes an {!event} — arrival, start,
+    speed change, preemption, migration, completion, deadline miss,
+    abandonment.  Replaying is how a real runtime would consume the
+    scheduler's output, and it double-checks the analytic layer from an
+    independent direction: work is accounted by integrating the simulated
+    execution, lifecycle legality is enforced transition by transition,
+    and the event counts must agree with the statistics
+    [Speedscale_metrics.Structure] computes combinatorially.
+
+    The engine is deterministic and allocation-light; traces can be
+    exported as CSV for external tooling. *)
+
+open Speedscale_model
+
+type event_kind =
+  | Arrival  (** the job becomes known ([r_j]) *)
+  | Start  (** first time the job runs *)
+  | Speed_change  (** same processor, new speed, contiguous in time *)
+  | Preempt  (** the job stops running with work remaining *)
+  | Resume  (** runs again after a preemption, same processor *)
+  | Migrate  (** runs again on a different processor *)
+  | Complete  (** full workload processed *)
+  | Reject  (** the algorithm declared the job rejected *)
+  | Deadline_miss
+      (** deadline passed with work remaining on a non-rejected job —
+          indicates a scheduler bug; never emitted by the algorithms in
+          this repository *)
+
+type event = {
+  time : float;
+  kind : event_kind;
+  job : int;
+  proc : int;  (** processor involved, [-1] for processor-less events *)
+  speed : float;  (** speed after the event, 0 where meaningless *)
+}
+
+type job_outcome = {
+  job : int;
+  work_done : float;
+  completed : bool;
+  completion_time : float option;
+  n_preemptions : int;
+  n_migrations : int;
+}
+
+type run = {
+  events : event list;  (** chronological *)
+  outcomes : job_outcome array;  (** indexed by job id *)
+  total_energy : float;  (** integrated over the replay *)
+  makespan : float;  (** last moment any processor is busy (0 if none) *)
+}
+
+val replay : Instance.t -> Schedule.t -> run
+(** Replays the schedule against the instance.  The schedule does not have
+    to be feasible — infeasibilities surface as [Deadline_miss] events and
+    [completed = false] outcomes, which is exactly what makes the engine
+    useful as an independent checker. *)
+
+val kind_name : event_kind -> string
+
+val to_csv : run -> string
+(** One line per event: [time,kind,job,proc,speed] with a header row. *)
+
+val pp_event : Format.formatter -> event -> unit

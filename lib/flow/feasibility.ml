@@ -1,0 +1,106 @@
+open Speedscale_util
+open Speedscale_model
+
+(* Node layout: 0 = source, 1 = sink, 2..2+n-1 = jobs,
+   2+n .. 2+n+N-1 = intervals. *)
+let build_network (inst : Instance.t) tl ~speed_cap =
+  let n = Instance.n_jobs inst in
+  let nk = Timeline.n_intervals tl in
+  let source = 0 and sink = 1 in
+  let job_node j = 2 + j in
+  let interval_node k = 2 + n + k in
+  let net = Dinic.create ~n_nodes:(2 + n + nk) ~source ~sink in
+  for j = 0 to n - 1 do
+    Dinic.add_edge net ~src:source ~dst:(job_node j)
+      ~capacity:(Instance.job inst j).workload
+  done;
+  for k = 0 to nk - 1 do
+    let lo, hi = Timeline.bounds tl k in
+    let lk = hi -. lo in
+    Dinic.add_edge net ~src:(interval_node k) ~dst:sink
+      ~capacity:(float_of_int inst.machines *. speed_cap *. lk);
+    for j = 0 to n - 1 do
+      if Job.covers (Instance.job inst j) ~lo ~hi then
+        Dinic.add_edge net ~src:(job_node j) ~dst:(interval_node k)
+          ~capacity:(speed_cap *. lk)
+    done
+  done;
+  (net, job_node, interval_node)
+
+let total_work (inst : Instance.t) =
+  Ksum.sum_by (fun (j : Job.t) -> j.workload) (Array.to_list inst.jobs)
+
+let feasible_with tl (inst : Instance.t) ~speed_cap =
+  if speed_cap < 0.0 || Float.is_nan speed_cap then
+    invalid_arg "Feasibility.feasible: bad speed cap";
+  let net, _, _ = build_network inst tl ~speed_cap in
+  let flow = Dinic.max_flow net in
+  let needed = total_work inst in
+  flow >= needed -. (1e-9 *. (1.0 +. needed))
+
+let timeline_of (inst : Instance.t) =
+  Timeline.of_jobs (Array.to_list inst.jobs)
+
+let feasible inst ~speed_cap = feasible_with (timeline_of inst) inst ~speed_cap
+
+let work_assignment (inst : Instance.t) ~speed_cap =
+  let tl = timeline_of inst in
+  let net, job_node, interval_node = build_network inst tl ~speed_cap in
+  let flow = Dinic.max_flow net in
+  let needed = total_work inst in
+  if flow < needed -. (1e-9 *. (1.0 +. needed)) then None
+  else begin
+    let n = Instance.n_jobs inst in
+    let loads = Array.make (Timeline.n_intervals tl) [] in
+    for k = 0 to Timeline.n_intervals tl - 1 do
+      for j = 0 to n - 1 do
+        let f = Dinic.flow_on net ~src:(job_node j) ~dst:(interval_node k) in
+        if f > 1e-12 then loads.(k) <- (j, f) :: loads.(k)
+      done
+    done;
+    Some (loads, tl)
+  end
+
+let schedule (inst : Instance.t) ~speed_cap =
+  match work_assignment inst ~speed_cap with
+  | None -> None
+  | Some (loads, tl) ->
+    let slices = ref [] in
+    Array.iteri
+      (fun k pairs ->
+        if pairs <> [] then begin
+          let lo, hi = Timeline.bounds tl k in
+          let chen =
+            Speedscale_chen.Chen.build ~machines:inst.machines
+              ~length:(hi -. lo) pairs
+          in
+          slices := Speedscale_chen.Chen.slices chen ~t0:lo ~t1:hi @ !slices
+        end)
+      loads;
+    Some (Schedule.make ~machines:inst.machines ~rejected:[] !slices)
+
+let min_speed_cap ?(tol = 1e-9) (inst : Instance.t) =
+  let tl = timeline_of inst in
+  (* certified lower bounds: max single-job density; total work over the
+     full m-machine capacity of the horizon *)
+  let density_lb =
+    Array.fold_left
+      (fun acc j -> Float.max acc (Job.density j))
+      0.0 inst.jobs
+  in
+  let lo_t, hi_t = Instance.horizon inst in
+  let capacity_lb =
+    total_work inst /. (float_of_int inst.machines *. (hi_t -. lo_t))
+  in
+  let lo = Float.max density_lb capacity_lb in
+  if feasible_with tl inst ~speed_cap:lo then lo
+  else begin
+    let hi =
+      Bisect.grow_bracket
+        ~f:(fun s -> if feasible_with tl inst ~speed_cap:s then 1.0 else 0.0)
+        ~target:1.0 ~lo:0.0 ~init:(Float.max lo 1e-9) ()
+    in
+    Bisect.monotone_inverse ~tol
+      ~f:(fun s -> if feasible_with tl inst ~speed_cap:s then 1.0 else 0.0)
+      ~target:1.0 ~lo ~hi ()
+  end

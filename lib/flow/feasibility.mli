@@ -1,0 +1,39 @@
+(** Deadline-scheduling feasibility at a fixed speed cap, and the minimum
+    feasible speed cap (Horn's flow construction).
+
+    Can all jobs finish on [m] migrating processors if no processor ever
+    exceeds speed [s]?  Classical answer: build a flow network
+
+    {v source --w_j--> job_j --s·l_k--> interval_k --m·s·l_k--> sink v}
+
+    (with an arc only when [T_k ⊆ [r_j, d_j)]).  A job may not run on two
+    processors at once, which is exactly the [s·l_k] arc capacity; an
+    interval offers [m·s·l_k] processing overall.  Feasible iff the max
+    flow saturates [Σ w_j] — in which case McNaughton's rule (already used
+    in [Chen.slices]) realizes the per-interval assignment.
+
+    The minimum feasible cap [s*] is found by bisection; it is the
+    [α → ∞] limit of the energy-optimal schedule's maximum speed and a
+    useful provisioning number ("what is the slowest fleet that can keep
+    every deadline?"). *)
+
+open Speedscale_model
+
+val feasible : Instance.t -> speed_cap:float -> bool
+(** Values are ignored (every job must fit).  [speed_cap >= 0]. *)
+
+val work_assignment :
+  Instance.t -> speed_cap:float -> ((int * float) list array * Timeline.t) option
+(** On success, per-interval (job, load) lists realizing the cap (feed them
+    to [Chen] or McNaughton to get slices), plus the timeline used. *)
+
+val min_speed_cap : ?tol:float -> Instance.t -> float
+(** The smallest feasible cap, by bisection (default relative tolerance
+    1e-9).  Lower-bounded by the max job density and by
+    [total work / (m · busy horizon)]. *)
+
+val schedule : Instance.t -> speed_cap:float -> Schedule.t option
+(** Realize a feasible cap as a concrete schedule: the flow's per-interval
+    work assignment fed through Chen et al.'s dedicated/pool realization.
+    Every slice speed is at most [speed_cap] (up to 1e-6 relative).
+    [None] when the cap is infeasible. *)

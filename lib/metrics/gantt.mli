@@ -1,0 +1,18 @@
+(** ASCII Gantt rendering of schedules.
+
+    One lane per processor, time quantized to a character grid; each cell
+    shows which job runs there (`0`–`9`, then `a`–`z`, `*` beyond 36, `.`
+    idle).  A second row per lane optionally shows relative speed as a
+    block ramp.  Meant for terminal inspection, the examples, and the
+    figure experiments — not for exact reading (the validator and the
+    replay engine are for that). *)
+
+open Speedscale_model
+
+val render :
+  ?width:int -> ?show_speed:bool -> Schedule.t -> string
+(** [render sched] with default [width = 72] columns over the schedule's
+    busy extent.  Empty schedules render a note instead. *)
+
+val job_glyph : int -> char
+(** The cell character used for a job id. *)

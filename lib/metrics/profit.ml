@@ -1,0 +1,14 @@
+open Speedscale_util
+open Speedscale_model
+
+let of_schedule (inst : Instance.t) sched =
+  let finished = Schedule.finished inst sched in
+  let gained = Ksum.sum_by (fun id -> (Instance.job inst id).value) finished in
+  gained -. Schedule.energy inst.power sched
+
+let identity_gap (inst : Instance.t) sched =
+  let total = Instance.total_value inst in
+  if not (Float.is_finite total) then Float.nan
+  else
+    Float.abs
+      (of_schedule inst sched +. Cost.total (Schedule.cost inst sched) -. total)

@@ -1,0 +1,24 @@
+(** The profit view of a schedule.
+
+    Pruhs–Stein (APPROX 2010) study the same setting with the mirrored
+    objective {e maximize} [Σ_finished v_j − energy]; Chan–Lam–Li (and
+    this paper) minimize [energy + Σ_unfinished v_j].  The two differ by
+    the constant [Σ_j v_j]:
+
+    {v  profit(S) = total value − cost(S)  v}
+
+    so a cost-minimizer is also a profit-maximizer on any fixed instance —
+    but competitive ratios do NOT transfer (profit can be 0 or negative,
+    which is why Pruhs–Stein need resource augmentation while the paper's
+    loss view admits a bound of α^α).  This module computes the profit
+    view for reporting. *)
+
+open Speedscale_model
+
+val of_schedule : Instance.t -> Schedule.t -> float
+(** [Σ_finished v_j − energy].  May be negative. *)
+
+val identity_gap : Instance.t -> Schedule.t -> float
+(** [|profit + cost − total value|] — zero up to float noise, exported so
+    tests can pin the relationship.  Instances with infinite values return
+    [nan] (the identity is meaningless there). *)

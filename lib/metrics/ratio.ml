@@ -1,0 +1,37 @@
+open Speedscale_util
+
+type sample = { cost : float; lower_bound : float; ratio : float }
+
+let make ~cost ~lower_bound =
+  if not (lower_bound > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Ratio.make: lower bound must be > 0 (got %g)"
+         lower_bound);
+  { cost; lower_bound; ratio = cost /. lower_bound }
+
+let ratios samples = List.map (fun s -> s.ratio) samples
+
+type aggregate = {
+  count : int;
+  mean_ratio : float;
+  max_ratio : float;
+  p90_ratio : float;
+  violations : int;
+}
+
+let aggregate ~guarantee samples =
+  let rs = ratios samples in
+  if rs = [] then invalid_arg "Ratio.aggregate: no samples";
+  {
+    count = List.length rs;
+    mean_ratio = Stats.mean rs;
+    max_ratio = Stats.max_of rs;
+    p90_ratio = Stats.percentile 0.9 rs;
+    violations =
+      List.length
+        (List.filter (fun r -> r > guarantee +. (1e-6 *. (1.0 +. guarantee))) rs);
+  }
+
+let pp_aggregate ppf a =
+  Format.fprintf ppf "n=%d mean=%.4f p90=%.4f max=%.4f violations=%d" a.count
+    a.mean_ratio a.p90_ratio a.max_ratio a.violations

@@ -1,0 +1,32 @@
+(** Competitive-ratio bookkeeping for the benchmark harness.
+
+    Empirical ratios are always measured against a {e certified lower
+    bound} on the optimum — either the dual certificate [g(λ̃)], an exact
+    YDS/IMP optimum, or the CP relaxation — so a reported ratio of [ρ]
+    means "the algorithm's cost is at most [ρ]·OPT on this instance",
+    never an estimate in the wrong direction. *)
+
+
+type sample = {
+  cost : float;
+  lower_bound : float;  (** certified [<= OPT] *)
+  ratio : float;  (** [cost / lower_bound] *)
+}
+
+val make : cost:float -> lower_bound:float -> sample
+(** Raises [Invalid_argument] for non-positive lower bounds. *)
+
+val ratios : sample list -> float list
+
+type aggregate = {
+  count : int;
+  mean_ratio : float;
+  max_ratio : float;
+  p90_ratio : float;
+  violations : int;  (** samples whose ratio exceeded a given guarantee *)
+}
+
+val aggregate : guarantee:float -> sample list -> aggregate
+(** Summarize a sweep against a theoretical guarantee (e.g. [α^α]). *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

@@ -1,0 +1,27 @@
+(** Structural statistics of schedules — the systems-facing counterpart of
+    the cost metrics.
+
+    The model allows unlimited preemption and migration for free, but real
+    systems pay for both; these statistics let the benchmark harness show
+    {e how much} of that freedom each algorithm actually uses (PD's
+    never-redistribute rule keeps its schedules noticeably calmer than
+    replanning algorithms like OA). *)
+
+open Speedscale_model
+
+type t = {
+  n_slices : int;
+  preemptions : int;
+      (** times a job is interrupted and later resumed (anywhere) *)
+  migrations : int;
+      (** times a job resumes on a different processor than it last ran *)
+  busy_time : float;  (** total processor-seconds at positive speed *)
+  max_speed : float;
+  avg_speed : float;  (** work-weighted: total work / busy time *)
+  utilization : float;
+      (** busy time / (machines × makespan window); 0 for empty schedules *)
+}
+
+val of_schedule : Schedule.t -> t
+
+val pp : Format.formatter -> t -> unit

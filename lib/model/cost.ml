@@ -1,0 +1,17 @@
+type t = { energy : float; lost_value : float }
+
+let total t = t.energy +. t.lost_value
+
+let make ~energy ~lost_value =
+  if energy < 0.0 || lost_value < 0.0 then
+    invalid_arg "Cost.make: negative component";
+  { energy; lost_value }
+
+let zero = { energy = 0.0; lost_value = 0.0 }
+
+let add a b =
+  { energy = a.energy +. b.energy; lost_value = a.lost_value +. b.lost_value }
+
+let pp ppf t =
+  Format.fprintf ppf "cost[energy=%.6g lost=%.6g total=%.6g]" t.energy
+    t.lost_value (total t)

@@ -1,0 +1,10 @@
+(** Cost breakdown of a schedule: invested energy plus lost value
+    (Equation (1) of the paper). *)
+
+type t = { energy : float; lost_value : float }
+
+val total : t -> float
+val make : energy:float -> lost_value:float -> t
+val zero : t
+val add : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t = { power : Power.t; machines : int; jobs : Job.t array }
+
+let renumber jobs =
+  List.stable_sort Job.compare_release jobs
+  |> List.mapi (fun i (j : Job.t) ->
+         Job.make ~id:i ~release:j.release ~deadline:j.deadline
+           ~workload:j.workload ~value:j.value)
+  |> Array.of_list
+
+let make ~power ~machines jobs =
+  if machines < 1 then invalid_arg "Instance.make: machines < 1";
+  if jobs = [] then invalid_arg "Instance.make: empty job set";
+  { power; machines; jobs = renumber jobs }
+
+let n_jobs t = Array.length t.jobs
+let job t i = t.jobs.(i)
+
+let horizon t =
+  Array.fold_left
+    (fun (lo, hi) (j : Job.t) -> (Float.min lo j.release, Float.max hi j.deadline))
+    (Float.infinity, Float.neg_infinity)
+    t.jobs
+
+let total_value t =
+  Array.fold_left (fun acc (j : Job.t) -> acc +. j.value) 0.0 t.jobs
+
+let must_finish t =
+  Array.for_all (fun (j : Job.t) -> j.value = Float.infinity) t.jobs
+
+let with_values t f =
+  let jobs =
+    Array.to_list t.jobs
+    |> List.map (fun (j : Job.t) ->
+           Job.make ~id:j.id ~release:j.release ~deadline:j.deadline
+             ~workload:j.workload ~value:(f j))
+  in
+  make ~power:t.power ~machines:t.machines jobs
+
+let restrict t ~keep =
+  let jobs = Array.to_list t.jobs |> List.filter keep in
+  if jobs = [] then invalid_arg "Instance.restrict: no job survives";
+  make ~power:t.power ~machines:t.machines jobs
+
+let pp ppf t =
+  Format.fprintf ppf "instance[alpha=%g m=%d n=%d]"
+    (Power.alpha t.power) t.machines (Array.length t.jobs)

@@ -1,0 +1,38 @@
+(** Problem instances: a job set plus the machine model.
+
+    An instance fixes the number of processors [m], the energy exponent [α]
+    and the jobs.  Jobs are stored in arrival (release) order with ids equal
+    to their position, which both the online simulator and the primal-dual
+    algorithm rely on. *)
+
+type t = private {
+  power : Power.t;
+  machines : int;  (** m >= 1 *)
+  jobs : Job.t array;  (** sorted by release time; [jobs.(i).id = i] *)
+}
+
+val make : power:Power.t -> machines:int -> Job.t list -> t
+(** Sorts by release, re-numbers ids to arrival rank.
+    Raises [Invalid_argument] if [machines < 1] or jobs is empty. *)
+
+val n_jobs : t -> int
+val job : t -> int -> Job.t
+
+val horizon : t -> float * float
+(** Earliest release and latest deadline. *)
+
+val total_value : t -> float
+(** Sum of all job values ([infinity] if any job is must-finish). *)
+
+val must_finish : t -> bool
+(** True when every value is [infinity] — the classical YDS setting. *)
+
+val with_values : t -> (Job.t -> float) -> t
+(** Functional update of all job values (used to degenerate a profitable
+    instance into an energy-only one and vice versa). *)
+
+val restrict : t -> keep:(Job.t -> bool) -> t
+(** Sub-instance with only the jobs satisfying [keep] (ids re-ranked).
+    Raises [Invalid_argument] if no job survives. *)
+
+val pp : Format.formatter -> t -> unit

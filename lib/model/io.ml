@@ -1,0 +1,75 @@
+let to_string (inst : Instance.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "alpha %.17g\n" (Power.alpha inst.power));
+  Buffer.add_string b (Printf.sprintf "machines %d\n" inst.machines);
+  Buffer.add_string b "# release deadline workload value\n";
+  Array.iter
+    (fun (j : Job.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "job %.17g %.17g %.17g %s\n" j.release j.deadline
+           j.workload
+           (if j.value = Float.infinity then "inf"
+            else Printf.sprintf "%.17g" j.value)))
+    inst.jobs;
+  Buffer.contents b
+
+let of_string s =
+  let alpha = ref None and machines = ref None and jobs = ref [] in
+  let parse_float what lineno v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "line %d: bad %s %S" lineno what v)
+  in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ "alpha"; v ] -> alpha := Some (parse_float "alpha" lineno v)
+           | [ "machines"; v ] -> (
+             match int_of_string_opt v with
+             | Some m -> machines := Some m
+             | None ->
+               failwith (Printf.sprintf "line %d: bad machines %S" lineno v))
+           | [ "job"; r; d; w; v ] ->
+             let value =
+               if v = "inf" then Float.infinity
+               else parse_float "value" lineno v
+             in
+             jobs :=
+               (fun id ->
+                 Job.make ~id ~release:(parse_float "release" lineno r)
+                   ~deadline:(parse_float "deadline" lineno d)
+                   ~workload:(parse_float "workload" lineno w)
+                   ~value)
+               :: !jobs
+           | _ -> failwith (Printf.sprintf "line %d: unrecognized %S" lineno line));
+  let alpha =
+    match !alpha with
+    | Some a -> a
+    | None -> failwith "missing 'alpha' line"
+  in
+  let machines =
+    match !machines with
+    | Some m -> m
+    | None -> failwith "missing 'machines' line"
+  in
+  let jobs = List.rev_map (fun mk -> mk 0) !jobs in
+  if jobs = [] then failwith "no jobs";
+  Instance.make ~power:(Power.make alpha) ~machines jobs
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,21 @@
+(** Plain-text instance files.
+
+    Format (order-insensitive header lines, then one line per job):
+
+    {v
+    alpha 3.0
+    machines 2
+    # release deadline workload value   ("inf" for must-finish)
+    job 0.0 2.0 1.5 10.0
+    job 0.5 3.0 2.0 inf
+    v}
+
+    Lines starting with [#] and blank lines are ignored.  Job ids are
+    assigned by [Instance.make] (release order). *)
+
+val to_string : Instance.t -> string
+val of_string : string -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : string -> Instance.t -> unit
+val load : string -> Instance.t

@@ -1,0 +1,33 @@
+type t = {
+  id : int;
+  release : float;
+  deadline : float;
+  workload : float;
+  value : float;
+}
+
+let make ~id ~release ~deadline ~workload ~value =
+  let fail msg = invalid_arg (Printf.sprintf "Job.make(id=%d): %s" id msg) in
+  if not (Float.is_finite release) || release < 0.0 then
+    fail "release must be finite >= 0";
+  if not (Float.is_finite deadline) || deadline <= release then
+    fail "deadline must be finite > release";
+  if not (Float.is_finite workload) || workload <= 0.0 then
+    fail "workload must be finite > 0";
+  if Float.is_nan value || value < 0.0 then fail "value must be >= 0";
+  { id; release; deadline; workload; value }
+
+let span j = j.deadline -. j.release
+let density j = j.workload /. span j
+let value_density j = j.value /. j.workload
+let available_at j t = j.release <= t && t < j.deadline
+let covers j ~lo ~hi = j.release <= lo && hi <= j.deadline
+
+let compare_release a b =
+  match Float.compare a.release b.release with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let pp ppf j =
+  Format.fprintf ppf "job%d[r=%g d=%g w=%g v=%g]" j.id j.release j.deadline
+    j.workload j.value

@@ -1,0 +1,45 @@
+(** Jobs: the unit of work in the profitable-scheduling model.
+
+    A job [j] has a release time [r_j], a hard deadline [d_j], a workload
+    [w_j] (work units to process inside [[r_j, d_j)]) and a value [v_j]
+    (the loss suffered if the job is not finished).  Values may be
+    [infinity], which models the classical Yao–Demers–Shenker setting where
+    every job must be finished. *)
+
+type t = private {
+  id : int;  (** unique within an instance; also the arrival rank *)
+  release : float;
+  deadline : float;
+  workload : float;
+  value : float;
+}
+
+val make :
+  id:int -> release:float -> deadline:float -> workload:float ->
+  value:float -> t
+(** Validates: [0 <= release < deadline], [workload > 0], [value >= 0]
+    ([infinity] allowed), all finite except [value].
+    Raises [Invalid_argument] on violation. *)
+
+val span : t -> float
+(** [deadline - release], the job's availability window length. *)
+
+val density : t -> float
+(** [workload / span] — the minimum average speed needed to finish the job
+    alone on one processor. *)
+
+val value_density : t -> float
+(** [value / workload]: loss avoided per unit of work.  [infinity] for
+    must-finish jobs. *)
+
+val available_at : t -> float -> bool
+(** [available_at j t] is [release <= t < deadline]. *)
+
+val covers : t -> lo:float -> hi:float -> bool
+(** [covers j ~lo ~hi] is [true] when [[lo, hi) ⊆ [release, deadline)] —
+    the indicator [c_jk] of the paper for an atomic interval [[lo, hi)]. *)
+
+val compare_release : t -> t -> int
+(** Order by release time, ties by id — the online arrival order. *)
+
+val pp : Format.formatter -> t -> unit

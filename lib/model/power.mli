@@ -1,0 +1,48 @@
+(** The power function [P_α(s) = s^α] of a speed-scalable processor and the
+    derived quantities the analysis needs.
+
+    The energy exponent [α] is a real constant [> 1] (the paper allows any
+    [α ∈ R_{>1}]; CMOS hardware is ≈ 3).  A value of type {!t} witnesses a
+    validated exponent, so downstream code never re-checks it. *)
+
+type t
+(** A validated energy exponent. *)
+
+val make : float -> t
+(** [make alpha] validates [alpha > 1] and finiteness.
+    Raises [Invalid_argument] otherwise. *)
+
+val alpha : t -> float
+(** The exponent itself. *)
+
+val energy_rate : t -> float -> float
+(** [energy_rate t s] is the power [P_α(s) = s^α] drawn at speed [s >= 0]. *)
+
+val energy : t -> speed:float -> duration:float -> float
+(** Energy of running at constant [speed] for [duration]:
+    [duration * speed^α]. *)
+
+val deriv : t -> float -> float
+(** [deriv t s] is [P'_α(s) = α s^(α-1)], the marginal power at speed
+    [s >= 0]. *)
+
+val inv_deriv : t -> float -> float
+(** [inv_deriv t y] is the speed [s] with [P'_α(s) = y], i.e.
+    [(y/α)^(1/(α-1))], for [y >= 0].  Central to the analysis: the
+    hypothetical dual speed is [ŝ_j = inv_deriv (λ_j / w_j)]. *)
+
+val competitive_bound : t -> float
+(** [α^α] — the tight competitive ratio of PD (Theorem 3). *)
+
+val cll_bound : t -> float
+(** [α^α + 2eα] — Chan–Lam–Li's bound, for comparison tables. *)
+
+val delta_star : t -> float
+(** The optimal PD parameter [δ* = α^(1-α) = 1/α^(α-1)] (Theorem 3). *)
+
+val rejection_speed_factor : t -> float
+(** [α^((α-2)/(α-1))] — the factor in the equivalent single-processor
+    rejection policy of Chan–Lam–Li (Section 3): reject when the planned
+    speed exceeds [factor * (v/w)^(1/(α-1))]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+open Speedscale_util
+
+type slice = { proc : int; t0 : float; t1 : float; job : int; speed : float }
+type t = { machines : int; slices : slice list; rejected : int list }
+
+(* Tolerance for work-completion and overlap checks: a schedule assembled
+   from thousands of slices accumulates rounding in each one. *)
+let work_tol = 1e-6
+
+let make ~machines ~rejected slices =
+  if machines < 1 then invalid_arg "Schedule.make: machines < 1";
+  let check s =
+    if s.proc < 0 || s.proc >= machines then
+      invalid_arg
+        (Printf.sprintf "Schedule.make: slice processor %d out of range" s.proc);
+    if not (Float.is_finite s.t0 && Float.is_finite s.t1 && s.t0 < s.t1) then
+      invalid_arg "Schedule.make: slice must have t0 < t1 (finite)";
+    if not (Float.is_finite s.speed) || s.speed < 0.0 then
+      invalid_arg "Schedule.make: slice speed must be finite >= 0"
+  in
+  let slices =
+    List.filter
+      (fun s ->
+        check s;
+        s.speed > 0.0 && s.t1 > s.t0)
+      slices
+  in
+  { machines; slices; rejected = List.sort_uniq Int.compare rejected }
+
+let energy power t =
+  Ksum.sum_by
+    (fun s -> Power.energy power ~speed:s.speed ~duration:(s.t1 -. s.t0))
+    t.slices
+
+let work_of_job t id =
+  Ksum.sum_by
+    (fun s -> if s.job = id then (s.t1 -. s.t0) *. s.speed else 0.0)
+    t.slices
+
+let finished (inst : Instance.t) t =
+  let n = Instance.n_jobs inst in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let j = Instance.job inst i in
+      let done_ = work_of_job t i >= j.workload -. (work_tol *. (1.0 +. j.workload)) in
+      go (i - 1) (if done_ then i :: acc else acc)
+  in
+  go (n - 1) []
+
+let unfinished inst t =
+  let fin = finished inst t in
+  List.init (Instance.n_jobs inst) Fun.id
+  |> List.filter (fun i -> not (List.mem i fin))
+
+let cost (inst : Instance.t) t =
+  let lost =
+    Ksum.sum_by (fun i -> (Instance.job inst i).value) (unfinished inst t)
+  in
+  Cost.make ~energy:(energy inst.power t) ~lost_value:lost
+
+(* Overlap detection shared by per-processor and per-job checks: sort by
+   start, then each slice must start no earlier than the previous end. *)
+let overlap_free label slices =
+  let sorted = List.sort (fun a b -> Float.compare a.t0 b.t0) slices in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if b.t0 < a.t1 -. work_tol then
+        Error
+          (Printf.sprintf "%s: slices overlap: [%g,%g) and [%g,%g)" label a.t0
+             a.t1 b.t0 b.t1)
+      else go rest
+    | _ -> Ok ()
+  in
+  go sorted
+
+let ( let* ) = Result.bind
+
+let rec iter_results f = function
+  | [] -> Ok ()
+  | x :: rest ->
+    let* () = f x in
+    iter_results f rest
+
+let validate (inst : Instance.t) (t : t) =
+  let* () =
+    if t.machines = inst.machines then Ok ()
+    else Error "schedule machine count differs from instance"
+  in
+  let n = Instance.n_jobs inst in
+  let* () =
+    iter_results
+      (fun s ->
+        if s.job < 0 || s.job >= n then
+          Error (Printf.sprintf "slice refers to unknown job %d" s.job)
+        else
+          let j = Instance.job inst s.job in
+          if s.t0 >= j.release -. work_tol && s.t1 <= j.deadline +. work_tol
+          then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "job %d processed on [%g,%g) outside its window [%g,%g)"
+                 s.job s.t0 s.t1 j.release j.deadline))
+      t.slices
+  in
+  let* () =
+    iter_results
+      (fun p ->
+        overlap_free
+          (Printf.sprintf "processor %d" p)
+          (List.filter (fun s -> s.proc = p) t.slices))
+      (List.init t.machines Fun.id)
+  in
+  let* () =
+    iter_results
+      (fun id ->
+        overlap_free
+          (Printf.sprintf "job %d" id)
+          (List.filter (fun s -> s.job = id) t.slices))
+      (List.init n Fun.id)
+  in
+  let fin = finished inst t in
+  iter_results
+    (fun id ->
+      if List.mem id t.rejected || List.mem id fin then Ok ()
+      else
+        Error
+          (Printf.sprintf "job %d is neither rejected nor finished (work %g/%g)"
+             id (work_of_job t id)
+             (Instance.job inst id).workload))
+    (List.init n Fun.id)
+
+let speed_profile t ~proc =
+  List.filter (fun s -> s.proc = proc) t.slices
+  |> List.map (fun s -> (s.t0, s.t1, s.speed))
+  |> List.sort compare
+
+let slice_at t ~proc time =
+  List.find_opt
+    (fun s -> s.proc = proc && s.t0 <= time && time < s.t1)
+    t.slices
+
+let speed_at t ~proc time =
+  match slice_at t ~proc time with Some s -> s.speed | None -> 0.0
+
+let running_at t ~proc time =
+  Option.map (fun s -> s.job) (slice_at t ~proc time)
+
+let busy_intervals t ~job =
+  List.filter (fun s -> s.job = job) t.slices
+  |> List.map (fun s -> (s.t0, s.t1))
+  |> List.sort compare
+
+let pp ppf t =
+  Format.fprintf ppf "schedule[m=%d rejected={%s}]@." t.machines
+    (String.concat "," (List.map string_of_int t.rejected));
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  proc %d:" p;
+      List.iter
+        (fun (t0, t1, s) -> Format.fprintf ppf " [%g,%g)@%.4g" t0 t1 s)
+        (speed_profile t ~proc:p);
+      Format.fprintf ppf "@.")
+    (List.init t.machines Fun.id)

@@ -1,0 +1,70 @@
+(** Concrete schedules: who runs where, when, and how fast.
+
+    A schedule is a set of {e slices} — maximal stretches during which one
+    processor runs one job at one constant speed — plus the set of jobs the
+    algorithm rejected.  All algorithms in this repository produce
+    piecewise-constant speed profiles (optimal schedules always can, because
+    availability only changes at interval boundaries and [P_α] is convex),
+    so slices represent them exactly and energy integrals are closed-form.
+
+    The module also implements the model's feasibility rules from Section 2:
+    one job per processor at a time, no job on two processors at once,
+    work only inside the job's [[r_j, d_j)] window, and finished jobs must
+    receive their full workload. *)
+
+type slice = {
+  proc : int;  (** processor index, [0 .. m-1] *)
+  t0 : float;
+  t1 : float;  (** [t0 < t1] *)
+  job : int;  (** job id *)
+  speed : float;  (** constant speed [> 0] on the slice *)
+}
+
+type t = private {
+  machines : int;
+  slices : slice list;
+  rejected : int list;  (** job ids the algorithm chose not to finish *)
+}
+
+val make : machines:int -> rejected:int list -> slice list -> t
+(** Basic shape validation only (processor range, positive duration and
+    speed); semantic validation against an instance is {!validate}.  Slices
+    of zero speed or zero duration are dropped. *)
+
+val energy : Power.t -> t -> float
+(** Total energy [Σ_slices (t1 - t0) · speed^α]. *)
+
+val work_of_job : t -> int -> float
+(** Work processed for a job across all its slices. *)
+
+val finished : Instance.t -> t -> int list
+(** Ids of jobs that received their full workload (up to tolerance) within
+    their window. *)
+
+val unfinished : Instance.t -> t -> int list
+(** Complement of {!finished} — exactly the jobs whose value is lost. *)
+
+val cost : Instance.t -> t -> Cost.t
+(** Energy plus the value of unfinished jobs (Equation (1) of the paper). *)
+
+val validate : Instance.t -> t -> (unit, string) result
+(** Full feasibility check: slice shape, processor/job overlap freedom,
+    window containment, and that every non-rejected job is finished.  The
+    first violated rule is reported. *)
+
+val speed_profile : t -> proc:int -> (float * float * float) list
+(** [(t0, t1, speed)] runs of one processor, sorted by time. *)
+
+val speed_at : t -> proc:int -> float -> float
+(** Instantaneous speed of a processor ([0] when idle or out of range).
+    Slice intervals are half-open, so the speed at a boundary is the
+    incoming slice's. *)
+
+val running_at : t -> proc:int -> float -> int option
+(** The job running on the processor at that instant, if any. *)
+
+val busy_intervals : t -> job:int -> (float * float) list
+(** When (and only when) the given job is being processed, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact multi-line rendering for debugging and the figure benches. *)

@@ -1,0 +1,95 @@
+type t = { bounds : float array }
+
+let of_times times =
+  let sorted = List.sort_uniq Float.compare times in
+  if List.length sorted < 2 then
+    invalid_arg "Timeline.of_times: need at least two distinct times";
+  List.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg "Timeline.of_times: non-finite boundary")
+    sorted;
+  { bounds = Array.of_list sorted }
+
+let of_jobs jobs =
+  of_times
+    (List.concat_map (fun (j : Job.t) -> [ j.release; j.deadline ]) jobs)
+
+let n_intervals t = Array.length t.bounds - 1
+let boundaries t = Array.copy t.bounds
+
+let bounds t k =
+  if k < 0 || k >= n_intervals t then
+    invalid_arg (Printf.sprintf "Timeline.bounds: index %d" k);
+  (t.bounds.(k), t.bounds.(k + 1))
+
+let length t k =
+  let lo, hi = bounds t k in
+  hi -. lo
+
+(* Binary search: greatest i with bounds.(i) <= x. *)
+let find_le t x =
+  let b = t.bounds in
+  let n = Array.length b in
+  if x < b.(0) then None
+  else
+    let rec go lo hi =
+      if lo = hi then Some lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if b.(mid) <= x then go mid hi else go lo (mid - 1)
+    in
+    go 0 (n - 1)
+
+let index_at t x =
+  match find_le t x with
+  | Some i when i < n_intervals t -> Some i
+  | _ -> None
+
+let is_boundary t x = Array.exists (fun b -> b = x) t.bounds
+
+let covering t ~release ~deadline =
+  if not (is_boundary t release && is_boundary t deadline) then
+    invalid_arg
+      (Printf.sprintf
+         "Timeline.covering: window [%g, %g) endpoints are not boundaries"
+         release deadline);
+  let acc = ref [] in
+  for k = n_intervals t - 1 downto 0 do
+    let lo, hi = bounds t k in
+    if release <= lo && hi <= deadline then acc := k :: !acc
+  done;
+  !acc
+
+let refine t time =
+  let n_old = n_intervals t in
+  match find_le t time with
+  | None ->
+    (* before the horizon: nothing to split *)
+    (t, fun k -> [ k ])
+  | Some i when t.bounds.(i) = time || i >= n_old ->
+    (t, fun k -> [ k ])
+  | Some i ->
+    let bounds' =
+      Array.init
+        (Array.length t.bounds + 1)
+        (fun j ->
+          if j <= i then t.bounds.(j)
+          else if j = i + 1 then time
+          else t.bounds.(j - 1))
+    in
+    let map k =
+      if k < 0 || k >= n_old then
+        invalid_arg "Timeline.refine: stale interval index"
+      else if k < i then [ k ]
+      else if k = i then [ i; i + 1 ]
+      else [ k + 1 ]
+    in
+    ({ bounds = bounds' }, map)
+
+let pp ppf t =
+  Format.fprintf ppf "timeline[%a]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    t.bounds

@@ -1,0 +1,51 @@
+(** Atomic intervals.
+
+    Following the paper (and Bingham–Greenstreet), time is partitioned into
+    atomic intervals [T_k = [τ_{k-1}, τ_k)] whose boundaries are exactly the
+    release times and deadlines seen so far.  Within an atomic interval the
+    set of available jobs is constant, so an optimal schedule runs at
+    constant speeds there and the whole problem reduces to choosing how much
+    of each job to place into each interval.
+
+    A timeline is immutable; the online algorithm {e refines} it when a new
+    job's release or deadline falls strictly inside an existing interval. *)
+
+type t
+(** Strictly increasing boundaries [τ_0 < τ_1 < … < τ_N]; interval [k]
+    (0-based) is [[τ_k, τ_{k+1})]. *)
+
+val of_times : float list -> t
+(** Builds a timeline from a multiset of boundary times (duplicates are
+    merged).  Raises [Invalid_argument] with fewer than two distinct
+    times. *)
+
+val of_jobs : Job.t list -> t
+(** Timeline over [{r_j, d_j | j}] — the paper's partition (at most [2n-1]
+    intervals). *)
+
+val n_intervals : t -> int
+val boundaries : t -> float array
+
+val bounds : t -> int -> float * float
+(** [bounds t k] is [(τ_k, τ_{k+1})].  Raises [Invalid_argument] if [k] is
+    out of range. *)
+
+val length : t -> int -> float
+(** [l_k = τ_{k+1} - τ_k]. *)
+
+val covering : t -> release:float -> deadline:float -> int list
+(** Indices [k] with [T_k ⊆ [release, deadline)] — where [c_jk = 1].  The
+    window endpoints must coincide with boundaries (callers refine first);
+    raises [Invalid_argument] otherwise. *)
+
+val refine : t -> float -> t * (int -> int list)
+(** [refine t time] inserts [time] as a boundary.  Returns the new timeline
+    and a map from each {e old} interval index to the list of {e new}
+    indices it became (a singleton except for the split interval).  If
+    [time] is already a boundary or outside the horizon, the timeline is
+    returned unchanged with the identity-shift map. *)
+
+val index_at : t -> float -> int option
+(** [index_at t x] is the interval containing time [x], if any. *)
+
+val pp : Format.formatter -> t -> unit

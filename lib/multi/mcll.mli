@@ -1,0 +1,19 @@
+(** A naive multiprocessor generalization of Chan–Lam–Li — the obvious
+    strawman the paper's PD supersedes.
+
+    Before PD, no profitable multiprocessor algorithm with a guarantee was
+    known.  The natural ad-hoc construction bolts CLL's single-processor
+    admission rule onto the multiprocessor OA core: on arrival, compute
+    the energy-optimal plan for remaining work plus the candidate, read
+    off the candidate's planned speed, and admit iff it is below the CLL
+    threshold [α^((α-2)/(α-1))·(v/w)^(1/(α-1))].  Nothing is known about
+    this heuristic's competitive ratio — that absence is precisely the gap
+    Theorem 3 fills — but it is a fair empirical baseline (experiment
+    E22). *)
+
+open Speedscale_model
+
+val schedule : Instance.t -> Schedule.t
+(** Works for any [machines]; reduces to CLL-like behaviour at [m = 1]. *)
+
+val cost : Instance.t -> Cost.t

@@ -1,0 +1,16 @@
+(** Multiprocessor Optimal Available — the Albers–Antoniadis–Greiner
+    extension of OA to [m] speed-scalable processors with migration.
+
+    At every arrival the algorithm recomputes an energy-optimal offline
+    schedule (via the convex program + Chen realization) for the remaining
+    work of all known jobs and follows it until the next arrival.  AAG
+    proved this is [α^α]-competitive, like single-processor OA.  It is the
+    energy-only multiprocessor baseline PD is compared against in the
+    benchmark harness (all values infinite). *)
+
+open Speedscale_model
+
+val schedule : Instance.t -> Schedule.t
+(** Values are ignored: every job is finished. *)
+
+val energy : Instance.t -> float

@@ -1,0 +1,16 @@
+open Speedscale_model
+open Speedscale_solver
+
+let energy (inst : Instance.t) =
+  if inst.machines = 1 then
+    Speedscale_single.Yds.energy inst.power (Array.to_list inst.jobs)
+  else
+    let sol = Cp.solve ~max_iters:800 (Cp.make inst) Must_finish in
+    sol.energy
+
+let schedule (inst : Instance.t) =
+  if inst.machines = 1 then Speedscale_single.Yds.schedule inst
+  else
+    let cp = Cp.make inst in
+    let sol = Cp.solve ~max_iters:800 cp Must_finish in
+    Cp.to_schedule cp sol.x

@@ -1,0 +1,18 @@
+(** Offline energy-optimal multiprocessor scheduling with migration — the
+    Bingham–Greenstreet / Albers–Antoniadis–Greiner substrate.
+
+    Every job must be finished; the question is only how to distribute work
+    over atomic intervals and processors.  Distributing over intervals is
+    the convex program of [Cp] in must-finish mode; within an interval,
+    Chen et al.'s algorithm is optimal by construction.  On one processor
+    this coincides with YDS (which we use directly there, being exact). *)
+
+open Speedscale_model
+
+val energy : Instance.t -> float
+(** Optimal total energy to finish all jobs (values are ignored).
+    Exact for [machines = 1] (YDS); for [machines > 1] solved numerically
+    to projected-gradient tolerance. *)
+
+val schedule : Instance.t -> Schedule.t
+(** A schedule achieving {!energy} (up to solver tolerance). *)

@@ -1,0 +1,24 @@
+(** Exact offline optimum of the profitable scheduling problem — the
+    integral program (IMP) of Figure 1 — by enumerating acceptance sets.
+
+    The integral part of (IMP) is only the accept/reject vector [y]; once
+    it is fixed, the rest is the convex must-finish problem on the accepted
+    jobs.  For the small instances used to measure true competitive ratios
+    (experiment E8) we enumerate all [2^n] acceptance sets, pruning any set
+    whose rejected value alone exceeds the incumbent. *)
+
+open Speedscale_model
+
+type result = {
+  cost : float;
+  accepted : int list;  (** original job ids of the best acceptance set *)
+  energy : float;
+  lost_value : float;
+}
+
+val solve : ?max_jobs:int -> Instance.t -> result
+(** Raises [Invalid_argument] if the instance has more than [max_jobs]
+    (default 14) jobs — the enumeration is exponential by design. *)
+
+val best_schedule : Instance.t -> result * Schedule.t
+(** The optimum together with a concrete realizing schedule. *)

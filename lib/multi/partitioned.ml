@@ -1,0 +1,99 @@
+open Speedscale_model
+
+type heuristic = Least_work | Least_energy_increase
+
+let assign heuristic (inst : Instance.t) =
+  let m = inst.machines in
+  let assignment = Array.make (Instance.n_jobs inst) 0 in
+  let jobs_of = Array.make m [] in
+  let work_of = Array.make m 0.0 in
+  let energy_of = Array.make m 0.0 in
+  Array.iter
+    (fun (j : Job.t) ->
+      let best = ref 0 and best_score = ref Float.infinity in
+      for p = 0 to m - 1 do
+        let score =
+          match heuristic with
+          | Least_work -> work_of.(p)
+          | Least_energy_increase ->
+            Speedscale_single.Yds.energy inst.power (j :: jobs_of.(p))
+            -. energy_of.(p)
+        in
+        if score < !best_score then begin
+          best_score := score;
+          best := p
+        end
+      done;
+      let p = !best in
+      assignment.(j.id) <- p;
+      jobs_of.(p) <- j :: jobs_of.(p);
+      work_of.(p) <- work_of.(p) +. j.workload;
+      if heuristic = Least_energy_increase then
+        energy_of.(p) <- Speedscale_single.Yds.energy inst.power jobs_of.(p))
+    inst.jobs;
+  assignment
+
+let improve (inst : Instance.t) assignment =
+  let m = inst.machines in
+  let a = Array.copy assignment in
+  let jobs_of p =
+    Array.to_list inst.jobs
+    |> List.filter (fun (j : Job.t) -> a.(j.id) = p)
+  in
+  let energy_of p = Speedscale_single.Yds.energy inst.power (jobs_of p) in
+  let energies = Array.init m energy_of in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    Array.iter
+      (fun (j : Job.t) ->
+        let src = a.(j.id) in
+        let src_without =
+          Speedscale_single.Yds.energy inst.power
+            (List.filter (fun (j' : Job.t) -> j'.id <> j.id) (jobs_of src))
+        in
+        let moved = ref false in
+        let dst = ref 0 in
+        while (not !moved) && !dst < m do
+          if !dst <> src then begin
+            let dst_with =
+              Speedscale_single.Yds.energy inst.power (j :: jobs_of !dst)
+            in
+            let delta =
+              src_without +. dst_with -. energies.(src) -. energies.(!dst)
+            in
+            if delta < -1e-9 *. (1.0 +. energies.(src)) then begin
+              a.(j.id) <- !dst;
+              energies.(src) <- src_without;
+              energies.(!dst) <- dst_with;
+              improved := true;
+              moved := true
+            end
+          end;
+          incr dst
+        done)
+      inst.jobs
+  done;
+  a
+
+let schedule ?(heuristic = Least_energy_increase) ?(local_search = false)
+    (inst : Instance.t) =
+  let assignment = assign heuristic inst in
+  let assignment = if local_search then improve inst assignment else assignment in
+  let slices = ref [] in
+  for p = 0 to inst.machines - 1 do
+    let mine =
+      Array.to_list inst.jobs
+      |> List.filter (fun (j : Job.t) -> assignment.(j.id) = p)
+    in
+    if mine <> [] then begin
+      let local = Speedscale_single.Yds.schedule_slices mine in
+      slices :=
+        List.map (fun (s : Schedule.slice) -> { s with proc = p }) local
+        @ !slices
+    end
+  done;
+  Schedule.make ~machines:inst.machines ~rejected:[] !slices
+
+let energy ?heuristic ?local_search (inst : Instance.t) =
+  Schedule.energy inst.power (schedule ?heuristic ?local_search inst)

@@ -1,0 +1,37 @@
+(** Non-migratory (partitioned) scheduling — what migration buys.
+
+    The paper's model allows free migration; many real systems pin jobs to
+    a processor.  The partitioned baseline assigns each job permanently to
+    one processor and then runs the exact single-processor optimum (YDS)
+    on every processor.  Optimal partitioning is NP-hard (it subsumes
+    makespan scheduling), so we use the standard greedy heuristics and let
+    the benchmark (E19) quantify the migration gap against the migratory
+    optimum.
+
+    Note the subtlety: because YDS is convex in load, the greedy choice is
+    made against the {e current energy increase}, not just raw work. *)
+
+open Speedscale_model
+
+type heuristic =
+  | Least_work  (** assign to the processor with the least total workload *)
+  | Least_energy_increase
+      (** assign where the per-processor YDS energy grows the least *)
+
+val assign : heuristic -> Instance.t -> int array
+(** Processor index per job (jobs considered in release order — the
+    assignment is online-compatible). *)
+
+val improve : Instance.t -> int array -> int array
+(** Offline local search on an assignment: repeatedly move a single job to
+    another processor while the total per-processor YDS energy strictly
+    decreases; stops at a local optimum (guaranteed to terminate — the
+    energy is strictly decreasing and bounded below).  Returns a new
+    array. *)
+
+val schedule :
+  ?heuristic:heuristic -> ?local_search:bool -> Instance.t -> Schedule.t
+(** Default heuristic: [Least_energy_increase], no local search.  Values
+    are ignored. *)
+
+val energy : ?heuristic:heuristic -> ?local_search:bool -> Instance.t -> float

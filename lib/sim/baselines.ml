@@ -1,0 +1,29 @@
+open Speedscale_model
+
+let must_finish inst = Instance.with_values inst (fun _ -> Float.infinity)
+
+let admit_all (inst : Instance.t) =
+  Speedscale_single.Oa_engine.run (must_finish inst)
+
+let reject_all (inst : Instance.t) =
+  Schedule.make ~machines:inst.machines
+    ~rejected:(List.init (Instance.n_jobs inst) Fun.id)
+    []
+
+let value_density_threshold c (inst : Instance.t) =
+  let admit ~now:_ ~plan:_ ~candidate =
+    Job.value_density (candidate : Job.t) >= c
+  in
+  Speedscale_single.Oa_engine.run ~admit inst
+
+let best_static_threshold ~candidates (inst : Instance.t) =
+  match candidates with
+  | [] -> invalid_arg "Baselines.best_static_threshold: no candidates"
+  | _ ->
+    List.fold_left
+      (fun (best_c, best_cost) c ->
+        let cost = Schedule.cost inst (value_density_threshold c inst) in
+        if Cost.total cost < Cost.total best_cost then (c, cost)
+        else (best_c, best_cost))
+      (Float.nan, Cost.make ~energy:Float.max_float ~lost_value:0.0)
+      candidates

@@ -1,0 +1,30 @@
+(** Canonical (non-clever) admission policies — the strawmen the paper's
+    introduction argues against.
+
+    "Coupling [speed scaling] with canonical or standard algorithms wastes
+    much potential.  Only by designing sophisticated algorithms can one
+    hope to fully exploit their power."  These baselines make that claim
+    measurable (experiment E17): each combines a {e static} admission rule
+    with the same OA execution core PD's competitors use, so any gap to PD
+    is attributable to the admission/pricing logic alone.
+
+    Single-processor (they ride on [Oa_engine]). *)
+
+open Speedscale_model
+
+val admit_all : Instance.t -> Schedule.t
+(** Finish everything, however expensive (OA on the full set). *)
+
+val reject_all : Instance.t -> Schedule.t
+(** Do nothing; lose every value. *)
+
+val value_density_threshold : float -> Instance.t -> Schedule.t
+(** Admit a job iff [v_j / w_j >= c] — the obvious static rule.  It knows
+    the job but not the congestion, which is exactly what breaks it when
+    load varies over time. *)
+
+val best_static_threshold :
+  candidates:float list -> Instance.t -> float * Cost.t
+(** Clairvoyantly pick the best threshold from [candidates] {e in
+    hindsight} for this instance — an upper bound on what any static rule
+    of this family can do.  Returns (threshold, its cost). *)

@@ -1,0 +1,134 @@
+open Speedscale_model
+
+type algorithm = {
+  name : string;
+  description : string;
+  applicable : Instance.t -> bool;
+  run : Instance.t -> Schedule.t;
+}
+
+type report = {
+  algorithm : string;
+  cost : Cost.t;
+  schedule : Schedule.t;
+  validation : (unit, string) result;
+  elapsed_s : float;
+}
+
+let evaluate alg inst =
+  if not (alg.applicable inst) then
+    invalid_arg
+      (Printf.sprintf "Driver.evaluate: %s is not applicable here" alg.name);
+  let t0 = Unix.gettimeofday () in
+  let schedule = alg.run inst in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  {
+    algorithm = alg.name;
+    cost = Schedule.cost inst schedule;
+    schedule;
+    validation = Schedule.validate inst schedule;
+    elapsed_s;
+  }
+
+let single_only (inst : Instance.t) = inst.machines = 1
+let always _ = true
+let must_finish_view inst = Instance.with_values inst (fun _ -> Float.infinity)
+
+let pd =
+  {
+    name = "PD";
+    description = "primal-dual online (this paper), delta = alpha^(1-alpha)";
+    applicable = always;
+    run = (fun inst -> (Speedscale_core.Pd.run inst).schedule);
+  }
+
+let pd_with_delta delta =
+  {
+    name = Printf.sprintf "PD(delta=%.4g)" delta;
+    description = "primal-dual online with explicit delta";
+    applicable = always;
+    run = (fun inst -> (Speedscale_core.Pd.run ~delta inst).schedule);
+  }
+
+let oa =
+  {
+    name = "OA";
+    description = "Optimal Available (single processor, must-finish)";
+    applicable = single_only;
+    run = (fun inst -> Speedscale_single.Oa.schedule (must_finish_view inst));
+  }
+
+let avr =
+  {
+    name = "AVR";
+    description = "Average Rate (single processor, must-finish)";
+    applicable = single_only;
+    run = (fun inst -> Speedscale_single.Avr.schedule (must_finish_view inst));
+  }
+
+let bkp =
+  {
+    name = "BKP";
+    description = "Bansal-Kimbrel-Pruhs (single processor, must-finish)";
+    applicable = single_only;
+    run = (fun inst -> Speedscale_single.Bkp.schedule (must_finish_view inst));
+  }
+
+let cll =
+  {
+    name = "CLL";
+    description = "Chan-Lam-Li: OA + speed-threshold rejection";
+    applicable = single_only;
+    run = Speedscale_single.Cll.schedule;
+  }
+
+let moa =
+  {
+    name = "mOA";
+    description = "multiprocessor Optimal Available (must-finish)";
+    applicable = always;
+    run = (fun inst -> Speedscale_multi.Moa.schedule (must_finish_view inst));
+  }
+
+let mopt =
+  {
+    name = "OPT-energy";
+    description = "offline energy optimum, all jobs finished";
+    applicable = always;
+    run = (fun inst -> Speedscale_multi.Mopt.schedule (must_finish_view inst));
+  }
+
+let mavr =
+  {
+    name = "mAVR";
+    description = "multiprocessor Average Rate (must-finish)";
+    applicable = always;
+    run = (fun inst -> Speedscale_multi.Mavr.schedule (must_finish_view inst));
+  }
+
+let mcll =
+  {
+    name = "mCLL";
+    description = "naive multiprocessor CLL (mOA core + threshold admission)";
+    applicable = always;
+    run = Speedscale_multi.Mcll.schedule;
+  }
+
+let partitioned =
+  {
+    name = "partitioned";
+    description = "non-migratory: greedy job->processor pinning + per-CPU YDS";
+    applicable = always;
+    run =
+      (fun inst -> Speedscale_multi.Partitioned.schedule (must_finish_view inst));
+  }
+
+let opt_small =
+  {
+    name = "OPT-exact";
+    description = "exact profitable offline optimum (subset enumeration)";
+    applicable = (fun inst -> Instance.n_jobs inst <= 14);
+    run = (fun inst -> snd (Speedscale_multi.Opt.best_schedule inst));
+  }
+
+let all = [ pd; oa; avr; bkp; cll; moa; mavr; mcll; partitioned; mopt; opt_small ]

@@ -1,0 +1,64 @@
+(** A uniform way to run every scheduler in the repository on an instance
+    and collect comparable, validated results.
+
+    Each algorithm is wrapped as a {!algorithm} record with an
+    applicability predicate (single- vs multi-processor, profitable vs
+    must-finish), so benchmark sweeps can ask "everyone who can handle this
+    instance" without special-casing. Every run is validated against the
+    model's feasibility rules; an algorithm returning an infeasible
+    schedule is a bug, and the driver surfaces it as an [Error]. *)
+
+open Speedscale_model
+
+type algorithm = {
+  name : string;
+  description : string;
+  applicable : Instance.t -> bool;
+  run : Instance.t -> Schedule.t;
+}
+
+type report = {
+  algorithm : string;
+  cost : Cost.t;
+  schedule : Schedule.t;
+  validation : (unit, string) result;
+  elapsed_s : float;
+}
+
+val evaluate : algorithm -> Instance.t -> report
+(** Run, time, cost and validate. *)
+
+val pd : algorithm
+(** The paper's algorithm with the optimal [δ = α^(1-α)]. *)
+
+val pd_with_delta : float -> algorithm
+(** PD with an explicit δ (for the E6 sweep). *)
+
+val oa : algorithm
+(** Single-processor Optimal Available (values forced to [infinity]). *)
+
+val avr : algorithm
+val bkp : algorithm
+val cll : algorithm
+
+val moa : algorithm
+(** Multiprocessor OA (energy-only). *)
+
+val mavr : algorithm
+(** Multiprocessor Average Rate (energy-only). *)
+
+val mcll : algorithm
+(** Naive multiprocessor CLL (no proven guarantee — the E22 strawman). *)
+
+val partitioned : algorithm
+(** Non-migratory baseline: greedy pinning + per-processor YDS. *)
+
+val mopt : algorithm
+(** Offline energy optimum (values forced to [infinity]). *)
+
+val opt_small : algorithm
+(** Exact profitable offline optimum by enumeration; applicable to at most
+    14 jobs. *)
+
+val all : algorithm list
+(** Every algorithm above, PD first. *)

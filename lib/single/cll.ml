@@ -1,0 +1,17 @@
+open Speedscale_model
+
+let threshold_speed power (j : Job.t) =
+  if j.value = Float.infinity then Float.infinity
+  else
+    let alpha = Power.alpha power in
+    Power.rejection_speed_factor power
+    *. ((j.value /. j.workload) ** (1.0 /. (alpha -. 1.0)))
+
+let schedule (inst : Instance.t) =
+  let admit ~now:_ ~plan ~candidate =
+    let planned = Yds.speed_of_job plan (candidate : Job.t).id in
+    planned <= threshold_speed inst.power candidate +. 1e-12
+  in
+  Oa_engine.run ~admit inst
+
+let cost inst = Schedule.cost inst (schedule inst)

@@ -1,0 +1,24 @@
+(** The Chan–Lam–Li algorithm (WAOA 2010): profitable single-processor
+    scheduling with an OA core and a speed-threshold admission test.
+
+    When job [j] arrives, CLL computes OA's plan including [j] and admits
+    [j] iff its planned speed is at most
+
+    {v  α^((α-2)/(α-1)) · (v_j / w_j)^(1/(α-1))  v}
+
+    Rejected jobs are never processed and their value is lost; admitted
+    jobs are scheduled like OA.  Chan, Lam and Li proved this algorithm
+    [α^α + 2eα]-competitive; the paper's Section 3 observes that PD's
+    rejection rule with [δ = α^(1-α)] degenerates to exactly this test on
+    one processor (experiment E3 verifies the equivalence numerically). *)
+
+open Speedscale_model
+
+val threshold_speed : Power.t -> Job.t -> float
+(** The admission threshold above. *)
+
+val schedule : Instance.t -> Schedule.t
+(** Requires [machines = 1].  The rejected ids are recorded in the
+    schedule. *)
+
+val cost : Instance.t -> Cost.t

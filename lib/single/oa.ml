@@ -1,0 +1,16 @@
+open Speedscale_model
+
+let schedule inst = Oa_engine.run inst
+let energy (inst : Instance.t) = Schedule.energy inst.power (schedule inst)
+
+let planned_speed_of_new_job (inst : Instance.t) target =
+  let result = ref None in
+  let admit ~now:_ ~plan ~candidate =
+    if (candidate : Job.t).id = target then
+      result := Some (Yds.speed_of_job plan target);
+    true
+  in
+  ignore (Oa_engine.run ~admit inst);
+  match !result with
+  | Some s -> s
+  | None -> invalid_arg "Oa.planned_speed_of_new_job: job never arrived"

@@ -1,0 +1,20 @@
+(** Optimal Available (OA), Yao–Demers–Shenker's online algorithm for the
+    classical (must-finish) single-processor problem.
+
+    At every arrival OA recomputes the optimal offline schedule for the
+    remaining known work and follows it.  Bansal–Kimbrel–Pruhs proved OA is
+    exactly [α^α]-competitive — the same ratio the paper proves for PD, and
+    the two algorithms coincide in spirit (PD is more conservative about
+    redistributing previously planned work; see Figure 3 / experiment E5). *)
+
+open Speedscale_model
+
+val schedule : Instance.t -> Schedule.t
+(** Requires [machines = 1].  Finishes every job regardless of values. *)
+
+val energy : Instance.t -> float
+
+val planned_speed_of_new_job : Instance.t -> int -> float
+(** The speed OA's plan assigns to job [j] at the moment of its arrival
+    (jobs before [j] simulated normally) — the quantity CLL thresholds
+    against.  Requires [machines = 1]. *)

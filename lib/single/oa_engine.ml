@@ -1,0 +1,80 @@
+open Speedscale_model
+
+type admission = now:float -> plan:Job.t list -> candidate:Job.t -> bool
+
+let work_eps = 1e-9
+
+(* Remaining-work view of a job at time [now]. *)
+let adjusted ~now (j : Job.t) ~remaining =
+  Job.make ~id:j.id ~release:now ~deadline:j.deadline ~workload:remaining
+    ~value:j.value
+
+let clip_slices ~until slices =
+  List.filter_map
+    (fun (s : Schedule.slice) ->
+      if s.t0 >= until then None
+      else if s.t1 <= until then Some s
+      else Some { s with t1 = until })
+    slices
+
+let run ?(admit = fun ~now:_ ~plan:_ ~candidate:_ -> true) (inst : Instance.t)
+    =
+  if inst.machines <> 1 then
+    invalid_arg "Oa_engine.run: single-processor algorithm (machines = 1)";
+  let n = Instance.n_jobs inst in
+  let remaining = Hashtbl.create 16 in
+  (* accepted unfinished job id -> remaining work *)
+  let rejected = ref [] in
+  let slices = ref [] in
+  let arrival_times =
+    List.init n (fun i -> (Instance.job inst i).release)
+    |> List.sort_uniq Float.compare
+  in
+  let plan_jobs ~now =
+    Hashtbl.fold
+      (fun id rem acc ->
+        if rem > work_eps *. (1.0 +. (Instance.job inst id).workload) then
+          adjusted ~now (Instance.job inst id) ~remaining:rem :: acc
+        else acc)
+      remaining []
+    |> List.sort (fun (a : Job.t) b -> Int.compare a.id b.id)
+  in
+  let execute ~from ~until =
+    match plan_jobs ~now:from with
+    | [] -> ()
+    | plan ->
+      let planned = Yds.schedule_slices plan in
+      let executed =
+        match until with
+        | None -> planned
+        | Some te -> clip_slices ~until:te planned
+      in
+      List.iter
+        (fun (s : Schedule.slice) ->
+          let work = (s.t1 -. s.t0) *. s.speed in
+          let prev = Hashtbl.find remaining s.job in
+          Hashtbl.replace remaining s.job (prev -. work))
+        executed;
+      slices := executed @ !slices
+  in
+  let rec go = function
+    | [] -> ()
+    | t :: rest ->
+      (* admit / reject the jobs arriving now, one by one in id order *)
+      List.iter
+        (fun i ->
+          let j = Instance.job inst i in
+          if j.release = t then begin
+            let candidate = adjusted ~now:t j ~remaining:j.workload in
+            let plan = plan_jobs ~now:t @ [ candidate ] in
+            if admit ~now:t ~plan ~candidate then
+              Hashtbl.replace remaining j.id j.workload
+            else rejected := j.id :: !rejected
+          end)
+        (List.init n Fun.id);
+      let until = match rest with [] -> None | t' :: _ -> Some t' in
+      execute ~from:t ~until;
+      go rest
+  in
+  go arrival_times;
+  Schedule.make ~machines:1 ~rejected:!rejected !slices

@@ -1,0 +1,26 @@
+(** The Optimal Available (OA) simulation engine, shared by plain OA and
+    by Chan–Lam–Li's profitable variant.
+
+    OA (Yao–Demers–Shenker) re-plans at every job arrival: it computes the
+    energy-optimal (YDS) schedule for the {e remaining} work of all known
+    unfinished jobs and follows it until the next arrival.  Between
+    arrivals the executed prefix of the plan is cut out and the remaining
+    workloads updated.
+
+    The engine additionally supports an {e admission test} evaluated once
+    per arrival: if the test rejects the job, it is discarded (its value
+    will be lost) and never processed.  Plain OA admits everything; CLL
+    plugs in its planned-speed threshold. *)
+
+open Speedscale_model
+
+type admission = now:float -> plan:Job.t list -> candidate:Job.t -> bool
+(** [plan] is the adjusted remaining-work job list {e including} the
+    candidate (windows shifted to start at [now]), as CLL's test needs the
+    planned schedule with the new job in it. *)
+
+val run : ?admit:admission -> Instance.t -> Schedule.t
+(** Simulate the online execution.  Requires [machines = 1].  The returned
+    schedule carries the rejected ids.  Jobs whose deadline passes before
+    they finish can not occur (YDS plans are feasible); leftover float dust
+    below 1e-9 of a workload is considered finished. *)

@@ -1,0 +1,96 @@
+open Speedscale_model
+
+let q_factor power = 2.0 -. (1.0 /. Power.alpha power)
+
+let check_single (inst : Instance.t) =
+  if inst.machines <> 1 then
+    invalid_arg "Qoa: single-processor algorithm (machines = 1)"
+
+(* OA's instantaneous planned speed at time [t] is the maximum density of
+   the remaining released work: max over deadlines b > t of
+   (remaining work due by b) / (b - t). *)
+let oa_speed (inst : Instance.t) remaining t =
+  let n = Instance.n_jobs inst in
+  let best = ref 0.0 in
+  for cand = 0 to n - 1 do
+    let b = (Instance.job inst cand).deadline in
+    if b > t then begin
+      let work = ref 0.0 in
+      for i = 0 to n - 1 do
+        let j = Instance.job inst i in
+        if j.release <= t && j.deadline <= b then work := !work +. remaining.(i)
+      done;
+      let density = !work /. (b -. t) in
+      if density > !best then best := density
+    end
+  done;
+  !best
+
+let simulate (inst : Instance.t) ~steps =
+  let n = Instance.n_jobs inst in
+  let q = q_factor inst.power in
+  let remaining = Array.init n (fun i -> (Instance.job inst i).workload) in
+  let slices = ref [] in
+  let tl = Timeline.of_jobs (Array.to_list inst.jobs) in
+  for k = 0 to Timeline.n_intervals tl - 1 do
+    let lo, hi = Timeline.bounds tl k in
+    let h = (hi -. lo) /. float_of_int steps in
+    for step = 0 to steps - 1 do
+      let a = lo +. (float_of_int step *. h) in
+      let b = a +. h in
+      (* freeze the speed for the step; add a whisker of safety *)
+      let speed = q *. oa_speed inst remaining a *. (1.0 +. 1e-6) in
+      if speed > 0.0 then begin
+        let t = ref a in
+        let continue = ref true in
+        while !continue && !t < b -. 1e-13 do
+          let avail =
+            List.init n Fun.id
+            |> List.filter (fun i ->
+                   let j = Instance.job inst i in
+                   j.release <= !t +. 1e-12
+                   && j.deadline > !t
+                   && remaining.(i) > 1e-12)
+            |> List.sort (fun i1 i2 ->
+                   Float.compare (Instance.job inst i1).deadline
+                     (Instance.job inst i2).deadline)
+          in
+          match avail with
+          | [] -> continue := false
+          | i :: _ ->
+            let j = Instance.job inst i in
+            let t_end =
+              Float.min
+                (Float.min b j.deadline)
+                (!t +. (remaining.(i) /. speed))
+            in
+            let dt = t_end -. !t in
+            if dt > 1e-13 then begin
+              slices :=
+                { Schedule.proc = 0; t0 = !t; t1 = t_end; job = i; speed }
+                :: !slices;
+              remaining.(i) <- remaining.(i) -. (dt *. speed)
+            end
+            else remaining.(i) <- 0.0;
+            t := t_end
+        done
+      end
+    done
+  done;
+  (!slices, remaining)
+
+let schedule ?(steps_per_interval = 24) (inst : Instance.t) =
+  check_single inst;
+  let rec attempt steps tries =
+    let slices, remaining = simulate inst ~steps in
+    let unfinished =
+      Array.exists (fun r -> r > 1e-6 *. (1.0 +. r)) remaining
+    in
+    if (not unfinished) || tries = 0 then
+      Schedule.make ~machines:1 ~rejected:[] slices
+    else attempt (steps * 2) (tries - 1)
+  in
+  attempt steps_per_interval 4
+
+let energy ?steps_per_interval (inst : Instance.t) =
+  Schedule.energy inst.power (schedule ?steps_per_interval inst)

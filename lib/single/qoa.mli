@@ -1,0 +1,24 @@
+(** qOA (Bansal, Chan, Pruhs, Katz — ICALP 2009): run at [q] times OA's
+    planned speed, with [q = 2 − 1/α].
+
+    OA is overly lazy early on; qOA hedges by working [q ≥ 1] times faster
+    than the current optimal-available plan, which improves the
+    competitive ratio to roughly [4^α / (2 √(eα))] — the best known bound
+    for small [α] (better than both OA and BKP at [α = 2, 3]).
+
+    Because qOA runs ahead of its own plan, the plan changes continuously
+    between arrivals, not only at arrival events.  {b Substitution note
+    (cf. DESIGN.md):} like BKP, we realize qOA on a fine time grid —
+    recomputing the remaining-work plan each step — so the reported energy
+    converges to qOA's from above as the grid refines. *)
+
+open Speedscale_model
+
+val schedule : ?steps_per_interval:int -> Instance.t -> Schedule.t
+(** Discretized simulation (default 24 steps per atomic interval).
+    Requires [machines = 1]; values are ignored (must-finish). *)
+
+val energy : ?steps_per_interval:int -> Instance.t -> float
+
+val q_factor : Power.t -> float
+(** [2 − 1/α]. *)

@@ -1,0 +1,289 @@
+open Speedscale_util
+open Speedscale_model
+
+type round = {
+  density : float;
+  members : int list;
+  segments : (float * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Blocked-segment bookkeeping (the implicit collapse)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Blocked segments are kept sorted and disjoint. *)
+let insert_blocked blocked (a, b) =
+  let rec merge = function
+    | [] -> [ (a, b) ]
+    | (x, y) :: rest ->
+      if b < x then (a, b) :: (x, y) :: rest
+      else if y < a then (x, y) :: merge rest
+      else
+        (* overlapping or adjacent; fold together and retry *)
+        merge_pair (Float.min a x, Float.max b y) rest
+  and merge_pair (a, b) = function
+    | [] -> [ (a, b) ]
+    | (x, y) :: rest ->
+      if b < x then (a, b) :: (x, y) :: rest
+      else merge_pair (Float.min a x, Float.max b y) rest
+  in
+  merge blocked
+
+(* Collapsed coordinate: original time minus blocked measure before it. *)
+let collapse blocked t =
+  t
+  -. List.fold_left
+       (fun acc (a, b) ->
+         if t <= a then acc else acc +. (Float.min b t -. a))
+       0.0 blocked
+
+(* Original-time segments (within [lo, hi]) not blocked. *)
+let free_segments blocked ~lo ~hi =
+  let rec go cursor = function
+    | [] -> if cursor < hi then [ (cursor, hi) ] else []
+    | (a, b) :: rest ->
+      if b <= cursor then go cursor rest
+      else if a >= hi then if cursor < hi then [ (cursor, hi) ] else []
+      else
+        let before = if cursor < a then [ (cursor, Float.min a hi) ] else [] in
+        before @ go (Float.max cursor b) rest
+  in
+  go lo blocked
+
+(* Map a collapsed-coordinate interval [a, b) back to original segments. *)
+let expand blocked ~lo ~hi (a, b) =
+  let free = free_segments blocked ~lo ~hi in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (u, v) :: rest ->
+      let cu = collapse blocked u in
+      let cv = cu +. (v -. u) in
+      let o_lo = Float.max a cu and o_hi = Float.min b cv in
+      if o_hi > o_lo +. 1e-15 then
+        go ((u +. (o_lo -. cu), u +. (o_hi -. cu)) :: acc) rest
+      else go acc rest
+  in
+  go [] free
+
+(* ------------------------------------------------------------------ *)
+(* Critical-interval decomposition                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rounds jobs =
+  match jobs with
+  | [] -> []
+  | _ ->
+    let lo =
+      List.fold_left (fun acc (j : Job.t) -> Float.min acc j.release)
+        Float.infinity jobs
+    and hi =
+      List.fold_left (fun acc (j : Job.t) -> Float.max acc j.deadline)
+        Float.neg_infinity jobs
+    in
+    let rec loop remaining blocked acc =
+      match remaining with
+      | [] -> List.rev acc
+      | _ ->
+        (* Collapsed windows of the remaining jobs.  For every candidate
+           right end b (a collapsed deadline), scan candidate left ends a
+           (collapsed releases) in decreasing order with a running workload
+           sum, so the whole search is O(n^2 log n) instead of O(n^3). *)
+        let cjobs =
+          List.map
+            (fun (j : Job.t) ->
+              (j, collapse blocked j.release, collapse blocked j.deadline))
+            remaining
+        in
+        let deadlines =
+          List.map (fun (_, _, cd) -> cd) cjobs |> List.sort_uniq Float.compare
+        in
+        let best = ref None in
+        let consider density a b =
+          match !best with
+          | Some (d, _, _) when d >= density -> ()
+          | _ -> best := Some (density, a, b)
+        in
+        List.iter
+          (fun b ->
+            let eligible =
+              List.filter (fun (_, _, cd) -> cd <= b +. 1e-12) cjobs
+              |> List.sort (fun (_, r1, _) (_, r2, _) -> Float.compare r2 r1)
+            in
+            let rec scan cum = function
+              | [] -> ()
+              | ((j : Job.t), cr, _) :: rest ->
+                let cum = cum +. j.workload in
+                (match rest with
+                | (_, cr2, _) :: _ when cr2 >= cr -. 1e-12 ->
+                  (* same left boundary: fold the whole group first *)
+                  scan cum rest
+                | _ ->
+                  if b > cr +. 1e-12 then consider (cum /. (b -. cr)) cr b;
+                  scan cum rest)
+            in
+            scan 0.0 eligible)
+          deadlines;
+        (match !best with
+        | None ->
+          (* remaining jobs but no candidate interval: impossible since
+             every job has a positive-width window; collapsed windows stay
+             positive because its round would have removed it otherwise *)
+          invalid_arg "Yds.rounds: degenerate remaining window"
+        | Some (density, a, b) ->
+          let segments = expand blocked ~lo ~hi (a, b) in
+          let members =
+            List.filter
+              (fun (j : Job.t) ->
+                collapse blocked j.release >= a -. 1e-9
+                && collapse blocked j.deadline <= b +. 1e-9)
+              remaining
+          in
+          let member_ids = List.map (fun (j : Job.t) -> j.id) members in
+          let blocked' =
+            List.fold_left insert_blocked blocked segments
+          in
+          let remaining' =
+            List.filter
+              (fun (j : Job.t) -> not (List.mem j.id member_ids))
+              remaining
+          in
+          loop remaining' blocked'
+            ({ density; members = member_ids; segments } :: acc))
+    in
+    loop jobs [] []
+
+let profile jobs =
+  rounds jobs
+  |> List.concat_map (fun r ->
+         List.map (fun (a, b) -> (a, b, r.density)) r.segments)
+  |> List.sort compare
+
+let energy power jobs =
+  Ksum.sum_by
+    (fun (a, b, s) -> Power.energy power ~speed:s ~duration:(b -. a))
+    (profile jobs)
+
+let speed_of_job jobs id =
+  let rec find = function
+    | [] -> raise Not_found
+    | r :: rest -> if List.mem id r.members then r.density else find rest
+  in
+  find (rounds jobs)
+
+(* ------------------------------------------------------------------ *)
+(* EDF realization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Within one round the member jobs are scheduled across the round's
+   segments at the round's density, earliest deadline first.  Inside a
+   round EDF is feasible because the round is exactly the YDS critical
+   interval for its members. *)
+let edf_round (jobs : Job.t array) r =
+  let members =
+    List.map (fun id -> jobs.(id)) r.members
+    |> List.sort (fun (a : Job.t) b ->
+           match Float.compare a.deadline b.deadline with
+           | 0 -> Int.compare a.id b.id
+           | c -> c)
+  in
+  let remaining = Hashtbl.create 8 in
+  List.iter (fun (j : Job.t) -> Hashtbl.replace remaining j.id j.workload)
+    members;
+  let slices = ref [] in
+  let segments = ref r.segments in
+  let offset = ref 0.0 in
+  (* walk segments; within each, repeatedly pick the EDF-first available
+     job with remaining work *)
+  let rec step () =
+    match !segments with
+    | [] -> ()
+    | (a, b) :: rest ->
+      let t = a +. !offset in
+      if t >= b -. 1e-12 then begin
+        segments := rest;
+        offset := 0.0;
+        step ()
+      end
+      else begin
+        let avail =
+          List.filter
+            (fun (j : Job.t) ->
+              j.release <= t +. 1e-12
+              && Hashtbl.find remaining j.id > 1e-12)
+            members
+        in
+        match avail with
+        | [] ->
+          (* idle gap inside the round: jump to the next release *)
+          let next_release =
+            List.fold_left
+              (fun acc (j : Job.t) ->
+                if Hashtbl.find remaining j.id > 1e-12 && j.release > t then
+                  Float.min acc j.release
+                else acc)
+              Float.infinity members
+          in
+          if next_release >= b then begin
+            segments := rest;
+            offset := 0.0
+          end
+          else offset := next_release -. a;
+          step ()
+        | j :: _ ->
+          let work_left = Hashtbl.find remaining j.id in
+          let dt_work = work_left /. r.density in
+          let next_release =
+            List.fold_left
+              (fun acc (j' : Job.t) ->
+                if j'.release > t +. 1e-12 && Hashtbl.find remaining j'.id > 1e-12
+                then Float.min acc j'.release
+                else acc)
+              Float.infinity members
+          in
+          let t_end = Float.min (Float.min (t +. dt_work) b) next_release in
+          let dt = t_end -. t in
+          if dt > 1e-12 then begin
+            slices :=
+              {
+                Schedule.proc = 0;
+                t0 = t;
+                t1 = t_end;
+                job = j.id;
+                speed = r.density;
+              }
+              :: !slices;
+            Hashtbl.replace remaining j.id (work_left -. (dt *. r.density))
+          end
+          else
+            (* avoid infinite loops on degenerate float dust *)
+            Hashtbl.replace remaining j.id 0.0;
+          offset := t_end -. a;
+          step ()
+      end
+  in
+  step ();
+  !slices
+
+let schedule_slices job_list =
+  let max_id =
+    List.fold_left (fun acc (j : Job.t) -> max acc j.id) (-1) job_list
+  in
+  let jobs = Array.make (max_id + 1) None in
+  List.iter (fun (j : Job.t) -> jobs.(j.id) <- Some j) job_list;
+  let jobs =
+    Array.map
+      (function
+        | Some j -> j
+        | None ->
+          (* edf_round only looks up ids that occur in rounds, which all
+             come from [job_list]; fill holes with a dummy *)
+          Job.make ~id:0 ~release:0.0 ~deadline:1.0 ~workload:1.0 ~value:0.0)
+      jobs
+  in
+  List.concat_map (edf_round jobs) (rounds job_list)
+
+let schedule (inst : Instance.t) =
+  if inst.machines <> 1 then
+    invalid_arg "Yds.schedule: single-processor algorithm (machines = 1)";
+  Schedule.make ~machines:1 ~rejected:[]
+    (schedule_slices (Array.to_list inst.jobs))

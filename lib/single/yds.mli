@@ -1,0 +1,49 @@
+(** The YDS offline algorithm (Yao–Demers–Shenker, FOCS 1995): the exact
+    energy-optimal single-processor schedule when all jobs must finish.
+
+    YDS repeatedly finds the {e critical interval} — the interval [I]
+    maximizing the intensity [w(I) / |I|], where [w(I)] sums the workloads
+    of jobs whose windows lie inside [I] — schedules those jobs there at
+    exactly that intensity (EDF order), removes them, collapses the used
+    time away, and recurses.  We keep the collapse implicit by tracking the
+    set of already-{e blocked} original-time segments and measuring
+    candidate intervals in collapsed coordinates.
+
+    This is the exact optimum baseline for every single-processor
+    experiment, and the building block for the online algorithms OA and
+    CLL (which re-run YDS on the remaining work at each arrival). *)
+
+open Speedscale_model
+
+type round = {
+  density : float;  (** speed used throughout this critical interval *)
+  members : int list;  (** job ids scheduled in this round *)
+  segments : (float * float) list;
+      (** original-time segments (sorted, disjoint) the round occupies *)
+}
+
+val rounds : Job.t list -> round list
+(** Critical-interval decomposition, highest density first.  Every job
+    appears in exactly one round.  The empty list for no jobs. *)
+
+val profile : Job.t list -> (float * float * float) list
+(** The optimal speed profile [(t0, t1, speed)], sorted by time, disjoint;
+    speed is piecewise constant and zero outside the returned segments. *)
+
+val energy : Power.t -> Job.t list -> float
+(** Energy of the optimal profile: [Σ |seg| · density^α]. *)
+
+val schedule_slices : Job.t list -> Schedule.slice list
+(** Slice-level realization of the optimal profile (EDF inside every
+    round) for a bare job list; job ids are preserved.  Used directly by
+    the online algorithms that re-plan on a shifted job set. *)
+
+val schedule : Instance.t -> Schedule.t
+(** Concrete slice-level schedule realizing the profile with EDF inside
+    every round.  Requires [machines = 1]; raises [Invalid_argument]
+    otherwise. *)
+
+val speed_of_job : Job.t list -> int -> float
+(** The planned speed of a given job: the density of the round containing
+    it.  Raises [Not_found] if the id is absent.  Used by CLL's admission
+    test. *)

@@ -1,0 +1,66 @@
+open Speedscale_util
+open Speedscale_model
+
+type evaluation = {
+  value : float;
+  shat : float array;
+  xhat : float array;
+  energy_hat : float array;
+}
+
+let evaluate (inst : Instance.t) tl ~lambda =
+  let n = Instance.n_jobs inst in
+  if Array.length lambda <> n then
+    invalid_arg "Dual.evaluate: lambda size mismatch";
+  Array.iter
+    (fun l ->
+      if Float.is_nan l || l < 0.0 then
+        invalid_arg "Dual.evaluate: multipliers must be >= 0")
+    lambda;
+  let power = inst.power in
+  let alpha = Power.alpha power in
+  let shat =
+    Array.init n (fun j ->
+        let job = Instance.job inst j in
+        Power.inv_deriv power (lambda.(j) /. job.workload))
+  in
+  let xhat = Array.make n 0.0 in
+  let interval_acc = Ksum.create () in
+  for k = 0 to Timeline.n_intervals tl - 1 do
+    let lo, hi = Timeline.bounds tl k in
+    let lk = hi -. lo in
+    (* available jobs, ranked by hypothetical speed *)
+    let available = ref [] in
+    for j = 0 to n - 1 do
+      let job = Instance.job inst j in
+      if Job.covers job ~lo ~hi && shat.(j) > 0.0 then
+        available := (j, shat.(j)) :: !available
+    done;
+    let ranked =
+      List.sort (fun (_, a) (_, b) -> Float.compare b a) !available
+    in
+    let contributors = List.filteri (fun i _ -> i < inst.machines) ranked in
+    List.iter
+      (fun (j, s) ->
+        let job = Instance.job inst j in
+        xhat.(j) <- xhat.(j) +. (lk *. s /. job.workload);
+        Ksum.add interval_acc ((1.0 -. alpha) *. lk *. (s ** alpha)))
+      contributors
+  done;
+  let job_acc = Ksum.create () in
+  for j = 0 to n - 1 do
+    Ksum.add job_acc (Float.min lambda.(j) (Instance.job inst j).value)
+  done;
+  let energy_hat =
+    Array.init n (fun j -> lambda.(j) *. xhat.(j) /. alpha)
+  in
+  {
+    value = Ksum.total interval_acc +. Ksum.total job_acc;
+    shat;
+    xhat;
+    energy_hat;
+  }
+
+let value inst ~lambda =
+  let jobs = List.init (Instance.n_jobs inst) (Instance.job inst) in
+  (evaluate inst (Timeline.of_jobs jobs) ~lambda).value

@@ -1,0 +1,40 @@
+(** Exact evaluation of the Lagrangian dual function [g(λ)] of (CP)
+    (Section 4.1–4.2 of the paper).
+
+    For fixed multipliers [λ ⪰ 0] the inner minimization over [(x, y)]
+    has a closed form (Lemmas 4–6): in every atomic interval the optimal
+    infeasible solution runs the [min(m, n_k)] available jobs with the
+    largest hypothetical speeds
+
+    {v ŝ_j = (λ_j / (α w_j))^(1/(α-1)) v}
+
+    each on its own processor at exactly [ŝ_j], contributing
+    [(1-α) l_k ŝ_j^α] per job; the [y]-terms contribute [min(λ_j, v_j)]
+    per job.  Hence
+
+    {v g(λ) = Σ_k (1-α) l_k Σ_{j ∈ top(k)} ŝ_j^α + Σ_j min(λ_j, v_j) v}
+
+    By weak duality [g(λ) <= cost(OPT)] for {e any} λ, so evaluating [g] at
+    PD's multipliers yields a machine-checkable lower bound on the offline
+    optimum — the certificate behind every competitive-ratio measurement in
+    the benchmark harness. *)
+
+open Speedscale_model
+
+type evaluation = {
+  value : float;  (** [g(λ)] *)
+  shat : float array;  (** hypothetical dual speeds [ŝ_j] *)
+  xhat : float array;
+      (** total fraction [x̂_j = Σ_k x̂_jk] of job [j] scheduled by the
+          optimal infeasible solution (Lemma 5(a)) *)
+  energy_hat : float array;
+      (** [E_λ(j) = l(j) ŝ_j^α = λ_j x̂_j / α] per job (Lemma 6 / Prop 8a) *)
+}
+
+val evaluate : Instance.t -> Timeline.t -> lambda:float array -> evaluation
+(** [lambda] must have one entry per job, each [>= 0].  The timeline must
+    cover every job window with boundary-aligned endpoints (use the same
+    timeline the algorithm used, or [Timeline.of_jobs]). *)
+
+val value : Instance.t -> lambda:float array -> float
+(** Convenience: build the canonical timeline and return [g(λ)]. *)

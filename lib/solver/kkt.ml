@@ -1,0 +1,57 @@
+open Speedscale_model
+
+(* Marginal prices of the energy part only (no value terms). *)
+let energy_marginals cp x = Cp.gradient cp Cp.Must_finish x
+
+let residual cp mode x =
+  let inst = Cp.instance cp in
+  let n = Instance.n_jobs inst in
+  let g = energy_marginals cp x in
+  let worst = ref 0.0 in
+  let bump v = if v > !worst then worst := v in
+  for j = 0 to n - 1 do
+    let job = Instance.job inst j in
+    let window = Cp.window cp j in
+    let base = Cp.offset cp j in
+    let len = Array.length window in
+    let total = ref 0.0 in
+    for i = 0 to len - 1 do
+      total := !total +. x.(base + i)
+    done;
+    (* nu_j: the common marginal of used intervals = the cheapest marginal
+       overall at an exact KKT point *)
+    let min_all = ref Float.infinity in
+    let max_used = ref Float.neg_infinity in
+    let used = ref false in
+    for i = 0 to len - 1 do
+      let m = g.(base + i) in
+      if m < !min_all then min_all := m;
+      if x.(base + i) > 1e-9 then begin
+        used := true;
+        if m > !max_used then max_used := m
+      end
+    done;
+    let scale = 1.0 +. Float.abs !min_all in
+    (* equal marginals on used intervals; no cheaper unused interval *)
+    if !used then bump ((!max_used -. !min_all) /. scale);
+    (match mode with
+    | Cp.Must_finish ->
+      (* feasibility: the job must be fully assigned *)
+      bump (Float.abs (!total -. 1.0))
+    | Cp.Profitable ->
+      if Float.is_finite job.value then begin
+        if !total < 1.0 -. 1e-9 then
+          if !used then
+            (* partially finished: marginal price pinned at the value *)
+            bump (Float.abs (!min_all -. job.value) /. (1.0 +. job.value))
+          else
+            (* fully rejected: no interval may be cheaper than the value *)
+            bump
+              (Float.max 0.0 ((job.value -. !min_all) /. (1.0 +. job.value)))
+        else if !used then
+          (* fully finished: the price must not exceed the value *)
+          bump (Float.max 0.0 ((!max_used -. job.value) /. (1.0 +. job.value)))
+      end
+      else bump (Float.abs (!total -. 1.0)))
+  done;
+  !worst

@@ -1,0 +1,22 @@
+(** KKT residuals for (CP) solutions.
+
+    The paper frames PD as "greedily increasing the convex program's
+    variables while maintaining a relaxed version of the KKT conditions";
+    this module makes the exact conditions checkable.  For the must-finish
+    program (per-job simplex), stationarity says: there is a multiplier
+    [ν_j] per job with
+
+    - [∂P/∂x_jk = ν_j] wherever [x_jk > 0], and
+    - [∂P/∂x_jk ≥ ν_j] wherever [x_jk = 0]
+
+    i.e. every used interval has the same marginal price and no unused
+    interval is cheaper.  For the profitable program (capped simplex) the
+    same holds with the complement condition [ν_j ≤ v_j], and [ν_j = v_j]
+    whenever the job is left partly unfinished ([Σ_k x_jk < 1]).
+
+    The residual is the worst relative violation over all jobs; a correct
+    solver drives it to ~0, and the tests use it both positively (solved
+    points pass) and negatively (perturbed points fail). *)
+
+val residual : Cp.t -> Cp.mode -> float array -> float
+(** Worst relative KKT violation of the point.  [0] is perfect. *)

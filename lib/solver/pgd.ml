@@ -1,0 +1,55 @@
+type result = {
+  x : float array;
+  objective : float;
+  iterations : int;
+  converged : bool;
+}
+
+let norm2 a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i ai -> acc := !acc +. ((ai -. b.(i)) ** 2.0)) a;
+  sqrt !acc
+
+let minimize ?(max_iters = 5000) ?(tol = 1e-10) ?(initial_step = 1.0) ~f ~grad
+    ~project ~x0 () =
+  let n = Array.length x0 in
+  let x = ref (project (Array.copy x0)) in
+  let fx = ref (f !x) in
+  let step = ref initial_step in
+  let iters = ref 0 in
+  let converged = ref false in
+  (try
+     while !iters < max_iters && not !converged do
+       incr iters;
+       let g = grad !x in
+       (* Backtrack until sufficient decrease (Armijo over the projected
+          step, as usual for projected gradient). *)
+       let rec attempt eta tries =
+         let candidate =
+           project (Array.init n (fun i -> !x.(i) -. (eta *. g.(i))))
+         in
+         let fc = f candidate in
+         let dist = norm2 candidate !x in
+         (* Armijo: improve at least proportionally to the move's length *)
+         if fc <= !fx -. (1e-4 /. Float.max eta 1e-18 *. dist *. dist) then
+           (candidate, fc, eta, dist)
+         else if tries <= 0 || dist = 0.0 then (candidate, fc, eta, dist)
+         else attempt (eta /. 2.0) (tries - 1)
+       in
+       let candidate, fc, eta, dist = attempt !step 60 in
+       if fc <= !fx then begin
+         x := candidate;
+         fx := fc;
+         (* allow the step to recover so we do not get stuck tiny *)
+         step := Float.min (eta *. 2.0) 1e6;
+         if dist <= tol *. (1.0 +. norm2 !x (Array.make n 0.0)) then
+           converged := true
+       end
+       else begin
+         (* no improvement even at the smallest step: local flatness at the
+            optimum up to float precision *)
+         converged := true
+       end
+     done
+   with e -> raise e);
+  { x = !x; objective = !fx; iterations = !iters; converged = !converged }

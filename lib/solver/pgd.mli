@@ -1,0 +1,31 @@
+(** Projected gradient descent for smooth convex objectives over products
+    of easily-projected sets, with Armijo backtracking line search.
+
+    This is the generic engine behind the offline solvers.  The objective
+    (the summed interval energies [P_k] plus linear value terms) is convex
+    and C¹ (Proposition 1(b)), so projected gradient converges to the
+    global optimum; backtracking frees us from estimating a Lipschitz
+    constant for the gradient, which blows up as pool memberships change. *)
+
+type result = {
+  x : float array;
+  objective : float;
+  iterations : int;
+  converged : bool;  (** projected-gradient norm fell below tolerance *)
+}
+
+val minimize :
+  ?max_iters:int ->
+  ?tol:float ->
+  ?initial_step:float ->
+  f:(float array -> float) ->
+  grad:(float array -> float array) ->
+  project:(float array -> float array) ->
+  x0:float array ->
+  unit ->
+  result
+(** [minimize ~f ~grad ~project ~x0 ()] iterates
+    [x <- project (x - η ∇f x)], halving [η] (per iteration, from a
+    step that adapts between iterations) until the Armijo condition holds.
+    Stops when [|x' - x|] is below [tol] (scaled) or after [max_iters].
+    Defaults: 5000 iterations, tolerance 1e-10. *)

@@ -1,0 +1,29 @@
+let simplex ~total v =
+  if total < 0.0 then invalid_arg "Proj.simplex: negative total";
+  let n = Array.length v in
+  if n = 0 then [||]
+  else begin
+    let u = Array.copy v in
+    Array.sort (fun a b -> Float.compare b a) u;
+    (* theta = (prefix_sum(rho) - total) / rho with rho the largest index
+       keeping all kept coordinates positive *)
+    let rho = ref 0 and best_theta = ref 0.0 in
+    let cum = ref 0.0 in
+    for i = 0 to n - 1 do
+      cum := !cum +. u.(i);
+      let theta = (!cum -. total) /. float_of_int (i + 1) in
+      if u.(i) -. theta > 0.0 then begin
+        rho := i + 1;
+        best_theta := theta
+      end
+    done;
+    let theta = if !rho = 0 then -.total /. float_of_int n else !best_theta in
+    Array.map (fun x -> Float.max 0.0 (x -. theta)) v
+  end
+
+let capped_simplex ~total v =
+  let clipped = Array.map (Float.max 0.0) v in
+  let sum = Array.fold_left ( +. ) 0.0 clipped in
+  if sum <= total then clipped else simplex ~total v
+
+let box ~lo ~hi v = Array.map (fun x -> Float.min hi (Float.max lo x)) v

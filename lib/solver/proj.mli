@@ -1,0 +1,19 @@
+(** Euclidean projections onto the feasible sets of the convex program.
+
+    (CP)'s feasible region factors per job: the loads a job places into the
+    atomic intervals of its window form a vector in the {e capped simplex}
+    [{x >= 0, Σx <= c}] (profitable mode, the job may stay partly
+    unfinished) or the {e simplex} [{x >= 0, Σx = c}] (must-finish mode).
+    Both projections have exact O(n log n) algorithms (Duchi et al. 2008),
+    which is what makes projected gradient practical here. *)
+
+val simplex : total:float -> float array -> float array
+(** [simplex ~total v] is the Euclidean projection of [v] onto
+    [{x >= 0, Σ x_i = total}].  Requires [total >= 0]. *)
+
+val capped_simplex : total:float -> float array -> float array
+(** Projection onto [{x >= 0, Σ x_i <= total}]: clip at zero first; if the
+    sum still exceeds [total], fall back to {!simplex}. *)
+
+val box : lo:float -> hi:float -> float array -> float array
+(** Componentwise clamp. *)

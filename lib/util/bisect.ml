@@ -1,0 +1,52 @@
+let default_iterations = 200
+
+let bracket_done ~tol lo hi =
+  hi -. lo <= tol *. (1.0 +. Float.abs lo +. Float.abs hi)
+
+let root ?(iterations = default_iterations) ?(tol = 1e-13) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then
+    invalid_arg
+      (Printf.sprintf "Bisect.root: no sign change on [%g, %g] (f: %g, %g)" lo
+         hi flo fhi)
+  else
+    (* Invariant: f changes sign on [lo, hi]; [sign_lo] is the sign of f lo. *)
+    let sign_lo = flo < 0.0 in
+    let rec loop lo hi k =
+      if k = 0 || bracket_done ~tol lo hi then 0.5 *. (lo +. hi)
+      else
+        let mid = 0.5 *. (lo +. hi) in
+        let fm = f mid in
+        if fm = 0.0 then mid
+        else if fm < 0.0 = sign_lo then loop mid hi (k - 1)
+        else loop lo mid (k - 1)
+    in
+    loop lo hi iterations
+
+let monotone_inverse ?(iterations = default_iterations) ?(tol = 1e-13) ~f
+    ~target ~lo ~hi () =
+  if f lo >= target then lo
+  else if f hi < target then hi
+  else
+    let rec loop lo hi k =
+      if k = 0 || bracket_done ~tol lo hi then 0.5 *. (lo +. hi)
+      else
+        let mid = 0.5 *. (lo +. hi) in
+        if f mid < target then loop mid hi (k - 1) else loop lo mid (k - 1)
+    in
+    loop lo hi iterations
+
+let grow_bracket ?(factor = 2.0) ?(max_doublings = 200) ~f ~target ~lo ~init
+    () =
+  ignore lo;
+  let rec loop hi k =
+    if f hi >= target then hi
+    else if k = 0 then
+      failwith
+        (Printf.sprintf "Bisect.grow_bracket: target %g unreachable at %g"
+           target hi)
+    else loop (hi *. factor) (k - 1)
+  in
+  loop (Float.max init 1e-12) max_doublings

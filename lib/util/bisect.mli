@@ -1,0 +1,57 @@
+(** Root finding and monotone inversion by bisection.
+
+    Bisection is the workhorse of this repository: Chen et al.'s schedule
+    makes speeds piecewise-smooth but only piecewise, so derivative-based
+    root finding is unreliable, while every function we need to invert
+    (speed as a function of added load, assigned work as a function of the
+    price level) is continuous and monotone.  Bisection gives guaranteed
+    bracketing at a predictable cost of ~50 evaluations for full double
+    precision. *)
+
+val default_iterations : int
+(** Iteration budget, 200 — enough to exhaust double precision on any
+    bracket. *)
+
+val root :
+  ?iterations:int ->
+  ?tol:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** [root ~f ~lo ~hi ()] finds [x] in [[lo, hi]] with [f x = 0], assuming
+    [f] is continuous and [f lo] and [f hi] have opposite (or zero) signs.
+    Stops when the bracket width is below [tol] (absolute + relative) or the
+    iteration budget is exhausted.  Raises [Invalid_argument] when the
+    initial bracket does not straddle a sign change. *)
+
+val monotone_inverse :
+  ?iterations:int ->
+  ?tol:float ->
+  f:(float -> float) ->
+  target:float ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** [monotone_inverse ~f ~target ~lo ~hi ()] finds the {e smallest} [x]
+    with [f x = target] for a nondecreasing continuous [f] (important when
+    [f] plateaus at the target, as PD's saturating assignment function
+    does).  If [f lo >= target] returns [lo]; if [f hi < target] returns
+    [hi] (saturating semantics: callers clamp to the bracket, which is what
+    water-filling needs). *)
+
+val grow_bracket :
+  ?factor:float ->
+  ?max_doublings:int ->
+  f:(float -> float) ->
+  target:float ->
+  lo:float ->
+  init:float ->
+  unit ->
+  float
+(** [grow_bracket ~f ~target ~lo ~init ()] returns a value [hi >= init] such
+    that [f hi >= target], doubling geometrically from [init].  Raises
+    [Failure] if the budget of doublings is exhausted — which for our
+    monotone unbounded functions indicates a programming error upstream. *)

@@ -1,0 +1,24 @@
+let default_atol = 1e-9
+let default_rtol = 1e-9
+
+let approx ?(atol = default_atol) ?(rtol = default_rtol) x y =
+  let scale = Float.max (Float.abs x) (Float.abs y) in
+  Float.abs (x -. y) <= atol +. (rtol *. scale)
+
+let leq ?(atol = default_atol) ?(rtol = default_rtol) x y =
+  x <= y || approx ~atol ~rtol x y
+
+let geq ?(atol = default_atol) ?(rtol = default_rtol) x y = leq ~atol ~rtol y x
+
+let lt ?(atol = default_atol) ?(rtol = default_rtol) x y =
+  x < y && not (approx ~atol ~rtol x y)
+
+let gt ?(atol = default_atol) ?(rtol = default_rtol) x y = lt ~atol ~rtol y x
+let is_zero ?(atol = default_atol) x = Float.abs x <= atol
+
+let clamp ~lo ~hi x =
+  if x < lo then lo else if x > hi then hi else x
+
+let finite_or_fail ctx x =
+  if Float.is_finite x then x
+  else invalid_arg (Printf.sprintf "%s: non-finite value %h" ctx x)

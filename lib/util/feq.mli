@@ -1,0 +1,41 @@
+(** Tolerant floating-point comparisons.
+
+    All algorithms in this repository work on continuous quantities (times,
+    speeds, workloads, prices).  Exact float equality is meaningless after a
+    few arithmetic operations, so every comparison that carries semantic
+    weight goes through this module.  The default tolerance combines an
+    absolute and a relative component: [x] and [y] are considered equal when
+    [|x - y| <= atol + rtol * max |x| |y|]. *)
+
+val default_atol : float
+(** Default absolute tolerance, [1e-9]. *)
+
+val default_rtol : float
+(** Default relative tolerance, [1e-9]. *)
+
+val approx : ?atol:float -> ?rtol:float -> float -> float -> bool
+(** [approx x y] is [true] when [x] and [y] are equal up to tolerance. *)
+
+val leq : ?atol:float -> ?rtol:float -> float -> float -> bool
+(** [leq x y] is [true] when [x <= y] up to tolerance ([x] may exceed [y] by
+    no more than the tolerance). *)
+
+val geq : ?atol:float -> ?rtol:float -> float -> float -> bool
+(** [geq x y] is [leq y x]. *)
+
+val lt : ?atol:float -> ?rtol:float -> float -> float -> bool
+(** [lt x y] is strict: [x < y] and not [approx x y]. *)
+
+val gt : ?atol:float -> ?rtol:float -> float -> float -> bool
+(** [gt x y] is [lt y x]. *)
+
+val is_zero : ?atol:float -> float -> bool
+(** [is_zero x] tests [|x| <= atol] (relative part is meaningless at 0). *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] is [x] forced into the closed interval [[lo, hi]]. *)
+
+val finite_or_fail : string -> float -> float
+(** [finite_or_fail ctx x] returns [x] or raises [Invalid_argument] with
+    context [ctx] if [x] is [nan] or infinite.  Used to fail fast at module
+    boundaries rather than propagate poisoned values. *)

@@ -1,0 +1,23 @@
+let phi = (sqrt 5.0 -. 1.0) /. 2.0 (* 1/golden ratio, ~0.618 *)
+
+let minimize ?(iterations = 200) ?(tol = 1e-10) ~f ~lo ~hi () =
+  if lo > hi then invalid_arg "Golden.minimize: lo > hi";
+  let rec loop a b x1 x2 f1 f2 k =
+    if k = 0 || b -. a <= tol *. (1.0 +. Float.abs a +. Float.abs b) then begin
+      let x = 0.5 *. (a +. b) in
+      (x, f x)
+    end
+    else if f1 < f2 then
+      (* minimum is in [a, x2] *)
+      let x1' = a +. ((1.0 -. phi) *. (x2 -. a)) in
+      loop a x2 x1' x1 (f x1') f1 (k - 1)
+    else
+      let x2' = x1 +. (phi *. (b -. x1)) in
+      loop x1 b x2 x2' f2 (f x2') (k - 1)
+  in
+  if hi -. lo <= tol then (lo, f lo)
+  else begin
+    let x1 = lo +. ((1.0 -. phi) *. (hi -. lo)) in
+    let x2 = lo +. (phi *. (hi -. lo)) in
+    loop lo hi x1 x2 (f x1) (f x2) iterations
+  end

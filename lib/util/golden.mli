@@ -1,0 +1,20 @@
+(** Golden-section search: derivative-free minimization of a unimodal
+    function on an interval.
+
+    Used where a one-dimensional convex (hence unimodal) quantity must be
+    minimized without a usable derivative — e.g. tuning a scalar knob of a
+    schedule against a black-box cost.  Guaranteed bracket shrinkage by
+    the golden ratio per evaluation; ~80 evaluations exhaust double
+    precision. *)
+
+val minimize :
+  ?iterations:int ->
+  ?tol:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float * float
+(** [minimize ~f ~lo ~hi ()] returns the pair (argmin, min value) for a
+    unimodal [f] on [[lo, hi]].  Defaults: 200 iterations, relative
+    tolerance 1e-10.  Raises [Invalid_argument] if [lo > hi]. *)

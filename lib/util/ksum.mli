@@ -1,0 +1,26 @@
+(** Compensated (Kahan–Babuška) summation.
+
+    Energy totals are sums of many small positive terms (one per job per
+    atomic interval); naive summation loses digits that matter when we
+    compare a schedule's cost against a dual bound with 1e-9 tolerances. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** [add acc x] accumulates [x] with Neumaier's correction. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val sum : float list -> float
+(** One-shot compensated sum of a list. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val sum_by : ('a -> float) -> 'a list -> float
+(** [sum_by f xs] is the compensated sum of [f x] for [x] in [xs]. *)

@@ -1,0 +1,32 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+
+let split st =
+  Random.State.make
+    [| Random.State.bits st; Random.State.bits st; Random.State.bits st |]
+
+let uniform st ~lo ~hi =
+  if lo > hi then invalid_arg "Rand.uniform: lo > hi";
+  lo +. Random.State.float st (hi -. lo)
+
+let exponential st ~rate =
+  if rate <= 0.0 then invalid_arg "Rand.exponential: rate <= 0";
+  let u = 1.0 -. Random.State.float st 1.0 in
+  -.log u /. rate
+
+let pareto st ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Rand.pareto: args <= 0";
+  let u = 1.0 -. Random.State.float st 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+(* Box-Muller; we only need one variate per call and accept the waste. *)
+let lognormal st ~mu ~sigma =
+  let u1 = 1.0 -. Random.State.float st 1.0 in
+  let u2 = Random.State.float st 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+let choice st arr =
+  if Array.length arr = 0 then invalid_arg "Rand.choice: empty array";
+  arr.(Random.State.int st (Array.length arr))

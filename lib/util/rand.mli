@@ -1,0 +1,30 @@
+(** Deterministic random variate generation on top of [Random.State].
+
+    All workload generators take an explicit state so that every test and
+    benchmark run is reproducible from a fixed seed. *)
+
+type t = Random.State.t
+
+val make : int -> t
+(** [make seed] creates an isolated generator. *)
+
+val split : t -> t
+(** [split st] derives an independent child generator; the parent advances.
+    Used to give each instance in a sweep its own stream. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform on [[lo, hi)].  Requires [lo <= hi]. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential with the given [rate] (mean [1/rate]).  Requires
+    [rate > 0]. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto with minimum [scale] and tail index [shape]; heavy-tailed job
+    sizes.  Requires both positive. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal variate [exp (mu + sigma * N(0,1))]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniformly random element.  Requires a nonempty array. *)

@@ -1,0 +1,60 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+}
+
+let fail_empty name = invalid_arg (name ^ ": empty sample")
+
+let mean = function
+  | [] -> fail_empty "Stats.mean"
+  | xs -> Ksum.sum xs /. float_of_int (List.length xs)
+
+let max_of = function
+  | [] -> fail_empty "Stats.max_of"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let min_of = function
+  | [] -> fail_empty "Stats.min_of"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let percentile p = function
+  | [] -> fail_empty "Stats.percentile"
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    let pos = p *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then arr.(n - 1)
+    else ((1.0 -. frac) *. arr.(i)) +. (frac *. arr.(i + 1))
+
+let summarize xs =
+  match xs with
+  | [] -> fail_empty "Stats.summarize"
+  | _ ->
+    let n = List.length xs in
+    let mu = mean xs in
+    let var =
+      if n <= 1 then 0.0
+      else Ksum.sum_by (fun x -> (x -. mu) ** 2.0) xs /. float_of_int (n - 1)
+    in
+    {
+      count = n;
+      mean = mu;
+      stddev = sqrt var;
+      min = min_of xs;
+      max = max_of xs;
+      p50 = percentile 0.5 xs;
+      p90 = percentile 0.9 xs;
+    }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.6g sd=%.3g min=%.6g p50=%.6g p90=%.6g max=%.6g" s.count
+    s.mean s.stddev s.min s.p50 s.p90 s.max

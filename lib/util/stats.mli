@@ -1,0 +1,25 @@
+(** Descriptive statistics over float samples, used by the benchmark
+    harness to aggregate per-seed results into table rows. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1); 0 for n <= 1 *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+val max_of : float list -> float
+val min_of : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,1], linear interpolation between order
+    statistics.  Raises [Invalid_argument] on the empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,66 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc r -> max acc (List.length r))
+      (List.length t.header) rows
+  in
+  let header = pad_to ncols t.header in
+  let rows = List.map (pad_to ncols) rows in
+  let widths = Array.make ncols 0 in
+  let note_widths row =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  note_widths header;
+  List.iter note_widths rows;
+  let trim_end s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let render_row row =
+    row
+    |> List.mapi (fun i c -> Printf.sprintf "%-*s" widths.(i) c)
+    |> String.concat "  "
+    |> trim_end
+  and total_width =
+    Array.fold_left ( + ) 0 widths + (2 * Stdlib.max 0 (ncols - 1))
+  in
+  let rule = String.make (max total_width (String.length t.title)) '-' in
+  String.concat "\n"
+    ([ t.title; rule; render_row header; rule ]
+    @ List.map render_row rows
+    @ [ rule ])
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()
+
+let cell_f ?(digits = 4) v = Printf.sprintf "%.*f" digits v
+let cell_g v = Printf.sprintf "%.6g" v
+
+let bar ~width ~max_value v =
+  if max_value <= 0.0 then ""
+  else
+    let n =
+      int_of_float (Float.round (float_of_int width *. v /. max_value))
+    in
+    String.make (min width (max 0 n)) '#'
+
+let rule n = String.make n '-'

@@ -1,0 +1,32 @@
+(** Plain-text table and bar-figure rendering for the benchmark harness.
+
+    The paper is a theory paper, so our "figures" are printed schedules and
+    ratio curves; this module renders them as aligned ASCII so the bench
+    output is diffable and self-contained. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+(** A table with a caption row and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; short rows are padded with empty cells. *)
+
+val render : t -> string
+(** Aligned ASCII rendering with a title rule. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Fixed-width float cell, default 4 significant digits after the point. *)
+
+val cell_g : float -> string
+(** Shortest-form float cell ([%.6g]). *)
+
+val bar : width:int -> max_value:float -> float -> string
+(** [bar ~width ~max_value v] renders a horizontal bar of ['#'] proportional
+    to [v / max_value], for ASCII "figures". *)
+
+val rule : int -> string
+(** A horizontal rule of ['-'] of the given width. *)

@@ -1,0 +1,132 @@
+open Speedscale_util
+open Speedscale_model
+
+type size_dist =
+  | Fixed of float
+  | Uniform_size of float * float
+  | Pareto_size of { shape : float; scale : float }
+  | Lognormal_size of { mu : float; sigma : float }
+
+type value_model =
+  | Infinite
+  | Proportional of float
+  | Per_density of float
+  | Uniform_value of float * float
+  | Lottery of { low : float; high : float; p_high : float }
+
+type arrival_process =
+  | Poisson of float
+  | Regular of float
+  | Bursty of { burst : int; gap : float }
+
+let draw_size st = function
+  | Fixed w -> w
+  | Uniform_size (lo, hi) -> Rand.uniform st ~lo ~hi
+  | Pareto_size { shape; scale } -> Rand.pareto st ~shape ~scale
+  | Lognormal_size { mu; sigma } -> Rand.lognormal st ~mu ~sigma
+
+let draw_value st power ~workload ~density = function
+  | Infinite -> Float.infinity
+  | Proportional c -> c *. workload
+  | Per_density c ->
+    c *. workload *. (density ** (Power.alpha power -. 1.0))
+  | Uniform_value (lo, hi) -> Rand.uniform st ~lo ~hi
+  | Lottery { low; high; p_high } ->
+    if Rand.uniform st ~lo:0.0 ~hi:1.0 < p_high then high else low
+
+let arrival_times st ~n = function
+  | Poisson rate ->
+    let t = ref 0.0 in
+    List.init n (fun _ ->
+        t := !t +. Rand.exponential st ~rate;
+        !t)
+  | Regular gap -> List.init n (fun i -> float_of_int (i + 1) *. gap)
+  | Bursty { burst; gap } ->
+    List.init n (fun i -> float_of_int (1 + (i / max 1 burst)) *. gap)
+
+let random ~power ~machines ~seed ~n ~arrivals ~sizes ~laxity ~values =
+  if n < 1 then invalid_arg "Generate.random: n < 1";
+  let lo_density, hi_density = laxity in
+  if lo_density <= 0.0 || hi_density < lo_density then
+    invalid_arg "Generate.random: bad laxity range";
+  let st = Rand.make seed in
+  let releases = arrival_times st ~n arrivals in
+  let jobs =
+    List.mapi
+      (fun i r ->
+        let w = draw_size st sizes in
+        let density = Rand.uniform st ~lo:lo_density ~hi:hi_density in
+        let span = w /. density in
+        let v = draw_value st power ~workload:w ~density values in
+        Job.make ~id:i ~release:r ~deadline:(r +. span) ~workload:w ~value:v)
+      releases
+  in
+  Instance.make ~power ~machines jobs
+
+let bkp_lower_bound ~alpha ~n ?(value = 1e12) () =
+  if n < 1 then invalid_arg "Generate.bkp_lower_bound: n < 1";
+  let power = Power.make alpha in
+  Instance.make ~power ~machines:1
+    (List.init n (fun i ->
+         let j = i + 1 in
+         Job.make ~id:i
+           ~release:(float_of_int (j - 1))
+           ~deadline:(float_of_int n)
+           ~workload:(float_of_int (n - j + 1) ** (-1.0 /. alpha))
+           ~value))
+
+(* Figure 2 illustrates Chen et al.'s schedule before and after a new job:
+   three processors, one clearly dominant job (dedicated), two mid-sized
+   pool jobs — then a new job whose arrival flips one mid-sized job from
+   the pool onto its own processor. *)
+let figure2_loads () = (3, 1.0, [ (0, 6.0); (1, 2.2); (2, 1.8) ], (3, 3.0))
+
+let figure3 ~power =
+  Instance.make ~power ~machines:1
+    [
+      Job.make ~id:0 ~release:0.0 ~deadline:3.0 ~workload:3.0 ~value:1e9;
+      Job.make ~id:1 ~release:0.0 ~deadline:2.0 ~workload:2.0 ~value:1e9;
+    ]
+
+(* Non-homogeneous Poisson by thinning: draw candidate points at the peak
+   rate, keep each with probability rate(t)/peak. *)
+let diurnal ~power ~machines ~seed ~n ?(period = 24.0) ?peak_rate ?trough_rate
+    () =
+  if n < 1 then invalid_arg "Generate.diurnal: n < 1";
+  let peak =
+    Option.value peak_rate ~default:(2.0 *. float_of_int machines)
+  in
+  let trough =
+    Option.value trough_rate ~default:(float_of_int machines /. 4.0)
+  in
+  if trough <= 0.0 || peak < trough then
+    invalid_arg "Generate.diurnal: need 0 < trough <= peak";
+  let st = Rand.make seed in
+  let rate t =
+    let phase = 2.0 *. Float.pi *. t /. period in
+    trough +. ((peak -. trough) *. 0.5 *. (1.0 -. cos phase))
+  in
+  let t = ref 0.0 in
+  let arrivals = ref [] in
+  while List.length !arrivals < n do
+    t := !t +. Rand.exponential st ~rate:peak;
+    if Rand.uniform st ~lo:0.0 ~hi:1.0 <= rate !t /. peak then
+      arrivals := !t :: !arrivals
+  done;
+  let jobs =
+    List.rev !arrivals
+    |> List.mapi (fun i r ->
+           let w = Rand.lognormal st ~mu:(-0.3) ~sigma:0.8 in
+           let density = Rand.uniform st ~lo:0.4 ~hi:2.0 in
+           let v = 2.0 *. w in
+           Job.make ~id:i ~release:r ~deadline:(r +. (w /. density))
+             ~workload:w ~value:v)
+  in
+  Instance.make ~power ~machines jobs
+
+let datacenter ~power ~machines ~seed ~n =
+  random ~power ~machines ~seed ~n
+    ~arrivals:(Bursty { burst = machines * 2; gap = 1.0 })
+    ~sizes:(Pareto_size { shape = 1.8; scale = 0.4 })
+    ~laxity:(0.4, 2.5)
+    ~values:(Lottery { low = 0.4; high = 30.0; p_high = 0.25 })

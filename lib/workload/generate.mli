@@ -1,0 +1,86 @@
+(** Workload generators for tests, examples and the benchmark harness.
+
+    The paper evaluates nothing empirically, so these families are chosen
+    to exercise its claims: the exact adversarial lower-bound family from
+    Theorem 3's tightness proof, random valuable-job mixes for the
+    competitive-ratio measurements, and the two illustrative instances
+    behind Figures 2 and 3.  All generators are deterministic given a
+    seed. *)
+
+open Speedscale_model
+
+type size_dist =
+  | Fixed of float
+  | Uniform_size of float * float
+  | Pareto_size of { shape : float; scale : float }
+      (** heavy-tailed sizes, the classical data-center assumption *)
+  | Lognormal_size of { mu : float; sigma : float }
+
+type value_model =
+  | Infinite  (** classical must-finish setting *)
+  | Proportional of float  (** [v = c·w]: pay per unit of work *)
+  | Per_density of float
+      (** [v = c·w·density^(α−1)]: pay proportionally to the marginal
+          energy of running the job alone — keeps the accept/reject
+          decision tight at every scale *)
+  | Uniform_value of float * float
+  | Lottery of { low : float; high : float; p_high : float }
+      (** a few valuable jobs among cheap ones *)
+
+type arrival_process =
+  | Poisson of float  (** rate per unit time *)
+  | Regular of float  (** fixed inter-arrival gap *)
+  | Bursty of { burst : int; gap : float }
+      (** [burst] simultaneous arrivals every [gap] time units *)
+
+val random :
+  power:Power.t ->
+  machines:int ->
+  seed:int ->
+  n:int ->
+  arrivals:arrival_process ->
+  sizes:size_dist ->
+  laxity:float * float ->
+  values:value_model ->
+  Instance.t
+(** [laxity = (lo, hi)]: each job's window length is its size divided by a
+    uniform density draw... more precisely the window is
+    [size / uniform(lo,hi)] so that job densities fall in [[lo, hi]]. *)
+
+val bkp_lower_bound : alpha:float -> n:int -> ?value:float -> unit -> Instance.t
+(** The Bansal–Kimbrel–Pruhs adversarial family used in the paper's
+    tightness proof: job [j ∈ 1..n] arrives at [j-1] with workload
+    [(n-j+1)^(-1/α)] and deadline [n].  Default [value] is large enough
+    that PD finishes everything.  Single processor. *)
+
+val figure2_loads : unit -> int * float * (int * float) list * (int * float)
+(** The ingredients of Figure 2's illustration: [(machines, interval
+    length, existing loads, new job load)] — a work assignment whose Chen
+    schedule changes dedicated/pool structure when the new job arrives. *)
+
+val figure3 : power:Power.t -> Instance.t
+(** The two-job instance of Figure 3: a long early job followed by a
+    shorter inner job, on which PD schedules more conservatively than
+    OA. *)
+
+val datacenter :
+  power:Power.t -> machines:int -> seed:int -> n:int -> Instance.t
+(** Preset: bursty arrivals, Pareto sizes, lottery values — the
+    "data-center morning" scenario from the paper's introduction. *)
+
+val diurnal :
+  power:Power.t ->
+  machines:int ->
+  seed:int ->
+  n:int ->
+  ?period:float ->
+  ?peak_rate:float ->
+  ?trough_rate:float ->
+  unit ->
+  Instance.t
+(** Day/night load: a non-homogeneous Poisson arrival process whose rate
+    oscillates sinusoidally between [trough_rate] and [peak_rate] (per
+    unit time) with the given [period] (defaults 24.0, peak
+    [2·machines], trough [machines/4]).  Sizes are log-normal, values
+    proportional to work — the workload that makes adaptive admission
+    matter (cf. experiment E17). *)

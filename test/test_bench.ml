@@ -1,0 +1,82 @@
+(* Regression test over the experiment harness itself: run the fast
+   figure/property experiments end-to-end and require every verdict to be
+   CONFIRMED.  This pins the reproduced figures and the lemma-level
+   numerics against future changes. *)
+
+let bench_exe =
+  let candidates =
+    [
+      "../bench/main.exe";
+      "_build/default/bench/main.exe";
+      "bench/main.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bench/main.exe"
+
+let run_experiments ids =
+  let out = Filename.temp_file "bench" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1"
+      (Filename.quote bench_exe)
+      (String.concat " " ids)
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let count_substring text sub =
+  let n = String.length text and k = String.length sub in
+  let rec go i acc =
+    if i + k > n then acc
+    else if String.sub text i k = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_fast_experiments_confirmed () =
+  let ids = [ "E2"; "E3"; "E4"; "E5"; "E10" ] in
+  let code, text = run_experiments ids in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check int) "no NOT CONFIRMED" 0 (count_substring text "NOT CONFIRMED");
+  Alcotest.(check int)
+    (Printf.sprintf "%d verdicts" (List.length ids))
+    (List.length ids)
+    (count_substring text "-> CONFIRMED")
+
+let test_figure_contents_stable () =
+  (* pin the key lines of the reproduced figures *)
+  let _, text = run_experiments [ "E4"; "E5" ] in
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions %S" marker)
+        true
+        (count_substring text marker > 0))
+    [
+      (* Figure 2: dedicated -> pool flip *)
+      "job 0 DEDICATED  load 6.00";
+      "POOL at speed 3.50";
+      (* Figure 3: the conservative last interval *)
+      "speed in the last atomic interval [2,3): PD 1.000 vs OA 1.667";
+    ]
+
+let () =
+  Alcotest.run "bench-harness"
+    [
+      ( "verdicts",
+        [
+          Alcotest.test_case "fast experiments confirmed" `Quick
+            test_fast_experiments_confirmed;
+          Alcotest.test_case "figures stable" `Quick test_figure_contents_stable;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* End-to-end smoke tests of the psched command-line tool: generate an
+   instance, then exercise every subcommand against the real binary and
+   check exit codes and key output markers. *)
+
+(* Locate the binary whether we run under `dune runtest` (cwd =
+   _build/default/test) or `dune exec` from the project root. *)
+let psched =
+  let candidates =
+    [
+      "../bin/psched.exe";
+      "_build/default/bin/psched.exe";
+      "bin/psched.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/psched.exe"
+
+let run_capture args =
+  let out = Filename.temp_file "psched" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1"
+      (Filename.quote psched)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let contains text sub =
+  let n = String.length text and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub text i k = sub || go (i + 1)) in
+  k = 0 || go 0
+
+let check_ok name (code, text) markers =
+  Alcotest.(check int) (name ^ ": exit code") 0 code;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: output mentions %S" name m)
+        true (contains text m))
+    markers
+
+let with_instance f =
+  let path = Filename.temp_file "psched" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let code, _ =
+        run_capture
+          [ "generate"; "--preset"; "random"; "-n"; "6"; "-m"; "2"; "--seed";
+            "3"; "-o"; path ]
+      in
+      Alcotest.(check int) "generate exit code" 0 code;
+      f path)
+
+let test_generate_stdout () =
+  let code, text = run_capture [ "generate"; "-n"; "3"; "--alpha"; "2.5" ] in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "has header" true (contains text "alpha 2.5");
+  Alcotest.(check bool) "has jobs" true (contains text "job ")
+
+let test_run_pd () =
+  with_instance (fun path ->
+      check_ok "run" (run_capture [ "run"; path ]) [ "PD"; "valid" ])
+
+let test_run_with_schedule () =
+  with_instance (fun path ->
+      check_ok "run --show-schedule"
+        (run_capture [ "run"; path; "--show-schedule" ])
+        [ "PD"; "proc 0" ])
+
+let test_compare () =
+  with_instance (fun path ->
+      check_ok "compare"
+        (run_capture [ "compare"; path ])
+        [ "PD"; "mOA"; "OPT-energy" ])
+
+let test_certify () =
+  with_instance (fun path ->
+      check_ok "certify"
+        (run_capture [ "certify"; path ])
+        [ "dual bound"; "Theorem 3 certificate: HOLDS" ])
+
+let test_analyze () =
+  with_instance (fun path ->
+      check_ok "analyze"
+        (run_capture [ "analyze"; path ])
+        [ "category"; "thm3=true" ])
+
+let test_provision () =
+  with_instance (fun path ->
+      check_ok "provision"
+        (run_capture [ "provision"; path ])
+        [ "min speed cap" ])
+
+let test_replay () =
+  with_instance (fun path ->
+      let csv = Filename.temp_file "psched" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists csv then Sys.remove csv)
+        (fun () ->
+          check_ok "replay"
+            (run_capture [ "replay"; path; "--csv"; csv ])
+            [ "arrival"; "complete"; "energy" ];
+          Alcotest.(check bool) "csv written" true (Sys.file_exists csv)))
+
+let test_gantt () =
+  with_instance (fun path ->
+      check_ok "gantt"
+        (run_capture [ "gantt"; path; "--width"; "40" ])
+        [ "p0 "; "speed" ])
+
+let test_unknown_algorithm_fails () =
+  with_instance (fun path ->
+      let code, _ = run_capture [ "run"; path; "-a"; "nonsense" ] in
+      Alcotest.(check bool) "non-zero exit" true (code <> 0))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "psched",
+        [
+          Alcotest.test_case "generate" `Quick test_generate_stdout;
+          Alcotest.test_case "run" `Quick test_run_pd;
+          Alcotest.test_case "run schedule" `Quick test_run_with_schedule;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "certify" `Quick test_certify;
+          Alcotest.test_case "analyze" `Quick test_analyze;
+          Alcotest.test_case "provision" `Quick test_provision;
+          Alcotest.test_case "replay" `Quick test_replay;
+          Alcotest.test_case "gantt" `Quick test_gantt;
+          Alcotest.test_case "unknown algorithm" `Quick
+            test_unknown_algorithm_fails;
+        ] );
+    ]

@@ -1,0 +1,535 @@
+(* Tests for PD, the paper's primal-dual online algorithm.  The headline
+   property is Theorem 3's certificate: cost(PD) <= alpha^alpha * g(lambda)
+   on every instance, checked here on randomized workloads across alpha and
+   machine counts. *)
+
+open Speedscale_model
+open Speedscale_core
+open Speedscale_single
+
+let check_float = Alcotest.(check (float 1e-6))
+let p2 = Power.make 2.0
+let p3 = Power.make 3.0
+
+let mk_job ~id ~r ~d ~w ?(v = Float.infinity) () =
+  Job.make ~id ~release:r ~deadline:d ~workload:w ~value:v
+
+let instance ?(power = p2) ?(machines = 1) jobs =
+  Instance.make ~power ~machines jobs
+
+(* ------------------------------------------------------------------ *)
+(* Single-job behaviour                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_job_accepted () =
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 ~v:100.0 () ] in
+  let r = Pd.run inst in
+  Alcotest.(check (list int)) "accepted" [ 0 ] r.accepted;
+  (* the only schedule is constant density 2 on [0,2] *)
+  check_float "energy" 8.0 r.cost.energy;
+  check_float "no loss" 0.0 r.cost.lost_value;
+  (* lambda = delta * w * P'(density) = 1/2 * 4 * 2*2 = 8 *)
+  check_float "multiplier" 8.0 r.lambda.(0);
+  match Schedule.validate inst r.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid schedule: %s" e
+
+let test_single_job_rejected () =
+  (* density 2; threshold value for acceptance: v = delta w P'(2) = 8 *)
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 ~v:7.9 () ] in
+  let r = Pd.run inst in
+  Alcotest.(check (list int)) "rejected" [ 0 ] r.rejected;
+  check_float "cost is lost value" 7.9 (Cost.total r.cost);
+  check_float "lambda = v" 7.9 r.lambda.(0)
+
+let test_single_job_boundary_value () =
+  (* value slightly above the threshold 8: accept *)
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 ~v:8.1 () ] in
+  let r = Pd.run inst in
+  Alcotest.(check (list int)) "accepted at boundary" [ 0 ] r.accepted
+
+let test_rejection_threshold_matches_module () =
+  let j = mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 ~v:7.0 () in
+  (* PD accepts iff density <= threshold_speed *)
+  let threshold = Rejection.threshold_speed p2 j in
+  (* alpha=2, delta=1/2: s = v/(delta alpha w) = 7/4 *)
+  check_float "threshold speed" 1.75 threshold;
+  (* equals CLL's closed form with delta = delta_star *)
+  check_float "CLL agreement" (Cll.threshold_speed p2 j) threshold
+
+let test_rejection_threshold_alpha3 () =
+  let j = mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:5.0 () in
+  check_float "CLL agreement (alpha=3)"
+    (Cll.threshold_speed p3 j)
+    (Rejection.threshold_speed p3 j)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-job structure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_two_jobs_two_processors () =
+  let inst =
+    instance ~machines:2
+      [
+        mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:3.0 ~v:1000.0 ();
+        mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:3.0 ~v:1000.0 ();
+      ]
+  in
+  let r = Pd.run inst in
+  Alcotest.(check int) "both accepted" 2 (List.length r.accepted);
+  (* each job runs on its own processor at speed 3 *)
+  check_float "energy 2*9" 18.0 r.cost.energy
+
+let test_pd_keeps_old_distribution () =
+  (* Figure 3's structural claim: when a second job arrives, PD does not
+     redistribute the first job's committed work. *)
+  let pd = Pd.create ~power:p2 ~machines:1 () in
+  let j0 = mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:2.0 ~v:1000.0 () in
+  let d0 = Pd.arrive pd j0 in
+  Alcotest.(check bool) "j0 accepted" true d0.accepted;
+  let j1 = mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:1.0 ~v:1000.0 () in
+  let _ = Pd.arrive pd j1 in
+  (* j0 committed 1 unit to [0,1) and 1 unit to [1,2) — unchanged by j1 *)
+  let loads = Pd.interval_loads pd in
+  let load_of k id =
+    Option.value ~default:0.0 (List.assoc_opt id loads.(k))
+  in
+  check_float "j0 in [0,1)" 1.0 (load_of 0 0);
+  check_float "j0 in [1,2)" 1.0 (load_of 1 0);
+  (* j1 went entirely into [0,1) *)
+  check_float "j1 in [0,1)" 1.0 (load_of 0 1);
+  check_float "j1 absent from [1,2)" 0.0 (load_of 1 1)
+
+let test_pd_differs_from_oa () =
+  (* same instance: OA redistributes, ending with different speeds *)
+  let inst =
+    instance
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:2.0 ~v:1000.0 ();
+        mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:1.0 ~v:1000.0 ();
+      ]
+  in
+  let inst_inf = Instance.with_values inst (fun _ -> Float.infinity) in
+  let pd_energy = (Pd.run inst).cost.energy in
+  let oa_energy = Oa.energy inst_inf in
+  (* PD: speeds 2 on [0,1) and 1 on [1,2): energy 5.
+     OA: replan at arrival of j1 moves part of j0 right: 1.5 on [0,1)
+     carrying j1 (1.0) + j0 (0.5), then 1.5 on [1,2): energy 4.5. *)
+  check_float "PD energy" 5.0 pd_energy;
+  Alcotest.(check (float 1e-3)) "OA energy" 4.5 oa_energy;
+  Alcotest.(check bool) "PD more conservative here" true
+    (pd_energy > oa_energy)
+
+let test_refinement_splits_proportionally () =
+  let pd = Pd.create ~power:p2 ~machines:1 () in
+  let j0 = mk_job ~id:0 ~r:0.0 ~d:4.0 ~w:4.0 ~v:1000.0 () in
+  ignore (Pd.arrive pd j0);
+  (* j0: 4 work over [0,4) uniformly *)
+  let j1 = mk_job ~id:1 ~r:1.0 ~d:2.0 ~w:0.1 ~v:1000.0 () in
+  ignore (Pd.arrive pd j1);
+  let b = Pd.boundaries pd in
+  Alcotest.(check int) "boundaries 0,1,2,4" 4 (Array.length b);
+  let loads = Pd.interval_loads pd in
+  let load_of k id = Option.value ~default:0.0 (List.assoc_opt id loads.(k)) in
+  check_float "j0 in [0,1)" 1.0 (load_of 0 0);
+  check_float "j0 in [1,2)" 1.0 (load_of 1 0);
+  check_float "j0 in [2,4)" 2.0 (load_of 2 0)
+
+let test_arrival_order_enforced () =
+  let pd = Pd.create ~power:p2 ~machines:1 () in
+  ignore (Pd.arrive pd (mk_job ~id:0 ~r:5.0 ~d:6.0 ~w:1.0 ()));
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Pd.arrive: jobs must arrive in release order")
+    (fun () -> ignore (Pd.arrive pd (mk_job ~id:1 ~r:1.0 ~d:6.0 ~w:1.0 ())));
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Pd.arrive: duplicate job id") (fun () ->
+      ignore (Pd.arrive pd (mk_job ~id:0 ~r:6.0 ~d:7.0 ~w:1.0 ())))
+
+(* ------------------------------------------------------------------ *)
+(* Randomized instances                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_setup =
+  QCheck.Gen.(
+    let* alpha = float_range 1.3 3.5 in
+    let* machines = 1 -- 4 in
+    let* n = 1 -- 10 in
+    let* jobs =
+      list_size (return n)
+        (let* r = float_range 0.0 8.0 in
+         let* span = float_range 0.3 4.0 in
+         let* w = float_range 0.2 3.0 in
+         let* v = float_range 0.05 25.0 in
+         return (r, r +. span, w, v))
+    in
+    return (alpha, machines, jobs))
+
+let arb_setup =
+  QCheck.make gen_setup ~print:(fun (alpha, m, jobs) ->
+      Printf.sprintf "alpha=%g m=%d jobs=[%s]" alpha m
+        (String.concat ";"
+           (List.map
+              (fun (r, d, w, v) -> Printf.sprintf "(%g,%g,%g,%g)" r d w v)
+              jobs)))
+
+let instance_of ?(must_finish = false) (alpha, machines, jobs) =
+  Instance.make ~power:(Power.make alpha) ~machines
+    (List.mapi
+       (fun i (r, d, w, v) ->
+         mk_job ~id:i ~r ~d ~w ~v:(if must_finish then Float.infinity else v)
+           ())
+       jobs)
+
+let prop_theorem3_certificate =
+  QCheck.Test.make
+    ~name:"Theorem 3: cost(PD) <= alpha^alpha * g(lambda)" ~count:400
+    arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      let lhs = Cost.total r.cost in
+      let rhs = r.guarantee *. r.dual_bound in
+      if lhs > rhs +. (1e-6 *. (1.0 +. Float.abs rhs)) then
+        QCheck.Test.fail_reportf "cost %.9g > %.9g = alpha^alpha * g" lhs rhs
+      else true)
+
+let prop_pd_schedule_feasible =
+  QCheck.Test.make ~name:"PD schedule is feasible" ~count:200 arb_setup
+    (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      match Schedule.validate inst r.schedule with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "infeasible: %s" e)
+
+let prop_pd_lambda_bounded_by_value =
+  QCheck.Test.make ~name:"multipliers never exceed values" ~count:200
+    arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      Array.for_all2
+        (fun l (j : Job.t) -> l <= j.value +. 1e-9 && l >= -1e-12)
+        r.lambda inst.jobs)
+
+let prop_pd_dual_positive =
+  QCheck.Test.make ~name:"dual bound is positive on nonempty instances"
+    ~count:200 arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      r.dual_bound > 0.0)
+
+let prop_pd_waterfilling_equalized =
+  QCheck.Test.make
+    ~name:"accepted job speed equals planned speed in every used interval"
+    ~count:150 arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let pd =
+        Pd.create ~power:inst.power ~machines:inst.machines ()
+      in
+      let ok = ref true in
+      Array.iter
+        (fun (j : Job.t) ->
+          let d = Pd.arrive pd j in
+          if d.accepted then begin
+            let loads = Pd.interval_loads pd in
+            let bounds = Pd.boundaries pd in
+            List.iter
+              (fun (k, _) ->
+                let len = bounds.(k + 1) -. bounds.(k) in
+                let chen =
+                  Speedscale_chen.Chen.build ~machines:inst.machines
+                    ~length:len loads.(k)
+                in
+                let s = Speedscale_chen.Chen.speed_of_job chen j.id in
+                if
+                  Float.abs (s -. d.planned_speed)
+                  > 1e-5 *. (1.0 +. d.planned_speed)
+                then ok := false)
+              d.assignment
+          end)
+        inst.jobs;
+      !ok)
+
+let prop_pd_energy_only_brackets_yds =
+  QCheck.Test.make
+    ~name:"infinite values: YDS <= PD <= alpha^alpha YDS (m=1)" ~count:100
+    arb_setup (fun (alpha, _m, jobs) ->
+      let inst = instance_of ~must_finish:true (alpha, 1, jobs) in
+      let r = Pd.run inst in
+      let power = inst.Instance.power in
+      let yds = Yds.energy power (Array.to_list inst.jobs) in
+      let bound = Power.competitive_bound power in
+      Cost.total r.cost >= yds -. (1e-6 *. (1.0 +. yds))
+      && Cost.total r.cost <= (bound *. yds) +. 1e-6)
+
+let prop_pd_total_work_conserved =
+  QCheck.Test.make ~name:"accepted jobs receive exactly their workload"
+    ~count:150 arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      List.for_all
+        (fun id ->
+          let j = Instance.job inst id in
+          Float.abs (Schedule.work_of_job r.schedule id -. j.workload)
+          <= 1e-6 *. (1.0 +. j.workload))
+        r.accepted
+      && List.for_all
+           (fun id -> Schedule.work_of_job r.schedule id = 0.0)
+           r.rejected)
+
+(* ------------------------------------------------------------------ *)
+(* Section 4 analysis machinery                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_analysis_invariants =
+  QCheck.Test.make
+    ~name:"Section 4 machinery: traces, Prop 7/8, Lemmas 9-11, Theorem 3"
+    ~count:250 arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      let a = Analysis.analyze inst r in
+      let checks =
+        [
+          ("traces disjoint", a.traces_disjoint);
+          ("prop7", a.prop7_ok);
+          ("prop8b", a.prop8b_ok);
+          ("lemma9", a.lemma9_ok);
+          ("lemma10", a.lemma10_ok);
+          ("lemma11", a.lemma11_ok);
+          ("theorem3", a.theorem3_ok);
+        ]
+      in
+      match List.find_opt (fun (_, ok) -> not ok) checks with
+      | Some (name, _) -> QCheck.Test.fail_reportf "check failed: %s" name
+      | None -> true)
+
+let prop_analysis_matches_dual =
+  QCheck.Test.make
+    ~name:"job-centric g decomposition equals Dual.evaluate (Lemma 6)"
+    ~count:150 arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      let a = Analysis.analyze inst r in
+      Float.abs (a.g_total -. r.dual_bound)
+      <= 1e-6 *. (1.0 +. Float.abs r.dual_bound))
+
+let prop_analysis_traces_capture_energy =
+  QCheck.Test.make
+    ~name:"trace energies never exceed PD's total energy" ~count:150
+    arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let r = Pd.run inst in
+      let a = Analysis.analyze inst r in
+      let traced =
+        Array.to_list a.jobs
+        |> Speedscale_util.Ksum.sum_by (fun ji -> ji.Analysis.e_pd)
+      in
+      traced <= a.e_pd_total +. (1e-6 *. (1.0 +. a.e_pd_total)))
+
+let test_analysis_categories () =
+  (* accepted job -> Finished; hopeless job -> rejected category *)
+  let inst =
+    instance
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 ~v:50.0 ();
+        mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:4.0 ~v:0.01 ();
+      ]
+  in
+  let r = Pd.run inst in
+  let a = Analysis.analyze inst r in
+  Alcotest.(check string) "job0 finished" "finished"
+    (Analysis.category_name a.jobs.(0).category);
+  Alcotest.(check bool) "job1 rejected category" true
+    (a.jobs.(1).category <> Analysis.Finished);
+  (* the identity E_lambda = lambda * xhat / alpha (Prop 8a) *)
+  Array.iter
+    (fun (ji : Analysis.job_info) ->
+      check_float "prop8a"
+        (ji.lambda *. ji.xhat /. 2.0)
+        ji.e_lambda)
+    a.jobs
+
+let prop_online_certificate_consistent =
+  QCheck.Test.make
+    ~name:"online certificate matches a fresh run on every prefix" ~count:60
+    arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let pd = Pd.create ~power:inst.power ~machines:inst.machines () in
+      let ok = ref true in
+      Array.iteri
+        (fun i (j : Job.t) ->
+          ignore (Pd.arrive pd j);
+          let live = Pd.certificate pd in
+          (* re-run PD from scratch on the prefix: same deterministic
+             algorithm, so the dual bounds must coincide *)
+          let prefix =
+            Instance.make ~power:inst.power ~machines:inst.machines
+              (List.init (i + 1) (Instance.job inst))
+          in
+          let fresh = (Pd.run prefix).dual_bound in
+          if Float.abs (live -. fresh) > 1e-6 *. (1.0 +. Float.abs fresh)
+          then ok := false)
+        inst.jobs;
+      !ok)
+
+let test_certificate_empty () =
+  let pd = Pd.create ~power:p2 ~machines:1 () in
+  Alcotest.(check (float 0.0)) "no jobs, zero bound" 0.0 (Pd.certificate pd)
+
+let prop_snapshot_restore_identical =
+  QCheck.Test.make
+    ~name:"snapshot mid-stream + restore = uninterrupted run" ~count:60
+    arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let n = Instance.n_jobs inst in
+      QCheck.assume (n >= 2);
+      let split = n / 2 in
+      (* run A: uninterrupted *)
+      let a = Pd.create ~power:inst.power ~machines:inst.machines () in
+      Array.iter (fun j -> ignore (Pd.arrive a j)) inst.jobs;
+      (* run B: snapshot after [split] arrivals, restore, continue *)
+      let b0 = Pd.create ~power:inst.power ~machines:inst.machines () in
+      Array.iteri
+        (fun i j -> if i < split then ignore (Pd.arrive b0 j))
+        inst.jobs;
+      let b = Pd.restore (Pd.snapshot b0) in
+      Array.iteri
+        (fun i j -> if i >= split then ignore (Pd.arrive b j))
+        inst.jobs;
+      let cost_of t =
+        Cost.total (Schedule.cost inst (Pd.schedule t))
+      in
+      let la = Pd.lambdas a and lb = Pd.lambdas b in
+      if Float.abs (cost_of a -. cost_of b) > 1e-9 *. (1.0 +. cost_of a) then
+        QCheck.Test.fail_reportf "cost differs after restore"
+      else if
+        not
+          (List.for_all2
+             (fun (i1, l1) (i2, l2) ->
+               i1 = i2 && Float.abs (l1 -. l2) <= 1e-12 *. (1.0 +. l1))
+             la lb)
+      then QCheck.Test.fail_reportf "multipliers differ after restore"
+      else true)
+
+let test_snapshot_rejects_garbage () =
+  (match Pd.restore "nonsense" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  match Pd.restore "pd-snapshot v1\nalpha 2\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on missing fields"
+
+let test_analysis_high_yield_witness () =
+  (* Derivation (alpha = 2, delta = 1/2, m = 1): job A spreads at speed
+     s_A = 0.4 over [0,10], so lambda_A = w_A * s_A = 1.6 and
+     shat_A = s_A/2 = 0.2.  Job B (w = 1, v = 0.44) faces a fitting price
+     of delta * w * P'(0.5) = 0.5 > v, so PD rejects it — but
+     shat_B = v/(2w) = 0.22 > shat_A, so the optimal infeasible solution
+     runs B everywhere: xhat_B = 10 * 0.22 = 2.2 > 1.5, a high-yield job. *)
+  let inst =
+    instance
+      [
+        mk_job ~id:0 ~r:0.0 ~d:10.0 ~w:4.0 ~v:1e9 ();
+        mk_job ~id:1 ~r:0.0 ~d:10.0 ~w:1.0 ~v:0.44 ();
+      ]
+  in
+  let r = Pd.run inst in
+  Alcotest.(check (list int)) "job1 rejected" [ 1 ] r.rejected;
+  let a = Analysis.analyze inst r in
+  Alcotest.(check string) "job1 is high-yield" "high-yield"
+    (Analysis.category_name a.jobs.(1).category);
+  Alcotest.(check (float 1e-6)) "xhat_B = 2.2" 2.2 a.jobs.(1).xhat;
+  Alcotest.(check bool) "lemma 11 holds non-vacuously" true a.lemma11_ok;
+  Alcotest.(check bool) "theorem 3 assembled" true a.theorem3_ok
+
+(* ------------------------------------------------------------------ *)
+(* The BKP adversarial family: PD behaves exactly like OA               *)
+(* ------------------------------------------------------------------ *)
+
+let bkp_instance ~alpha ~n =
+  let power = Power.make alpha in
+  Instance.make ~power ~machines:1
+    (List.init n (fun i ->
+         let j = i + 1 in
+         mk_job ~id:i ~r:(float_of_int (j - 1)) ~d:(float_of_int n)
+           ~w:(float_of_int (n - j + 1) ** (-1.0 /. alpha))
+           ~v:1e12 ()))
+
+let test_pd_equals_oa_on_adversary () =
+  let inst = bkp_instance ~alpha:2.0 ~n:10 in
+  let pd_energy = (Pd.run inst).cost.energy in
+  let oa_energy =
+    Oa.energy (Instance.with_values inst (fun _ -> Float.infinity))
+  in
+  Alcotest.(check (float 1e-4)) "PD = OA on the lower-bound family" oa_energy
+    pd_energy
+
+let test_pd_adversarial_ratio () =
+  let inst = bkp_instance ~alpha:2.0 ~n:14 in
+  let r = Pd.run inst in
+  let yds =
+    Yds.energy p2
+      (Array.to_list (Instance.with_values inst (fun _ -> Float.infinity)).jobs)
+  in
+  let ratio = r.cost.energy /. yds in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f in (1.5, 4]" ratio)
+    true
+    (ratio > 1.5 && ratio <= 4.0 +. 1e-6)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "single-job",
+        [
+          Alcotest.test_case "accepted" `Quick test_single_job_accepted;
+          Alcotest.test_case "rejected" `Quick test_single_job_rejected;
+          Alcotest.test_case "boundary value" `Quick
+            test_single_job_boundary_value;
+          Alcotest.test_case "threshold matches module" `Quick
+            test_rejection_threshold_matches_module;
+          Alcotest.test_case "threshold alpha=3" `Quick
+            test_rejection_threshold_alpha3;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "two jobs two processors" `Quick
+            test_two_jobs_two_processors;
+          Alcotest.test_case "keeps old distribution" `Quick
+            test_pd_keeps_old_distribution;
+          Alcotest.test_case "differs from OA" `Quick test_pd_differs_from_oa;
+          Alcotest.test_case "refinement proportional" `Quick
+            test_refinement_splits_proportionally;
+          Alcotest.test_case "arrival order" `Quick test_arrival_order_enforced;
+        ] );
+      ( "theorem3",
+        [
+          q prop_theorem3_certificate;
+          q prop_pd_schedule_feasible;
+          q prop_pd_lambda_bounded_by_value;
+          q prop_pd_dual_positive;
+          q prop_pd_waterfilling_equalized;
+          q prop_pd_energy_only_brackets_yds;
+          q prop_pd_total_work_conserved;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "categories and Prop 8a" `Quick
+            test_analysis_categories;
+          Alcotest.test_case "high-yield witness" `Quick
+            test_analysis_high_yield_witness;
+          Alcotest.test_case "certificate empty" `Quick test_certificate_empty;
+          Alcotest.test_case "snapshot garbage" `Quick
+            test_snapshot_rejects_garbage;
+          q prop_online_certificate_consistent;
+          q prop_snapshot_restore_identical;
+          q prop_analysis_invariants;
+          q prop_analysis_matches_dual;
+          q prop_analysis_traces_capture_energy;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "PD = OA" `Quick test_pd_equals_oa_on_adversary;
+          Alcotest.test_case "ratio grows" `Quick test_pd_adversarial_ratio;
+        ] );
+    ]

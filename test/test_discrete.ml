@@ -1,0 +1,171 @@
+(* Tests for the discrete speed-level extension. *)
+
+open Speedscale_model
+open Speedscale_discrete
+
+let check_float = Alcotest.(check (float 1e-9))
+let p2 = Power.make 2.0
+let p3 = Power.make 3.0
+
+let slice proc t0 t1 job speed = { Schedule.proc; t0; t1; job; speed }
+
+let test_make_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Levels.make: empty level set")
+    (fun () -> ignore (Levels.make []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Levels.make: levels must be finite > 0") (fun () ->
+      ignore (Levels.make [ 1.0; 0.0 ]));
+  let t = Levels.make [ 2.0; 1.0; 2.0 ] in
+  Alcotest.(check (list (float 0.0))) "sorted dedup" [ 1.0; 2.0 ]
+    (Levels.speeds t)
+
+let test_geometric () =
+  let t = Levels.geometric ~base:1.0 ~ratio:2.0 ~count:4 in
+  Alcotest.(check (list (float 1e-9))) "powers of two" [ 1.0; 2.0; 4.0; 8.0 ]
+    (Levels.speeds t);
+  check_float "max" 8.0 (Levels.max_level t);
+  Alcotest.(check bool) "covering inside" true (Levels.covering t 5.0);
+  Alcotest.(check bool) "not covering above" false (Levels.covering t 9.0)
+
+let test_round_slice_exact_level () =
+  let t = Levels.make [ 1.0; 2.0 ] in
+  match Levels.round_slice t (slice 0 0.0 1.0 0 2.0) with
+  | [ s ] -> check_float "kept" 2.0 s.speed
+  | other -> Alcotest.failf "expected 1 slice, got %d" (List.length other)
+
+let test_round_slice_between_levels () =
+  let t = Levels.make [ 1.0; 3.0 ] in
+  (* speed 2 for 1s: half the time at 3, half at 1 *)
+  match Levels.round_slice t (slice 0 0.0 1.0 0 2.0) with
+  | [ fast; slow ] ->
+    check_float "fast speed" 3.0 fast.speed;
+    check_float "fast end" 0.5 fast.t1;
+    check_float "slow speed" 1.0 slow.speed;
+    check_float "work preserved" 2.0
+      (((fast.t1 -. fast.t0) *. fast.speed) +. ((slow.t1 -. slow.t0) *. slow.speed))
+  | other -> Alcotest.failf "expected 2 slices, got %d" (List.length other)
+
+let test_round_slice_below_grid () =
+  let t = Levels.make [ 2.0 ] in
+  (* speed 1 for 2s -> speed 2 for 1s then idle *)
+  match Levels.round_slice t (slice 0 0.0 2.0 0 1.0) with
+  | [ s ] ->
+    check_float "level speed" 2.0 s.speed;
+    check_float "busy time" 1.0 (s.t1 -. s.t0);
+    check_float "work" 2.0 ((s.t1 -. s.t0) *. s.speed)
+  | other -> Alcotest.failf "expected 1 slice, got %d" (List.length other)
+
+let test_round_slice_above_grid () =
+  let t = Levels.make [ 1.0 ] in
+  match Levels.round_slice t (slice 0 0.0 1.0 0 5.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let instance_for_pd =
+  Instance.make ~power:p2 ~machines:2
+    [
+      Job.make ~id:0 ~release:0.0 ~deadline:2.0 ~workload:2.0 ~value:40.0;
+      Job.make ~id:1 ~release:0.0 ~deadline:1.0 ~workload:1.5 ~value:30.0;
+      Job.make ~id:2 ~release:0.5 ~deadline:3.0 ~workload:1.0 ~value:20.0;
+    ]
+
+let test_round_schedule_stays_feasible () =
+  let r = Speedscale_core.Pd.run instance_for_pd in
+  let levels = Levels.geometric ~base:0.05 ~ratio:1.5 ~count:14 in
+  let rounded = Levels.round_schedule levels r.schedule in
+  (match Schedule.validate instance_for_pd rounded with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rounded schedule invalid: %s" e);
+  (* same jobs finished *)
+  Alcotest.(check (list int)) "finished set preserved"
+    (Schedule.finished instance_for_pd r.schedule)
+    (Schedule.finished instance_for_pd rounded)
+
+let test_overhead_decreases_with_density () =
+  let r = Speedscale_core.Pd.run instance_for_pd in
+  let overhead count =
+    Levels.energy_overhead p2
+      (Levels.geometric ~base:0.05 ~ratio:(64.0 ** (1.0 /. float_of_int count))
+         ~count:(count + 1))
+      r.schedule
+  in
+  let o4 = overhead 4 and o16 = overhead 16 and o64 = overhead 64 in
+  Alcotest.(check bool) "all >= 1" true (o4 >= 1.0 && o16 >= 1.0 && o64 >= 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone towards 1: %.4f >= %.4f >= %.4f" o4 o16 o64)
+    true
+    (o4 >= o16 -. 1e-9 && o16 >= o64 -. 1e-9);
+  Alcotest.(check bool) "dense grid nearly free" true (o64 < 1.01)
+
+let prop_rounding_preserves_work =
+  QCheck.Test.make ~name:"rounding preserves every job's work" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 10)
+           (triple (make Gen.(float_range 0.1 5.0))
+              (make Gen.(float_range 0.1 3.0))
+              (make Gen.(float_range 0.05 7.9))))
+        (int_range 1 6))
+    (fun (slices, count) ->
+      let slices =
+        List.mapi
+          (fun i (t0, dur, speed) -> slice 0 t0 (t0 +. dur) i speed)
+          slices
+      in
+      let sched = Schedule.make ~machines:1 ~rejected:[] slices in
+      let levels = Levels.geometric ~base:0.05 ~ratio:2.0 ~count:(count + 8) in
+      let rounded = Levels.round_schedule levels sched in
+      List.for_all
+        (fun (sl : Schedule.slice) ->
+          Float.abs
+            (Schedule.work_of_job rounded sl.job
+            -. Schedule.work_of_job sched sl.job)
+          <= 1e-6)
+        slices)
+
+let prop_rounded_speeds_on_grid =
+  QCheck.Test.make ~name:"every rounded slice sits exactly on a level"
+    ~count:200
+    QCheck.(make Gen.(float_range 0.05 7.9))
+    (fun speed ->
+      let levels = Levels.geometric ~base:0.05 ~ratio:2.0 ~count:9 in
+      let rounded = Levels.round_slice levels (slice 0 0.0 1.0 0 speed) in
+      List.for_all
+        (fun (sl : Schedule.slice) ->
+          List.exists
+            (fun l -> Float.abs (l -. sl.speed) <= 1e-9 *. (1.0 +. l))
+            (Levels.speeds levels))
+        rounded)
+
+let prop_overhead_at_least_one =
+  QCheck.Test.make ~name:"discrete emulation never saves energy" ~count:100
+    QCheck.(make Gen.(float_range 0.06 7.9))
+    (fun speed ->
+      let levels = Levels.geometric ~base:0.05 ~ratio:2.0 ~count:9 in
+      let sched =
+        Schedule.make ~machines:1 ~rejected:[] [ slice 0 0.0 1.0 0 speed ]
+      in
+      Levels.energy_overhead p3 levels sched >= 1.0 -. 1e-9)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "discrete"
+    [
+      ( "levels",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "exact level" `Quick test_round_slice_exact_level;
+          Alcotest.test_case "between levels" `Quick
+            test_round_slice_between_levels;
+          Alcotest.test_case "below grid" `Quick test_round_slice_below_grid;
+          Alcotest.test_case "above grid" `Quick test_round_slice_above_grid;
+          Alcotest.test_case "schedule stays feasible" `Quick
+            test_round_schedule_stays_feasible;
+          Alcotest.test_case "overhead decreases" `Quick
+            test_overhead_decreases_with_density;
+          q prop_rounding_preserves_work;
+          q prop_rounded_speeds_on_grid;
+          q prop_overhead_at_least_one;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Edge-case and robustness suite: pathological instances across the whole
+   stack.  Each case runs PD end-to-end, validates the schedule, and checks
+   the Theorem 3 certificate — the invariants that must survive any
+   numerical corner. *)
+
+open Speedscale_model
+
+let mk ~id ~r ~d ~w ~v = Job.make ~id ~release:r ~deadline:d ~workload:w ~value:v
+
+let run_and_check name (inst : Instance.t) =
+  let r = Speedscale_core.Pd.run inst in
+  (match Schedule.validate inst r.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid schedule: %s" name e);
+  let cost = Cost.total r.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: certificate (cost %.6g <= %.6g)" name cost
+       (r.guarantee *. r.dual_bound))
+    true
+    (cost <= (r.guarantee *. r.dual_bound) +. (1e-6 *. (1.0 +. cost)));
+  Alcotest.(check bool)
+    (name ^ ": finite cost") true (Float.is_finite cost);
+  r
+
+let test_identical_jobs () =
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:2
+      (List.init 4 (fun i -> mk ~id:i ~r:0.0 ~d:1.0 ~w:1.0 ~v:50.0))
+  in
+  let r = run_and_check "identical" inst in
+  (* four equal jobs, two processors: pool at speed 2 each *)
+  Alcotest.(check (float 1e-6)) "energy 2*1*2^2" 8.0 r.cost.energy
+
+let test_nested_windows () =
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:1
+      [
+        mk ~id:0 ~r:0.0 ~d:8.0 ~w:2.0 ~v:1e6;
+        mk ~id:1 ~r:1.0 ~d:7.0 ~w:2.0 ~v:1e6;
+        mk ~id:2 ~r:2.0 ~d:6.0 ~w:2.0 ~v:1e6;
+        mk ~id:3 ~r:3.0 ~d:5.0 ~w:2.0 ~v:1e6;
+      ]
+  in
+  ignore (run_and_check "nested" inst)
+
+let test_zero_laxity_chain () =
+  (* back-to-back zero-laxity jobs force exact speeds *)
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:1
+      (List.init 5 (fun i ->
+           mk ~id:i
+             ~r:(float_of_int i)
+             ~d:(float_of_int (i + 1))
+             ~w:(1.0 +. (0.3 *. float_of_int i))
+             ~v:1e6))
+  in
+  let r = run_and_check "zero-laxity" inst in
+  Alcotest.(check int) "all accepted" 5 (List.length r.accepted)
+
+let test_extreme_alpha_high () =
+  let inst =
+    Instance.make ~power:(Power.make 8.0) ~machines:2
+      [
+        mk ~id:0 ~r:0.0 ~d:1.0 ~w:1.2 ~v:5.0;
+        mk ~id:1 ~r:0.2 ~d:1.5 ~w:0.7 ~v:3.0;
+        mk ~id:2 ~r:0.4 ~d:2.0 ~w:0.9 ~v:0.001;
+      ]
+  in
+  ignore (run_and_check "alpha=8" inst)
+
+let test_extreme_alpha_low () =
+  let inst =
+    Instance.make ~power:(Power.make 1.05) ~machines:1
+      [
+        mk ~id:0 ~r:0.0 ~d:1.0 ~w:1.2 ~v:5.0;
+        mk ~id:1 ~r:0.2 ~d:1.5 ~w:0.7 ~v:0.4;
+      ]
+  in
+  ignore (run_and_check "alpha=1.05" inst)
+
+let test_extreme_magnitudes () =
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:1
+      [
+        mk ~id:0 ~r:1e6 ~d:(1e6 +. 1.0) ~w:1e-6 ~v:1e9;
+        mk ~id:1 ~r:1e6 ~d:(1e6 +. 2.0) ~w:1e3 ~v:1e-6;
+      ]
+  in
+  let r = run_and_check "magnitudes" inst in
+  (* the heavy near-worthless job must be rejected *)
+  Alcotest.(check bool) "heavy job rejected" true (List.mem 1 r.rejected)
+
+let test_burst_arrivals () =
+  let inst =
+    Instance.make ~power:(Power.make 3.0) ~machines:4
+      (List.init 20 (fun i ->
+           mk ~id:i ~r:0.0
+             ~d:(1.0 +. (0.1 *. float_of_int (i mod 5)))
+             ~w:(0.4 +. (0.05 *. float_of_int i))
+             ~v:(if i mod 3 = 0 then 0.05 else 10.0)))
+  in
+  let r = run_and_check "burst-20" inst in
+  Alcotest.(check bool) "some rejected" true (r.rejected <> [])
+
+let test_zero_value_jobs () =
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:1
+      [
+        mk ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 ~v:0.0;
+        mk ~id:1 ~r:0.0 ~d:2.0 ~w:1.0 ~v:100.0;
+      ]
+  in
+  let r = run_and_check "zero value" inst in
+  Alcotest.(check bool) "free job rejected" true (List.mem 0 r.rejected);
+  Alcotest.(check (float 1e-9)) "no value lost beyond 0" 0.0 r.cost.lost_value
+
+let test_tiny_delta_degrades_gracefully () =
+  (* The alpha^alpha certificate is proven only at delta = delta* (the
+     assembly in Theorem 3 uses delta* exactly; Lemma 9's delta*E_PD term
+     vanishes as delta -> 0).  With a tiny delta PD must still produce a
+     feasible schedule and a VALID lower bound g <= OPT — just a weaker
+     one. *)
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:2
+      [
+        mk ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 ~v:4.0;
+        mk ~id:1 ~r:0.3 ~d:1.8 ~w:1.5 ~v:6.0;
+        mk ~id:2 ~r:0.6 ~d:2.0 ~w:0.8 ~v:0.2;
+      ]
+  in
+  let r = Speedscale_core.Pd.run ~delta:1e-6 inst in
+  (match Schedule.validate inst r.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "tiny delta: %s" e);
+  let opt = Speedscale_multi.Opt.solve inst in
+  Alcotest.(check bool) "weak duality survives any delta" true
+    (r.dual_bound <= opt.cost +. (2e-2 *. (1.0 +. opt.cost)));
+  (* and the certificate DOES hold at delta* on the same instance *)
+  let r_star = Speedscale_core.Pd.run inst in
+  Alcotest.(check bool) "certificate at delta*" true
+    (Cost.total r_star.cost <= (r_star.guarantee *. r_star.dual_bound) +. 1e-6)
+
+let test_more_jobs_than_machines_single_interval () =
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:3
+      (List.init 9 (fun i ->
+           mk ~id:i ~r:0.0 ~d:1.0 ~w:(0.5 +. (0.1 *. float_of_int i)) ~v:1e6))
+  in
+  let r = run_and_check "9 jobs 3 machines" inst in
+  (* everything accepted; pool spreads the total over 3 processors *)
+  Alcotest.(check int) "all accepted" 9 (List.length r.accepted)
+
+let test_long_quiet_gap () =
+  (* two activity islands separated by a long idle gap *)
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:1
+      [
+        mk ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 ~v:1e6;
+        mk ~id:1 ~r:1000.0 ~d:1001.0 ~w:1.0 ~v:1e6;
+      ]
+  in
+  let r = run_and_check "quiet gap" inst in
+  (* no energy burned in the gap *)
+  Alcotest.(check (float 1e-6)) "energy islands only" 2.0 r.cost.energy
+
+let test_repeated_boundaries () =
+  (* many jobs sharing the same deadline: refinement no-ops must be safe *)
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:2
+      (List.init 8 (fun i ->
+           mk ~id:i ~r:(0.25 *. float_of_int (i / 2)) ~d:4.0 ~w:0.8 ~v:1e6))
+  in
+  ignore (run_and_check "repeated boundaries" inst)
+
+let test_yds_zero_laxity_stack () =
+  (* YDS on simultaneous zero-laxity jobs is exactly their density sum *)
+  let jobs =
+    [
+      mk ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:Float.infinity;
+      mk ~id:1 ~r:0.0 ~d:1.0 ~w:3.0 ~v:Float.infinity;
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "density 5, alpha 2" 25.0
+    (Speedscale_single.Yds.energy (Power.make 2.0) jobs)
+
+let test_chen_degenerate_interval () =
+  (* extremely short interval with large loads: speeds blow up but stay
+     finite and consistent *)
+  let t =
+    Speedscale_chen.Chen.build ~machines:2 ~length:1e-9 [ (0, 1.0); (1, 2.0) ]
+  in
+  let speeds = Speedscale_chen.Chen.processor_loads t in
+  Alcotest.(check bool) "finite loads" true
+    (Array.for_all Float.is_finite speeds);
+  Alcotest.(check (float 1e-3)) "speed of big job" (2.0 /. 1e-9)
+    (Speedscale_chen.Chen.speed_of_job t 1)
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "pd-corners",
+        [
+          Alcotest.test_case "identical jobs" `Quick test_identical_jobs;
+          Alcotest.test_case "nested windows" `Quick test_nested_windows;
+          Alcotest.test_case "zero laxity chain" `Quick test_zero_laxity_chain;
+          Alcotest.test_case "alpha = 8" `Quick test_extreme_alpha_high;
+          Alcotest.test_case "alpha = 1.05" `Quick test_extreme_alpha_low;
+          Alcotest.test_case "extreme magnitudes" `Quick test_extreme_magnitudes;
+          Alcotest.test_case "burst of 20" `Quick test_burst_arrivals;
+          Alcotest.test_case "zero-value jobs" `Quick test_zero_value_jobs;
+          Alcotest.test_case "tiny delta" `Quick test_tiny_delta_degrades_gracefully;
+          Alcotest.test_case "9 jobs / 3 machines" `Quick
+            test_more_jobs_than_machines_single_interval;
+          Alcotest.test_case "long quiet gap" `Quick test_long_quiet_gap;
+          Alcotest.test_case "repeated boundaries" `Quick test_repeated_boundaries;
+        ] );
+      ( "substrate-corners",
+        [
+          Alcotest.test_case "yds zero-laxity stack" `Quick
+            test_yds_zero_laxity_stack;
+          Alcotest.test_case "chen degenerate interval" `Quick
+            test_chen_degenerate_interval;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Tests for the uniform algorithm driver and the ratio metrics. *)
+
+open Speedscale_model
+open Speedscale_sim
+open Speedscale_metrics
+
+let p2 = Power.make 2.0
+
+let mk_job ~id ~r ~d ~w ?(v = Float.infinity) () =
+  Job.make ~id ~release:r ~deadline:d ~workload:w ~value:v
+
+let small_single =
+  Instance.make ~power:p2 ~machines:1
+    [
+      mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 ~v:9.0 ();
+      mk_job ~id:1 ~r:0.5 ~d:1.5 ~w:1.0 ~v:9.0 ();
+      mk_job ~id:2 ~r:1.0 ~d:3.0 ~w:0.5 ~v:0.01 ();
+    ]
+
+let small_multi =
+  Instance.make ~power:p2 ~machines:2
+    [
+      mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:2.0 ~v:20.0 ();
+      mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:1.0 ~v:20.0 ();
+      mk_job ~id:2 ~r:1.0 ~d:3.0 ~w:1.0 ~v:20.0 ();
+    ]
+
+let test_evaluate_pd () =
+  let r = Driver.evaluate Driver.pd small_single in
+  Alcotest.(check string) "name" "PD" r.algorithm;
+  (match r.validation with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "PD invalid: %s" e);
+  let direct = Speedscale_core.Pd.run small_single in
+  Alcotest.(check (float 1e-9))
+    "cost matches direct run"
+    (Cost.total direct.cost)
+    (Cost.total r.cost)
+
+let test_applicability_gate () =
+  Alcotest.(check bool) "OA not applicable on m=2" false
+    (Driver.oa.applicable small_multi);
+  Alcotest.check_raises "evaluate raises"
+    (Invalid_argument "Driver.evaluate: OA is not applicable here") (fun () ->
+      ignore (Driver.evaluate Driver.oa small_multi))
+
+let test_all_single_processor_algorithms_valid () =
+  List.iter
+    (fun alg ->
+      if alg.Driver.applicable small_single then begin
+        let r = Driver.evaluate alg small_single in
+        match r.validation with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s invalid: %s" alg.Driver.name e
+      end)
+    Driver.all
+
+let test_all_multi_processor_algorithms_valid () =
+  List.iter
+    (fun alg ->
+      if alg.Driver.applicable small_multi then begin
+        let r = Driver.evaluate alg small_multi in
+        match r.validation with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s invalid: %s" alg.Driver.name e
+      end)
+    Driver.all
+
+let test_offline_dominates_online () =
+  (* exact profitable optimum is cheapest among profitable algorithms *)
+  let opt = Driver.evaluate Driver.opt_small small_single in
+  let pd = Driver.evaluate Driver.pd small_single in
+  let cll = Driver.evaluate Driver.cll small_single in
+  Alcotest.(check bool) "opt <= pd" true
+    (Cost.total opt.cost <= Cost.total pd.cost +. 1e-2);
+  Alcotest.(check bool) "opt <= cll" true
+    (Cost.total opt.cost <= Cost.total cll.cost +. 1e-2)
+
+let test_pd_with_delta_name () =
+  let alg = Driver.pd_with_delta 0.25 in
+  Alcotest.(check string) "name carries delta" "PD(delta=0.25)" alg.name;
+  let r = Driver.evaluate alg small_single in
+  match r.validation with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Ratio metrics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ratio_make () =
+  let s = Ratio.make ~cost:6.0 ~lower_bound:2.0 in
+  Alcotest.(check (float 1e-9)) "ratio" 3.0 s.ratio;
+  Alcotest.check_raises "zero lower bound"
+    (Invalid_argument "Ratio.make: lower bound must be > 0 (got 0)") (fun () ->
+      ignore (Ratio.make ~cost:1.0 ~lower_bound:0.0))
+
+let test_ratio_aggregate () =
+  let samples =
+    [
+      Ratio.make ~cost:2.0 ~lower_bound:1.0;
+      Ratio.make ~cost:3.0 ~lower_bound:1.0;
+      Ratio.make ~cost:5.0 ~lower_bound:1.0;
+    ]
+  in
+  let a = Ratio.aggregate ~guarantee:4.0 samples in
+  Alcotest.(check int) "count" 3 a.count;
+  Alcotest.(check (float 1e-9)) "max" 5.0 a.max_ratio;
+  Alcotest.(check int) "one violation" 1 a.violations;
+  Alcotest.(check (float 1e-9)) "mean" (10.0 /. 3.0) a.mean_ratio
+
+(* ------------------------------------------------------------------ *)
+(* Structure metrics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let slice proc t0 t1 job speed = { Schedule.proc; t0; t1; job; speed }
+
+let test_structure_counts () =
+  (* job 0: runs [0,1) on proc 0, pauses, resumes [2,3) on proc 1:
+     one preemption, one migration *)
+  let s =
+    Schedule.make ~machines:2 ~rejected:[]
+      [ slice 0 0.0 1.0 0 1.0; slice 1 2.0 3.0 0 1.0; slice 1 0.0 1.0 1 2.0 ]
+  in
+  let st = Structure.of_schedule s in
+  Alcotest.(check int) "slices" 3 st.n_slices;
+  Alcotest.(check int) "preemptions" 1 st.preemptions;
+  Alcotest.(check int) "migrations" 1 st.migrations;
+  Alcotest.(check (float 1e-9)) "busy" 3.0 st.busy_time;
+  Alcotest.(check (float 1e-9)) "max speed" 2.0 st.max_speed;
+  (* span 3, 2 machines: utilization 3/6 *)
+  Alcotest.(check (float 1e-9)) "utilization" 0.5 st.utilization
+
+let test_structure_contiguous_same_proc () =
+  (* contiguous same-processor slices are neither preemption nor
+     migration (a speed change at an interval boundary) *)
+  let s =
+    Schedule.make ~machines:1 ~rejected:[]
+      [ slice 0 0.0 1.0 0 1.0; slice 0 1.0 2.0 0 2.0 ]
+  in
+  let st = Structure.of_schedule s in
+  Alcotest.(check int) "no preemption" 0 st.preemptions;
+  Alcotest.(check int) "no migration" 0 st.migrations
+
+let test_structure_empty () =
+  let st = Structure.of_schedule (Schedule.make ~machines:2 ~rejected:[] []) in
+  Alcotest.(check int) "no slices" 0 st.n_slices;
+  Alcotest.(check (float 0.0)) "zero utilization" 0.0 st.utilization
+
+(* ------------------------------------------------------------------ *)
+(* Profit view                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_profit_identity () =
+  let r = Driver.evaluate Driver.pd small_single in
+  let profit = Profit.of_schedule small_single r.schedule in
+  let gap = Profit.identity_gap small_single r.schedule in
+  Alcotest.(check (float 1e-6)) "profit + cost = total value" 0.0 gap;
+  Alcotest.(check (float 1e-6)) "explicit identity"
+    (Instance.total_value small_single -. Cost.total r.cost)
+    profit
+
+let test_profit_can_be_negative () =
+  (* a schedule that burns energy finishing a worthless job *)
+  let inst =
+    Instance.make ~power:p2 ~machines:1
+      [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:0.5 () ]
+  in
+  let s = Schedule.make ~machines:1 ~rejected:[] [ slice 0 0.0 1.0 0 2.0 ] in
+  Alcotest.(check (float 1e-9)) "0.5 - 4" (-3.5) (Profit.of_schedule inst s)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_baselines_extremes () =
+  let all = Baselines.admit_all small_single in
+  Alcotest.(check (list int)) "admit-all rejects none" [] all.rejected;
+  (match Schedule.validate
+           (Instance.with_values small_single (fun _ -> Float.infinity))
+           all
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "admit-all invalid: %s" e);
+  let none = Baselines.reject_all small_single in
+  Alcotest.(check int) "reject-all rejects all" 3 (List.length none.rejected);
+  Alcotest.(check (float 1e-9)) "reject-all cost = total value"
+    (Instance.total_value small_single)
+    (Cost.total (Schedule.cost small_single none))
+
+let test_value_density_threshold_behaviour () =
+  (* small_single: two jobs with v/w = 9, one with v/w = 0.02 *)
+  let low = Baselines.value_density_threshold 0.01 small_single in
+  Alcotest.(check (list int)) "low threshold admits all" [] low.rejected;
+  let mid = Baselines.value_density_threshold 1.0 small_single in
+  Alcotest.(check (list int)) "mid threshold drops the cheap job" [ 2 ]
+    mid.rejected;
+  let high = Baselines.value_density_threshold 100.0 small_single in
+  Alcotest.(check int) "high threshold drops everything" 3
+    (List.length high.rejected)
+
+let test_best_static_threshold () =
+  let c, cost =
+    Baselines.best_static_threshold ~candidates:[ 0.01; 1.0; 100.0 ]
+      small_single
+  in
+  (* best must be at least as good as each candidate *)
+  List.iter
+    (fun c' ->
+      let cost' =
+        Schedule.cost small_single
+          (Baselines.value_density_threshold c' small_single)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "best (%.2g) <= %.2g" c c')
+        true
+        (Cost.total cost <= Cost.total cost' +. 1e-9))
+    [ 0.01; 1.0; 100.0 ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "evaluate pd" `Quick test_evaluate_pd;
+          Alcotest.test_case "applicability" `Quick test_applicability_gate;
+          Alcotest.test_case "single-proc algorithms" `Quick
+            test_all_single_processor_algorithms_valid;
+          Alcotest.test_case "multi-proc algorithms" `Quick
+            test_all_multi_processor_algorithms_valid;
+          Alcotest.test_case "offline dominates" `Quick
+            test_offline_dominates_online;
+          Alcotest.test_case "pd with delta" `Quick test_pd_with_delta_name;
+        ] );
+      ( "ratio",
+        [
+          Alcotest.test_case "make" `Quick test_ratio_make;
+          Alcotest.test_case "aggregate" `Quick test_ratio_aggregate;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "counts" `Quick test_structure_counts;
+          Alcotest.test_case "contiguous" `Quick test_structure_contiguous_same_proc;
+          Alcotest.test_case "empty" `Quick test_structure_empty;
+        ] );
+      ( "profit",
+        [
+          Alcotest.test_case "identity" `Quick test_profit_identity;
+          Alcotest.test_case "negative" `Quick test_profit_can_be_negative;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "glyphs" `Quick (fun () ->
+              Alcotest.(check char) "digit" '7' (Gantt.job_glyph 7);
+              Alcotest.(check char) "letter" 'a' (Gantt.job_glyph 10);
+              Alcotest.(check char) "overflow" '*' (Gantt.job_glyph 99));
+          Alcotest.test_case "renders lanes" `Quick (fun () ->
+              let s =
+                Schedule.make ~machines:2 ~rejected:[]
+                  [ slice 0 0.0 1.0 0 1.0; slice 1 0.5 1.5 1 2.0 ]
+              in
+              let out = Gantt.render ~width:20 s in
+              Alcotest.(check bool) "lane p0" true
+                (String.length out > 0
+                && String.split_on_char '\n' out
+                   |> List.exists (fun l ->
+                          String.length l >= 3 && String.sub l 0 3 = "p0 "));
+              Alcotest.(check bool) "mentions job glyph 1" true
+                (String.contains out '1'));
+          Alcotest.test_case "empty schedule" `Quick (fun () ->
+              Alcotest.(check string) "note" "(empty schedule)"
+                (Gantt.render (Schedule.make ~machines:1 ~rejected:[] [])));
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "extremes" `Quick test_baselines_extremes;
+          Alcotest.test_case "density threshold" `Quick
+            test_value_density_threshold_behaviour;
+          Alcotest.test_case "best static" `Quick test_best_static_threshold;
+        ] );
+    ]

@@ -1,0 +1,434 @@
+(* Tests for the single-processor classics: YDS (exact offline optimum),
+   OA, AVR, BKP and the Chan-Lam-Li profitable algorithm. *)
+
+open Speedscale_model
+open Speedscale_single
+
+let check_float = Alcotest.(check (float 1e-6))
+let p2 = Power.make 2.0
+let p3 = Power.make 3.0
+
+let mk_job ~id ~r ~d ~w ?(v = Float.infinity) () =
+  Job.make ~id ~release:r ~deadline:d ~workload:w ~value:v
+
+let instance ?(power = p2) ?(machines = 1) jobs =
+  Instance.make ~power ~machines jobs
+
+(* ------------------------------------------------------------------ *)
+(* YDS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_yds_single_job () =
+  let jobs = [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:3.0 () ] in
+  (match Yds.profile jobs with
+  | [ (a, b, s) ] ->
+    check_float "t0" 0.0 a;
+    check_float "t1" 1.0 b;
+    check_float "speed" 3.0 s
+  | other -> Alcotest.failf "expected one segment, got %d" (List.length other));
+  check_float "energy (alpha=3)" 27.0 (Yds.energy p3 jobs)
+
+let test_yds_two_jobs_same_window () =
+  let jobs =
+    [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 (); mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:1.0 () ]
+  in
+  check_float "density 2, alpha 3" 8.0 (Yds.energy p3 jobs)
+
+let test_yds_staggered () =
+  (* j1 [0,2] w=1; j2 [0,1] w=2: critical [0,1] at speed 2, then [1,2] at
+     speed 1. *)
+  let jobs =
+    [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 (); mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:2.0 () ]
+  in
+  (match Yds.rounds jobs with
+  | [ r1; r2 ] ->
+    check_float "first density" 2.0 r1.density;
+    Alcotest.(check (list int)) "first members" [ 1 ] r1.members;
+    check_float "second density" 1.0 r2.density;
+    Alcotest.(check (list int)) "second members" [ 0 ] r2.members;
+    Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+      "second segments" [ (1.0, 2.0) ] r2.segments
+  | rs -> Alcotest.failf "expected 2 rounds, got %d" (List.length rs));
+  check_float "energy alpha=2" 5.0 (Yds.energy p2 jobs)
+
+let test_yds_disjoint_jobs () =
+  let jobs =
+    [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 (); mk_job ~id:1 ~r:3.0 ~d:4.0 ~w:1.0 () ]
+  in
+  check_float "energy alpha=2" 5.0 (Yds.energy p2 jobs);
+  (* the idle gap [1,3] carries no speed *)
+  let total_span =
+    Speedscale_util.Ksum.sum_by (fun (a, b, _) -> b -. a) (Yds.profile jobs)
+  in
+  check_float "busy time" 2.0 total_span
+
+let test_yds_nested_critical () =
+  (* a dense inner job inside a long sparse one *)
+  let jobs =
+    [
+      mk_job ~id:0 ~r:0.0 ~d:10.0 ~w:2.0 ();
+      mk_job ~id:1 ~r:4.0 ~d:5.0 ~w:5.0 ();
+    ]
+  in
+  (match Yds.rounds jobs with
+  | r1 :: _ ->
+    check_float "inner critical density" 5.0 r1.density;
+    Alcotest.(check (list int)) "inner member" [ 1 ] r1.members
+  | [] -> Alcotest.fail "no rounds");
+  (* outer job spreads over the remaining 9 time units *)
+  check_float "outer speed" (2.0 /. 9.0) (Yds.speed_of_job jobs 0)
+
+let test_yds_schedule_valid () =
+  let inst =
+    instance
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 ();
+        mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:2.0 ();
+        mk_job ~id:2 ~r:1.5 ~d:3.0 ~w:1.0 ();
+      ]
+  in
+  let s = Yds.schedule inst in
+  (match Schedule.validate inst s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e);
+  check_float "schedule energy = profile energy"
+    (Yds.energy p2 (Array.to_list inst.jobs))
+    (Schedule.energy p2 s)
+
+let gen_jobs =
+  QCheck.Gen.(
+    let* n = 1 -- 7 in
+    list_size (return n)
+      (let* r = float_range 0.0 6.0 in
+       let* span = float_range 0.3 4.0 in
+       let* w = float_range 0.2 3.0 in
+       return (r, r +. span, w)))
+
+let arb_jobs =
+  QCheck.make gen_jobs ~print:(fun jobs ->
+      String.concat ";"
+        (List.map (fun (r, d, w) -> Printf.sprintf "(%g,%g,%g)" r d w) jobs))
+
+let to_instance ?(power = p2) jobs =
+  instance ~power
+    (List.mapi (fun i (r, d, w) -> mk_job ~id:i ~r ~d ~w ()) jobs)
+
+let prop_yds_schedule_feasible =
+  QCheck.Test.make ~name:"YDS schedule is always feasible" ~count:150 arb_jobs
+    (fun jobs ->
+      let inst = to_instance jobs in
+      match Schedule.validate inst (Yds.schedule inst) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_yds_densities_decreasing =
+  QCheck.Test.make ~name:"YDS round densities are non-increasing" ~count:150
+    arb_jobs (fun jobs ->
+      let inst = to_instance jobs in
+      let rec decreasing = function
+        | (a : Yds.round) :: (b :: _ as rest) ->
+          a.density >= b.density -. 1e-9 && decreasing rest
+        | _ -> true
+      in
+      decreasing (Yds.rounds (Array.to_list inst.jobs)))
+
+let prop_yds_beats_feasible_alternatives =
+  QCheck.Test.make ~name:"YDS energy <= AVR energy (optimality spot check)"
+    ~count:150 arb_jobs (fun jobs ->
+      let inst = to_instance jobs in
+      let yds = Yds.energy p2 (Array.to_list inst.jobs) in
+      yds <= Avr.energy inst +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* OA                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_oa_single_job_equals_yds () =
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 () ] in
+  check_float "same as YDS" (Yds.energy p2 (Array.to_list inst.jobs))
+    (Oa.energy inst)
+
+let test_oa_planned_speed () =
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 () ] in
+  check_float "planned speed = density" 2.0
+    (Oa.planned_speed_of_new_job inst 0)
+
+let prop_oa_feasible_and_bounded =
+  QCheck.Test.make
+    ~name:"OA feasible; YDS <= OA <= alpha^alpha * YDS" ~count:100 arb_jobs
+    (fun jobs ->
+      let inst = to_instance jobs in
+      let s = Oa.schedule inst in
+      (match Schedule.validate inst s with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "infeasible OA schedule: %s" e);
+      let oa = Schedule.energy p2 s in
+      let yds = Yds.energy p2 (Array.to_list inst.jobs) in
+      yds <= oa +. 1e-6 *. (1.0 +. oa)
+      && oa <= (4.0 *. yds) +. 1e-6)
+
+(* the classical lower-bound instance drives OA towards alpha^alpha *)
+let test_oa_adversarial_ratio_grows () =
+  let n = 12 in
+  let alpha = 2.0 in
+  let jobs =
+    List.init n (fun i ->
+        let j = i + 1 in
+        mk_job ~id:i ~r:(float_of_int (j - 1)) ~d:(float_of_int n)
+          ~w:(float_of_int (n - j + 1) ** (-1.0 /. alpha))
+          ())
+  in
+  let inst = instance jobs in
+  let ratio = Oa.energy inst /. Yds.energy p2 (Array.to_list inst.jobs) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f in (1.5, 4]" ratio)
+    true
+    (ratio > 1.5 && ratio <= 4.0 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* AVR                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_avr_single_job () =
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 () ] in
+  (* constant density 2 over 2 time units *)
+  check_float "energy" 8.0 (Avr.energy inst)
+
+let test_avr_overlap () =
+  (* two jobs, overlapping on [1,2]: speeds 1; 2; 1 *)
+  let inst =
+    instance
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:2.0 ();
+        mk_job ~id:1 ~r:1.0 ~d:3.0 ~w:2.0 ();
+      ]
+  in
+  check_float "piecewise energy" (1.0 +. 4.0 +. 1.0) (Avr.energy inst)
+
+let prop_avr_feasible =
+  QCheck.Test.make ~name:"AVR schedule feasible; energy matches closed form"
+    ~count:150 arb_jobs (fun jobs ->
+      let inst = to_instance jobs in
+      let s = Avr.schedule inst in
+      (match Schedule.validate inst s with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "infeasible AVR schedule: %s" e);
+      Float.abs (Schedule.energy p2 s -. Avr.energy inst)
+      <= 1e-6 *. (1.0 +. Avr.energy inst))
+
+(* ------------------------------------------------------------------ *)
+(* BKP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bkp_single_job_speed () =
+  (* speed formula at t inside the window of a single job *)
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 () ] in
+  (* at t=0: max over t2=1: w(0, -(e-1), 1)/(e(1-0)) = 1/e; s = e * 1/e = 1 *)
+  check_float "speed at release" 1.0 (Bkp.speed_at inst 0.0)
+
+let prop_bkp_feasible_and_dominates_yds =
+  QCheck.Test.make ~name:"BKP feasible; energy >= YDS" ~count:40 arb_jobs
+    (fun jobs ->
+      let inst = to_instance jobs in
+      let s = Bkp.schedule ~steps_per_interval:32 inst in
+      (match Schedule.validate inst s with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "infeasible BKP schedule: %s" e);
+      Schedule.energy p2 s >= Yds.energy p2 (Array.to_list inst.jobs) -. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Oa_engine: the shared admission/execution core                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_admission_called_once_per_job () =
+  let inst =
+    instance
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 ~v:5.0 ();
+        mk_job ~id:1 ~r:0.5 ~d:2.5 ~w:1.0 ~v:5.0 ();
+        mk_job ~id:2 ~r:0.5 ~d:3.0 ~w:1.0 ~v:5.0 ();
+      ]
+  in
+  let seen = ref [] in
+  let admit ~now:_ ~plan:_ ~candidate =
+    seen := (candidate : Job.t).id :: !seen;
+    true
+  in
+  ignore (Oa_engine.run ~admit inst);
+  Alcotest.(check (list int)) "each job probed exactly once, in order"
+    [ 0; 1; 2 ] (List.rev !seen)
+
+let test_engine_rejected_never_processed () =
+  let inst =
+    instance
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 ~v:5.0 ();
+        mk_job ~id:1 ~r:0.0 ~d:2.0 ~w:1.0 ~v:5.0 ();
+      ]
+  in
+  let admit ~now:_ ~plan:_ ~candidate = (candidate : Job.t).id <> 1 in
+  let s = Oa_engine.run ~admit inst in
+  Alcotest.(check (list int)) "job 1 rejected" [ 1 ] s.rejected;
+  check_float "no work on rejected job" 0.0 (Schedule.work_of_job s 1);
+  check_float "accepted job done" 1.0 (Schedule.work_of_job s 0)
+
+let test_engine_admission_sees_candidate_in_plan () =
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:3.0 ~v:5.0 () ] in
+  let saw = ref false in
+  let admit ~now:_ ~plan ~candidate =
+    saw := List.exists (fun (j : Job.t) -> j.id = (candidate : Job.t).id) plan;
+    true
+  in
+  ignore (Oa_engine.run ~admit inst);
+  Alcotest.(check bool) "plan includes the candidate" true !saw
+
+(* ------------------------------------------------------------------ *)
+(* qOA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_qoa_q_factor () =
+  check_float "q at alpha=2" 1.5 (Qoa.q_factor p2);
+  check_float "q at alpha=3" (5.0 /. 3.0) (Qoa.q_factor p3)
+
+let test_qoa_single_job () =
+  (* one job: OA speed = density 2; qOA starts at 3 but its plan speed
+     decays as it runs ahead; energy sits between YDS's 8 and 12. *)
+  let inst = instance [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 () ] in
+  let e = Qoa.energy inst in
+  Alcotest.(check bool)
+    (Printf.sprintf "energy %g in [8, 12.1]" e)
+    true
+    (e >= 8.0 -. 1e-6 && e <= 12.1)
+
+let prop_qoa_feasible_and_dominates_yds =
+  QCheck.Test.make ~name:"qOA feasible; YDS <= qOA <= q^(alpha-1) OA + slack"
+    ~count:40 arb_jobs (fun jobs ->
+      let inst = to_instance jobs in
+      let s = Qoa.schedule ~steps_per_interval:16 inst in
+      (match Schedule.validate inst s with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "infeasible qOA schedule: %s" e);
+      let qoa = Schedule.energy p2 s in
+      let yds = Yds.energy p2 (Array.to_list inst.jobs) in
+      let oa = Oa.energy inst in
+      qoa >= yds -. (1e-6 *. (1.0 +. yds))
+      && qoa <= (Qoa.q_factor p2 ** 2.0 *. oa) +. (1e-2 *. (1.0 +. oa)))
+
+(* ------------------------------------------------------------------ *)
+(* CLL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cll_threshold_formula () =
+  (* alpha = 2: threshold = 1 * (v/w)^(1) = v/w *)
+  let j = mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:6.0 () in
+  check_float "alpha=2 threshold" 3.0 (Cll.threshold_speed p2 j);
+  (* infinite value -> never reject *)
+  let j_inf = mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 () in
+  check_float "infinite" Float.infinity (Cll.threshold_speed p2 j_inf)
+
+let test_cll_accepts_valuable () =
+  let inst =
+    instance [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 ~v:100.0 () ]
+  in
+  let s = Cll.schedule inst in
+  Alcotest.(check (list int)) "no rejections" [] s.rejected;
+  check_float "cost is energy" 1.0 (Cost.total (Cll.cost inst))
+
+let test_cll_rejects_worthless () =
+  (* planned speed 2, threshold v/w = 0.05/2 -> reject; cost = value *)
+  let inst =
+    instance [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:0.05 () ]
+  in
+  let s = Cll.schedule inst in
+  Alcotest.(check (list int)) "rejected" [ 0 ] s.rejected;
+  check_float "cost = lost value" 0.05 (Cost.total (Cll.cost inst))
+
+let prop_cll_infinite_values_equals_oa =
+  QCheck.Test.make ~name:"CLL with infinite values degenerates to OA"
+    ~count:60 arb_jobs (fun jobs ->
+      let inst = to_instance jobs in
+      Float.abs (Cost.total (Cll.cost inst) -. Oa.energy inst)
+      <= 1e-6 *. (1.0 +. Oa.energy inst))
+
+let prop_cll_cost_bounded_by_reject_all =
+  QCheck.Test.make ~name:"CLL never loses more than all values" ~count:60
+    QCheck.(
+      pair arb_jobs
+        (list_of_size Gen.(1 -- 7) (make Gen.(float_range 0.05 5.0))))
+    (fun (jobs, values) ->
+      QCheck.assume (List.length values >= List.length jobs);
+      let inst =
+        instance
+          (List.mapi
+             (fun i (r, d, w) -> mk_job ~id:i ~r ~d ~w ~v:(List.nth values i) ())
+             jobs)
+      in
+      let c = Cll.cost inst in
+      (* sanity: the schedule is feasible and the lost value is the sum of
+         rejected jobs' values *)
+      (match Schedule.validate inst (Cll.schedule inst) with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "infeasible CLL: %s" e);
+      c.lost_value <= Instance.total_value inst +. 1e-9)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "single"
+    [
+      ( "yds",
+        [
+          Alcotest.test_case "single job" `Quick test_yds_single_job;
+          Alcotest.test_case "two jobs same window" `Quick
+            test_yds_two_jobs_same_window;
+          Alcotest.test_case "staggered" `Quick test_yds_staggered;
+          Alcotest.test_case "disjoint" `Quick test_yds_disjoint_jobs;
+          Alcotest.test_case "nested critical" `Quick test_yds_nested_critical;
+          Alcotest.test_case "schedule valid" `Quick test_yds_schedule_valid;
+          q prop_yds_schedule_feasible;
+          q prop_yds_densities_decreasing;
+          q prop_yds_beats_feasible_alternatives;
+        ] );
+      ( "oa",
+        [
+          Alcotest.test_case "single job = YDS" `Quick
+            test_oa_single_job_equals_yds;
+          Alcotest.test_case "planned speed" `Quick test_oa_planned_speed;
+          Alcotest.test_case "adversarial ratio" `Quick
+            test_oa_adversarial_ratio_grows;
+          q prop_oa_feasible_and_bounded;
+        ] );
+      ( "avr",
+        [
+          Alcotest.test_case "single job" `Quick test_avr_single_job;
+          Alcotest.test_case "overlap" `Quick test_avr_overlap;
+          q prop_avr_feasible;
+        ] );
+      ( "bkp",
+        [
+          Alcotest.test_case "speed formula" `Quick test_bkp_single_job_speed;
+          q prop_bkp_feasible_and_dominates_yds;
+        ] );
+      ( "oa-engine",
+        [
+          Alcotest.test_case "admission once per job" `Quick
+            test_engine_admission_called_once_per_job;
+          Alcotest.test_case "rejected never processed" `Quick
+            test_engine_rejected_never_processed;
+          Alcotest.test_case "candidate in plan" `Quick
+            test_engine_admission_sees_candidate_in_plan;
+        ] );
+      ( "qoa",
+        [
+          Alcotest.test_case "q factor" `Quick test_qoa_q_factor;
+          Alcotest.test_case "single job" `Quick test_qoa_single_job;
+          q prop_qoa_feasible_and_dominates_yds;
+        ] );
+      ( "cll",
+        [
+          Alcotest.test_case "threshold" `Quick test_cll_threshold_formula;
+          Alcotest.test_case "accepts valuable" `Quick test_cll_accepts_valuable;
+          Alcotest.test_case "rejects worthless" `Quick test_cll_rejects_worthless;
+          q prop_cll_infinite_values_equals_oa;
+          q prop_cll_cost_bounded_by_reject_all;
+        ] );
+    ]

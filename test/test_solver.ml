@@ -1,0 +1,420 @@
+(* Tests for the convex-optimization layer: projections, projected
+   gradient, the (CP) program and the dual certificate g(λ). *)
+
+open Speedscale_util
+open Speedscale_model
+open Speedscale_solver
+
+let check_float = Alcotest.(check (float 1e-6))
+let p2 = Power.make 2.0
+let p3 = Power.make 3.0
+
+let mk_job ~id ~r ~d ~w ~v =
+  Job.make ~id ~release:r ~deadline:d ~workload:w ~value:v
+
+(* ------------------------------------------------------------------ *)
+(* Projections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplex_examples () =
+  let r = Proj.simplex ~total:1.0 [| 0.5; 0.5 |] in
+  check_float "already feasible a" 0.5 r.(0);
+  check_float "already feasible b" 0.5 r.(1);
+  let r = Proj.simplex ~total:1.0 [| 2.0; 0.0 |] in
+  check_float "corner a" 1.0 r.(0);
+  check_float "corner b" 0.0 r.(1);
+  let r = Proj.simplex ~total:1.0 [| 0.8; 0.6 |] in
+  check_float "interior a" 0.6 r.(0);
+  check_float "interior b" 0.4 r.(1)
+
+let test_capped_simplex () =
+  let r = Proj.capped_simplex ~total:1.0 [| 0.2; 0.3 |] in
+  check_float "inside untouched a" 0.2 r.(0);
+  check_float "inside untouched b" 0.3 r.(1);
+  let r = Proj.capped_simplex ~total:1.0 [| -0.5; 0.3 |] in
+  check_float "negative clipped" 0.0 r.(0);
+  check_float "positive kept" 0.3 r.(1);
+  let r = Proj.capped_simplex ~total:1.0 [| 0.8; 0.6 |] in
+  check_float "sum capped" 1.0 (r.(0) +. r.(1))
+
+let arb_vec =
+  QCheck.(list_of_size Gen.(1 -- 8) (float_range (-3.0) 3.0))
+
+let prop_simplex_feasible =
+  QCheck.Test.make ~name:"simplex projection lands in the simplex" ~count:300
+    arb_vec (fun xs ->
+      let v = Array.of_list xs in
+      let r = Proj.simplex ~total:1.0 v in
+      Array.for_all (fun x -> x >= -1e-12) r
+      && Feq.approx ~atol:1e-9 (Array.fold_left ( +. ) 0.0 r) 1.0)
+
+let prop_simplex_is_projection =
+  QCheck.Test.make ~name:"simplex projection minimizes distance" ~count:200
+    QCheck.(pair arb_vec arb_vec)
+    (fun (xs, ys) ->
+      QCheck.assume (List.length xs = List.length ys);
+      let v = Array.of_list xs in
+      let r = Proj.simplex ~total:1.0 v in
+      (* compare against an arbitrary feasible competitor *)
+      let competitor =
+        Proj.simplex ~total:1.0 (Array.of_list ys)
+      in
+      let dist a =
+        Array.to_list (Array.mapi (fun i ai -> (ai -. v.(i)) ** 2.0) a)
+        |> Ksum.sum
+      in
+      dist r <= dist competitor +. 1e-9)
+
+let prop_capped_idempotent =
+  QCheck.Test.make ~name:"capped projection is idempotent" ~count:300 arb_vec
+    (fun xs ->
+      let v = Array.of_list xs in
+      let r = Proj.capped_simplex ~total:1.0 v in
+      let r2 = Proj.capped_simplex ~total:1.0 r in
+      Array.for_all2 (fun a b -> Feq.approx ~atol:1e-9 a b) r r2)
+
+(* ------------------------------------------------------------------ *)
+(* Projected gradient on a known problem                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pgd_quadratic () =
+  (* min (x - 3)^2 + (y + 1)^2 over the simplex x + y = 1, x,y >= 0:
+     optimum is the projection of (3, -1), i.e. (1, 0). *)
+  let f x = ((x.(0) -. 3.0) ** 2.0) +. ((x.(1) +. 1.0) ** 2.0) in
+  let grad x = [| 2.0 *. (x.(0) -. 3.0); 2.0 *. (x.(1) +. 1.0) |] in
+  let r =
+    Pgd.minimize ~f ~grad
+      ~project:(Proj.simplex ~total:1.0)
+      ~x0:[| 0.5; 0.5 |] ()
+  in
+  check_float "x" 1.0 r.x.(0);
+  check_float "y" 0.0 r.x.(1)
+
+let test_pgd_unconstrained_box () =
+  let f x = (x.(0) -. 0.25) ** 2.0 in
+  let grad x = [| 2.0 *. (x.(0) -. 0.25) |] in
+  let r =
+    Pgd.minimize ~f ~grad ~project:(Proj.box ~lo:0.0 ~hi:1.0) ~x0:[| 0.9 |] ()
+  in
+  check_float "box interior optimum" 0.25 r.x.(0)
+
+(* ------------------------------------------------------------------ *)
+(* CP: hand-checked optima                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cp_single_job () =
+  let inst =
+    Instance.make ~power:p3 ~machines:1
+      [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:Float.infinity ]
+  in
+  let cp = Cp.make inst in
+  let sol = Cp.solve cp Must_finish in
+  check_float "energy 2^3" 8.0 sol.energy;
+  check_float "completion" 1.0 sol.completion.(0)
+
+let test_cp_two_intervals_alpha2 () =
+  (* j0: [0,2] w=2; j1: [0,1] w=1; m=1, alpha=2.  Optimal splits j0 so both
+     intervals run at speed 1.5; energy = 4.5 (see YDS hand computation). *)
+  let inst =
+    Instance.make ~power:p2 ~machines:1
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:2.0 ~v:Float.infinity;
+        mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:1.0 ~v:Float.infinity;
+      ]
+  in
+  let sol = Cp.solve (Cp.make inst) Must_finish in
+  Alcotest.(check (float 1e-3)) "energy 4.5" 4.5 sol.energy
+
+let test_cp_profitable_rejects_cheap_job () =
+  (* finishing costs 8 (speed 2 for 1s at alpha 3); value 1 -> reject *)
+  let inst =
+    Instance.make ~power:p3 ~machines:1
+      [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:1.0 ]
+  in
+  let sol = Cp.solve (Cp.make inst) Profitable in
+  Alcotest.(check bool) "objective ~ best of finish or reject" true
+    (sol.objective <= 1.0 +. 1e-3);
+  (* the relaxation may partially process the job; the objective must be
+     the true CP optimum: min over x of x^alpha * ... here inf is at
+     intermediate x: min_x (2x)^3 + (1-x) on [0,1] -> x = 1/(2*sqrt 6) *)
+  let x_star = 1.0 /. (2.0 *. sqrt 6.0) in
+  let expected = ((2.0 *. x_star) ** 3.0) +. (1.0 -. x_star) in
+  Alcotest.(check (float 1e-3)) "matches interior optimum" expected
+    sol.objective
+
+let test_cp_profitable_finishes_valuable_job () =
+  let inst =
+    Instance.make ~power:p3 ~machines:1
+      [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:100.0 ]
+  in
+  let sol = Cp.solve (Cp.make inst) Profitable in
+  Alcotest.(check (float 1e-3)) "energy 8, no loss" 8.0 sol.objective;
+  Alcotest.(check (float 1e-4)) "completion 1" 1.0 sol.completion.(0)
+
+let test_cp_multiprocessor_split () =
+  (* two equal jobs, two processors: each runs alone at its density *)
+  let inst =
+    Instance.make ~power:p3 ~machines:2
+      [
+        mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:3.0 ~v:Float.infinity;
+        mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:3.0 ~v:Float.infinity;
+      ]
+  in
+  let sol = Cp.solve (Cp.make inst) Must_finish in
+  check_float "two dedicated processors" 54.0 sol.energy
+
+let test_cp_to_schedule () =
+  let inst =
+    Instance.make ~power:p2 ~machines:1
+      [
+        mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:2.0 ~v:Float.infinity;
+        mk_job ~id:1 ~r:0.0 ~d:1.0 ~w:1.0 ~v:Float.infinity;
+      ]
+  in
+  let cp = Cp.make inst in
+  let sol = Cp.solve cp Must_finish in
+  let sched = Cp.to_schedule cp sol.x in
+  (match Schedule.validate inst sched with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid schedule: %s" e);
+  Alcotest.(check (float 1e-3)) "schedule energy matches solution" sol.energy
+    (Schedule.energy p2 sched)
+
+(* random instances: CP must-finish optimum matches exact YDS on m=1 *)
+let gen_instance =
+  QCheck.Gen.(
+    let* n = 1 -- 6 in
+    let* jobs =
+      list_size (return n)
+        (let* r = float_range 0.0 8.0 in
+         let* span = float_range 0.5 4.0 in
+         let* w = float_range 0.2 3.0 in
+         let* v = float_range 0.1 20.0 in
+         return (r, r +. span, w, v))
+    in
+    return jobs)
+
+let arb_instance =
+  QCheck.make gen_instance ~print:(fun jobs ->
+      String.concat ";"
+        (List.map
+           (fun (r, d, w, v) -> Printf.sprintf "(%g,%g,%g,%g)" r d w v)
+           jobs))
+
+let instance_of ?(power = p2) ?(machines = 1) ?(must_finish = false) jobs =
+  Instance.make ~power ~machines
+    (List.mapi
+       (fun i (r, d, w, v) ->
+         mk_job ~id:i ~r ~d ~w ~v:(if must_finish then Float.infinity else v))
+       jobs)
+
+let prop_cp_matches_yds =
+  QCheck.Test.make ~name:"CP must-finish optimum = YDS energy (m=1)"
+    ~count:60 arb_instance (fun jobs ->
+      let inst = instance_of ~must_finish:true jobs in
+      let sol = Cp.solve ~max_iters:8000 (Cp.make inst) Must_finish in
+      let yds = Speedscale_single.Yds.energy p2 (Array.to_list inst.jobs) in
+      Float.abs (sol.energy -. yds) <= 2e-2 *. (1.0 +. yds))
+
+(* ------------------------------------------------------------------ *)
+(* KKT residuals                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_kkt_small_at_optimum =
+  QCheck.Test.make ~name:"KKT residual small at solved points" ~count:30
+    arb_instance (fun jobs ->
+      let inst = instance_of ~must_finish:true jobs in
+      let cp = Cp.make inst in
+      let sol = Cp.solve ~max_iters:9000 cp Must_finish in
+      let r = Kkt.residual cp Must_finish sol.x in
+      if r > 5e-2 then
+        QCheck.Test.fail_reportf "residual %.3g too large" r
+      else true)
+
+let prop_kkt_large_when_perturbed =
+  QCheck.Test.make ~name:"KKT residual detects non-optimal points" ~count:30
+    arb_instance (fun jobs ->
+      (* a uniform spread is not optimal unless the instance is degenerate;
+         compare the residuals rather than using an absolute cutoff *)
+      QCheck.assume (List.length jobs >= 2);
+      let inst = instance_of ~must_finish:true jobs in
+      let cp = Cp.make inst in
+      let sol = Cp.solve ~max_iters:9000 cp Must_finish in
+      let uniform =
+        Cp.project cp Must_finish (Array.make (Cp.n_vars cp) 1.0)
+      in
+      let r_opt = Kkt.residual cp Must_finish sol.x in
+      let r_uni = Kkt.residual cp Must_finish uniform in
+      (* either the uniform point is (nearly) optimal too, or its residual
+         must dominate the solved one *)
+      r_uni >= r_opt -. 1e-9)
+
+let test_kkt_profitable_rejected_job () =
+  (* job too expensive to finish: at the CP optimum the marginal where it
+     IS partially scheduled equals its value *)
+  let inst =
+    Instance.make ~power:p3 ~machines:1
+      [ mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:2.0 ~v:1.0 ]
+  in
+  let cp = Cp.make inst in
+  let sol = Cp.solve ~max_iters:9000 cp Profitable in
+  let r = Kkt.residual cp Profitable sol.x in
+  Alcotest.(check bool) (Printf.sprintf "residual %.3g < 5e-2" r) true
+    (r < 5e-2)
+
+(* ------------------------------------------------------------------ *)
+(* Dual certificate                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dual_zero_lambda () =
+  let inst = instance_of [ (0.0, 1.0, 1.0, 5.0) ] in
+  check_float "g(0) = 0" 0.0 (Dual.value inst ~lambda:[| 0.0 |])
+
+let test_dual_single_job_closed_form () =
+  (* one job [0,1], w=1, alpha=2.  g(λ) = (1-2)·(λ/2)^2 + min(λ, v)
+     with ŝ = λ/(αw) = λ/2. *)
+  let inst = instance_of ~power:p2 [ (0.0, 1.0, 1.0, 10.0) ] in
+  let g l = Dual.value inst ~lambda:[| l |] in
+  List.iter
+    (fun l ->
+      let expected = (-.((l /. 2.0) ** 2.0)) +. Float.min l 10.0 in
+      check_float (Printf.sprintf "g(%g)" l) expected (g l))
+    [ 0.5; 1.0; 2.0; 12.0 ]
+
+let test_dual_caps_at_value () =
+  (* the y-part contributes min(λ, v) *)
+  let inst = instance_of ~power:p2 [ (0.0, 1.0, 1.0, 1.0) ] in
+  let g l = Dual.value inst ~lambda:[| l |] in
+  Alcotest.(check bool) "λ above v brings no credit" true (g 4.0 < g 1.9)
+
+let prop_weak_duality =
+  QCheck.Test.make
+    ~name:"g(λ) lower-bounds every feasible cost (weak duality)" ~count:60
+    QCheck.(pair arb_instance (float_range 0.0 1.5))
+    (fun (jobs, scale) ->
+      let inst = instance_of jobs in
+      let n = Instance.n_jobs inst in
+      (* multipliers proportional to values, capped at v_j *)
+      let lambda =
+        Array.init n (fun j ->
+            Float.min ((Instance.job inst j).value *. scale)
+              (Instance.job inst j).value)
+      in
+      let g = Dual.value inst ~lambda in
+      (* two feasible schedules: reject everything; or finish everything
+         with YDS *)
+      let reject_all = Instance.total_value inst in
+      let finish_all =
+        Speedscale_single.Yds.energy p2
+          (Array.to_list
+             (Instance.with_values inst (fun _ -> Float.infinity)).jobs)
+      in
+      g <= reject_all +. 1e-6 *. (1.0 +. reject_all)
+      && g <= finish_all +. 1e-6 *. (1.0 +. finish_all))
+
+let prop_dual_certificate_vs_cp =
+  QCheck.Test.make ~name:"g(λ) <= CP optimum" ~count:40
+    QCheck.(pair arb_instance (float_range 0.0 1.0))
+    (fun (jobs, scale) ->
+      let inst = instance_of jobs in
+      let n = Instance.n_jobs inst in
+      let lambda =
+        Array.init n (fun j -> (Instance.job inst j).value *. scale)
+      in
+      let g = Dual.value inst ~lambda in
+      let sol = Cp.solve ~max_iters:6000 (Cp.make inst) Profitable in
+      g <= sol.objective +. 2e-2 *. (1.0 +. Float.abs sol.objective))
+
+(* The decisive test of the closed-form dual: g(λ) must lower-bound the
+   Lagrangian L(x, y, λ) at EVERY point of the primal domain, not just at
+   solutions.  We evaluate L explicitly from its definition (Equation (3)
+   of the paper) at random feasible-domain points. *)
+let lagrangian cp (inst : Instance.t) x y lambda =
+  let energy = Cp.energy cp x in
+  let completion = Cp.completion cp x in
+  let n = Instance.n_jobs inst in
+  let acc = ref energy in
+  for j = 0 to n - 1 do
+    let v = (Instance.job inst j).value in
+    acc := !acc +. ((1.0 -. y.(j)) *. v);
+    acc := !acc +. (lambda.(j) *. (y.(j) -. completion.(j)))
+  done;
+  !acc
+
+let prop_dual_lower_bounds_lagrangian =
+  QCheck.Test.make
+    ~name:"g(lambda) <= L(x, y, lambda) at random primal points" ~count:100
+    QCheck.(
+      triple arb_instance (float_bound_exclusive 1.5)
+        (pair (int_bound 1000) (int_bound 1000)))
+    (fun (jobs, scale, (sx, sy)) ->
+      let inst = instance_of jobs in
+      let n = Instance.n_jobs inst in
+      let cp = Cp.make inst in
+      let lambda =
+        Array.init n (fun j ->
+            Float.min ((Instance.job inst j).value *. scale)
+              (Instance.job inst j).value)
+      in
+      let tl = Cp.timeline cp in
+      let g = Dual.evaluate inst tl ~lambda in
+      (* random x in the domain (x >= 0, unconstrained sum is fine for the
+         Lagrangian: the dual's inf ranges over x >= 0, 0 <= y <= 1) *)
+      let stx = Random.State.make [| sx; 17 |] in
+      let sty = Random.State.make [| sy; 39 |] in
+      let x =
+        Array.init (Cp.n_vars cp) (fun _ -> Random.State.float stx 1.2)
+      in
+      let y = Array.init n (fun _ -> Random.State.float sty 1.0) in
+      let l = lagrangian cp inst x y lambda in
+      if g.value > l +. (1e-6 *. (1.0 +. Float.abs l)) then
+        QCheck.Test.fail_reportf "g = %.9g exceeds L = %.9g" g.value l
+      else true)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "solver"
+    [
+      ( "proj",
+        [
+          Alcotest.test_case "simplex examples" `Quick test_simplex_examples;
+          Alcotest.test_case "capped simplex" `Quick test_capped_simplex;
+          q prop_simplex_feasible;
+          q prop_simplex_is_projection;
+          q prop_capped_idempotent;
+        ] );
+      ( "pgd",
+        [
+          Alcotest.test_case "quadratic on simplex" `Quick test_pgd_quadratic;
+          Alcotest.test_case "box" `Quick test_pgd_unconstrained_box;
+        ] );
+      ( "cp",
+        [
+          Alcotest.test_case "single job" `Quick test_cp_single_job;
+          Alcotest.test_case "two intervals" `Quick test_cp_two_intervals_alpha2;
+          Alcotest.test_case "rejects cheap job" `Quick
+            test_cp_profitable_rejects_cheap_job;
+          Alcotest.test_case "finishes valuable job" `Quick
+            test_cp_profitable_finishes_valuable_job;
+          Alcotest.test_case "multiprocessor split" `Quick
+            test_cp_multiprocessor_split;
+          Alcotest.test_case "to_schedule" `Quick test_cp_to_schedule;
+          q prop_cp_matches_yds;
+        ] );
+      ( "kkt",
+        [
+          q prop_kkt_small_at_optimum;
+          q prop_kkt_large_when_perturbed;
+          Alcotest.test_case "profitable rejected" `Quick
+            test_kkt_profitable_rejected_job;
+        ] );
+      ( "dual",
+        [
+          Alcotest.test_case "zero lambda" `Quick test_dual_zero_lambda;
+          Alcotest.test_case "closed form" `Quick test_dual_single_job_closed_form;
+          Alcotest.test_case "caps at value" `Quick test_dual_caps_at_value;
+          q prop_weak_duality;
+          q prop_dual_certificate_vs_cp;
+          q prop_dual_lower_bounds_lagrangian;
+        ] );
+    ]

@@ -1,0 +1,48 @@
+(* Smoke test for the umbrella namespace: the README's 30-second tour,
+   written against [Speedscale] only. *)
+
+open Speedscale
+
+let test_readme_tour () =
+  let power = Power.make 3.0 in
+  let jobs =
+    [
+      Job.make ~id:0 ~release:0.0 ~deadline:2.0 ~workload:2.0 ~value:50.0;
+      Job.make ~id:1 ~release:0.5 ~deadline:1.5 ~workload:3.0 ~value:0.8;
+    ]
+  in
+  let inst = Instance.make ~power ~machines:2 jobs in
+  let r = Pd.run inst in
+  Alcotest.(check bool) "theorem 3" true
+    (Cost.total r.cost <= r.guarantee *. r.dual_bound +. 1e-9);
+  (match Schedule.validate inst r.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e);
+  (* a few umbrella modules are reachable and consistent *)
+  let a = Analysis.analyze inst r in
+  Alcotest.(check bool) "analysis" true a.theorem3_ok;
+  let run = Executor.replay inst r.schedule in
+  Alcotest.(check bool) "replay energy" true
+    (Float.abs (run.total_energy -. r.cost.energy) <= 1e-6);
+  let st = Structure.of_schedule r.schedule in
+  Alcotest.(check bool) "structure" true (st.busy_time > 0.0);
+  Alcotest.(check bool) "gantt renders" true
+    (String.length (Gantt.render r.schedule) > 0)
+
+let test_umbrella_io_roundtrip () =
+  let inst =
+    Instance.make ~power:(Power.make 2.0) ~machines:1
+      [ Job.make ~id:0 ~release:0.0 ~deadline:1.0 ~workload:1.0 ~value:2.0 ]
+  in
+  let inst' = Io.of_string (Io.to_string inst) in
+  Alcotest.(check int) "jobs" 1 (Instance.n_jobs inst')
+
+let () =
+  Alcotest.run "umbrella"
+    [
+      ( "speedscale",
+        [
+          Alcotest.test_case "readme tour" `Quick test_readme_tour;
+          Alcotest.test_case "io" `Quick test_umbrella_io_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Unit and property tests for the numeric utility layer. *)
+
+open Speedscale_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Feq                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_feq_basics () =
+  Alcotest.(check bool) "equal" true (Feq.approx 1.0 1.0);
+  Alcotest.(check bool) "close" true (Feq.approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Feq.approx 1.0 1.1);
+  Alcotest.(check bool) "relative" true (Feq.approx 1e12 (1e12 +. 1.0));
+  Alcotest.(check bool) "leq slack" true (Feq.leq (1.0 +. 1e-12) 1.0);
+  Alcotest.(check bool) "lt strict" false (Feq.lt 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "lt true" true (Feq.lt 1.0 2.0);
+  Alcotest.(check bool) "zero" true (Feq.is_zero 1e-12);
+  Alcotest.(check bool) "not zero" false (Feq.is_zero 1e-3)
+
+let test_clamp () =
+  check_float "below" 0.0 (Feq.clamp ~lo:0.0 ~hi:1.0 (-3.0));
+  check_float "above" 1.0 (Feq.clamp ~lo:0.0 ~hi:1.0 7.0);
+  check_float "inside" 0.5 (Feq.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+let test_finite_or_fail () =
+  check_float "pass-through" 3.5 (Feq.finite_or_fail "x" 3.5);
+  Alcotest.check_raises "nan rejected" (Invalid_argument "ctx: non-finite value nan")
+    (fun () -> ignore (Feq.finite_or_fail "ctx" Float.nan))
+
+(* ------------------------------------------------------------------ *)
+(* Bisect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_root_linear () =
+  let x = Bisect.root ~f:(fun x -> x -. 3.0) ~lo:0.0 ~hi:10.0 () in
+  check_float "linear root" 3.0 x
+
+let test_root_cubic () =
+  let x = Bisect.root ~f:(fun x -> (x ** 3.0) -. 2.0) ~lo:0.0 ~hi:2.0 () in
+  check_float "cubic root" (2.0 ** (1.0 /. 3.0)) x
+
+let test_root_no_bracket () =
+  Alcotest.check_raises "no sign change"
+    (Invalid_argument
+       "Bisect.root: no sign change on [1, 2] (f: 1, 2)")
+    (fun () -> ignore (Bisect.root ~f:Fun.id ~lo:1.0 ~hi:2.0 ()))
+
+let test_monotone_inverse () =
+  let f x = x ** 2.0 in
+  let x = Bisect.monotone_inverse ~f ~target:9.0 ~lo:0.0 ~hi:10.0 () in
+  check_float "sqrt via inverse" 3.0 x;
+  (* saturation below and above *)
+  check_float "saturate lo" 2.0
+    (Bisect.monotone_inverse ~f ~target:1.0 ~lo:2.0 ~hi:10.0 ());
+  check_float "saturate hi" 10.0
+    (Bisect.monotone_inverse ~f ~target:1e6 ~lo:2.0 ~hi:10.0 ())
+
+let test_grow_bracket () =
+  let f x = x in
+  let hi = Bisect.grow_bracket ~f ~target:37.0 ~lo:0.0 ~init:1.0 () in
+  Alcotest.(check bool) "covers target" true (f hi >= 37.0)
+
+let prop_monotone_inverse_roundtrip =
+  QCheck.Test.make ~name:"monotone_inverse inverts strictly monotone f"
+    ~count:200
+    QCheck.(pair (float_bound_exclusive 100.0) (float_bound_exclusive 3.0))
+    (fun (target, k) ->
+      let k = k +. 0.5 in
+      let f x = k *. x in
+      let x =
+        Bisect.monotone_inverse ~f ~target ~lo:0.0 ~hi:1e4 ()
+      in
+      Float.abs (f x -. target) <= 1e-6 *. (1.0 +. target))
+
+(* ------------------------------------------------------------------ *)
+(* Golden                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_quadratic () =
+  let x, fx = Golden.minimize ~f:(fun x -> (x -. 1.7) ** 2.0) ~lo:0.0 ~hi:5.0 () in
+  Alcotest.(check (float 1e-6)) "argmin" 1.7 x;
+  Alcotest.(check (float 1e-9)) "min value" 0.0 fx
+
+let test_golden_boundary_minimum () =
+  (* monotone increasing: minimum at the left edge *)
+  let x, _ = Golden.minimize ~f:(fun x -> x) ~lo:2.0 ~hi:9.0 () in
+  Alcotest.(check (float 1e-5)) "left edge" 2.0 x
+
+let prop_golden_finds_unimodal_minimum =
+  QCheck.Test.make ~name:"golden section finds |x - c|^p minima" ~count:200
+    QCheck.(pair (float_range 0.5 9.5) (float_range 1.0 3.0))
+    (fun (c, p) ->
+      let f x = Float.abs (x -. c) ** p in
+      let x, _ = Golden.minimize ~f ~lo:0.0 ~hi:10.0 () in
+      Float.abs (x -. c) <= 1e-5 *. (1.0 +. c))
+
+(* ------------------------------------------------------------------ *)
+(* Ksum                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ksum_simple () =
+  check_float "list" 6.0 (Ksum.sum [ 1.0; 2.0; 3.0 ]);
+  check_float "array" 10.0 (Ksum.sum_array [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "by" 12.0 (Ksum.sum_by (fun x -> 2.0 *. x) [ 1.0; 2.0; 3.0 ])
+
+let test_ksum_compensation () =
+  (* 1 + 1e16 - 1e16 loses the 1 under naive summation order. *)
+  let total = Ksum.sum [ 1.0; 1e16; -1e16 ] in
+  check_float "compensated" 1.0 total
+
+let prop_ksum_matches_sorted_sum =
+  QCheck.Test.make ~name:"ksum close to exact rational sum" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let naive = List.fold_left ( +. ) 0.0 (List.sort Float.compare xs) in
+      Float.abs (Ksum.sum xs -. naive) <= 1e-6 *. (1.0 +. Float.abs naive))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.count;
+  check_float "mean" 2.5 s.mean;
+  check_float "min" 1.0 s.min;
+  check_float "max" 4.0 s.max;
+  check_float "median" 2.5 s.p50
+
+let test_stats_percentile () =
+  check_float "p0" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "p100" 3.0 (Stats.percentile 1.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "p50 interp" 1.5 (Stats.percentile 0.5 [ 1.0; 2.0 ])
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean []))
+
+(* ------------------------------------------------------------------ *)
+(* Tab                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  k = 0 || go 0
+
+let test_tab_render () =
+  let t = Tab.create ~title:"T" ~header:[ "a"; "bb" ] in
+  Tab.add_row t [ "1"; "2" ];
+  Tab.add_row t [ "333" ];
+  let s = Tab.render t in
+  Alcotest.(check bool) "contains title" true
+    (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "mentions row" true (contains_substring s "333")
+
+let test_tab_bar () =
+  Alcotest.(check string) "half bar" "#####" (Tab.bar ~width:10 ~max_value:2.0 1.0);
+  Alcotest.(check string) "empty on zero max" "" (Tab.bar ~width:10 ~max_value:0.0 1.0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "feq",
+        [
+          Alcotest.test_case "basics" `Quick test_feq_basics;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "finite_or_fail" `Quick test_finite_or_fail;
+        ] );
+      ( "bisect",
+        [
+          Alcotest.test_case "root linear" `Quick test_root_linear;
+          Alcotest.test_case "root cubic" `Quick test_root_cubic;
+          Alcotest.test_case "no bracket" `Quick test_root_no_bracket;
+          Alcotest.test_case "monotone inverse" `Quick test_monotone_inverse;
+          Alcotest.test_case "grow bracket" `Quick test_grow_bracket;
+          q prop_monotone_inverse_roundtrip;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "quadratic" `Quick test_golden_quadratic;
+          Alcotest.test_case "boundary" `Quick test_golden_boundary_minimum;
+          q prop_golden_finds_unimodal_minimum;
+        ] );
+      ( "ksum",
+        [
+          Alcotest.test_case "simple" `Quick test_ksum_simple;
+          Alcotest.test_case "compensation" `Quick test_ksum_compensation;
+          q prop_ksum_matches_sorted_sum;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "tab",
+        [
+          Alcotest.test_case "render" `Quick test_tab_render;
+          Alcotest.test_case "bar" `Quick test_tab_bar;
+        ] );
+    ]

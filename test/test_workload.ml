@@ -1,0 +1,209 @@
+(* Tests for the workload generators. *)
+
+open Speedscale_model
+open Speedscale_workload
+
+let p2 = Power.make 2.0
+
+let test_bkp_family_shape () =
+  let inst = Generate.bkp_lower_bound ~alpha:2.0 ~n:5 () in
+  Alcotest.(check int) "n jobs" 5 (Instance.n_jobs inst);
+  Alcotest.(check int) "single processor" 1 inst.machines;
+  (* job j (1-based) released at j-1 with workload (n-j+1)^(-1/2) *)
+  let j3 = Instance.job inst 2 in
+  Alcotest.(check (float 1e-9)) "release" 2.0 j3.release;
+  Alcotest.(check (float 1e-9)) "deadline" 5.0 j3.deadline;
+  Alcotest.(check (float 1e-9)) "workload" (3.0 ** (-0.5)) j3.workload
+
+let test_bkp_custom_value () =
+  let inst = Generate.bkp_lower_bound ~alpha:2.0 ~n:3 ~value:7.0 () in
+  Alcotest.(check (float 1e-9)) "value" 7.0 (Instance.job inst 0).value
+
+let test_random_deterministic () =
+  let make () =
+    Generate.random ~power:p2 ~machines:2 ~seed:42 ~n:10
+      ~arrivals:(Poisson 1.0)
+      ~sizes:(Uniform_size (0.5, 2.0))
+      ~laxity:(0.5, 2.0)
+      ~values:(Proportional 3.0)
+  in
+  let a = make () and b = make () in
+  Alcotest.(check int) "same n" (Instance.n_jobs a) (Instance.n_jobs b);
+  List.iter
+    (fun i ->
+      let ja = Instance.job a i and jb = Instance.job b i in
+      Alcotest.(check (float 0.0)) "release" ja.release jb.release;
+      Alcotest.(check (float 0.0)) "workload" ja.workload jb.workload;
+      Alcotest.(check (float 0.0)) "value" ja.value jb.value)
+    (List.init (Instance.n_jobs a) Fun.id)
+
+let test_random_seed_variation () =
+  let make seed =
+    Generate.random ~power:p2 ~machines:1 ~seed ~n:5 ~arrivals:(Poisson 1.0)
+      ~sizes:(Uniform_size (0.5, 2.0))
+      ~laxity:(0.5, 2.0) ~values:Infinite
+  in
+  let a = make 1 and b = make 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    ((Instance.job a 0).workload <> (Instance.job b 0).workload
+    || (Instance.job a 0).release <> (Instance.job b 0).release)
+
+let test_random_density_in_laxity_range () =
+  let inst =
+    Generate.random ~power:p2 ~machines:1 ~seed:7 ~n:40
+      ~arrivals:(Regular 0.5)
+      ~sizes:(Pareto_size { shape = 2.0; scale = 0.5 })
+      ~laxity:(0.25, 4.0) ~values:Infinite
+  in
+  Array.iter
+    (fun j ->
+      let d = Job.density j in
+      Alcotest.(check bool)
+        (Printf.sprintf "density %g in range" d)
+        true
+        (d >= 0.25 -. 1e-9 && d <= 4.0 +. 1e-9))
+    inst.jobs
+
+let test_value_models () =
+  let base values =
+    Generate.random ~power:p2 ~machines:1 ~seed:3 ~n:20
+      ~arrivals:(Regular 1.0) ~sizes:(Fixed 2.0) ~laxity:(1.0, 1.0) ~values
+  in
+  (* proportional: v = 5 * w = 10 *)
+  Array.iter
+    (fun (j : Job.t) -> Alcotest.(check (float 1e-9)) "prop" 10.0 j.value)
+    (base (Proportional 5.0)).jobs;
+  (* infinite *)
+  Array.iter
+    (fun (j : Job.t) ->
+      Alcotest.(check bool) "inf" true (j.value = Float.infinity))
+    (base Infinite).jobs;
+  (* per-density with fixed density 1: v = c * w *)
+  Array.iter
+    (fun (j : Job.t) -> Alcotest.(check (float 1e-9)) "per-density" 6.0 j.value)
+    (base (Per_density 3.0)).jobs;
+  (* lottery: both levels occur over 20 draws with p=0.5 *)
+  let lottery = (base (Lottery { low = 1.0; high = 9.0; p_high = 0.5 })).jobs in
+  let lows = Array.exists (fun (j : Job.t) -> j.value = 1.0) lottery in
+  let highs = Array.exists (fun (j : Job.t) -> j.value = 9.0) lottery in
+  Alcotest.(check bool) "both outcomes" true (lows && highs)
+
+let test_arrival_processes () =
+  let regular =
+    Generate.random ~power:p2 ~machines:1 ~seed:1 ~n:4 ~arrivals:(Regular 2.0)
+      ~sizes:(Fixed 1.0) ~laxity:(1.0, 1.0) ~values:Infinite
+  in
+  Alcotest.(check (float 1e-9)) "regular gap" 2.0 (Instance.job regular 0).release;
+  Alcotest.(check (float 1e-9)) "regular gap 2" 4.0 (Instance.job regular 1).release;
+  let bursty =
+    Generate.random ~power:p2 ~machines:1 ~seed:1 ~n:4
+      ~arrivals:(Bursty { burst = 2; gap = 3.0 })
+      ~sizes:(Fixed 1.0) ~laxity:(1.0, 1.0) ~values:Infinite
+  in
+  Alcotest.(check (float 1e-9)) "burst 1a" 3.0 (Instance.job bursty 0).release;
+  Alcotest.(check (float 1e-9)) "burst 1b" 3.0 (Instance.job bursty 1).release;
+  Alcotest.(check (float 1e-9)) "burst 2a" 6.0 (Instance.job bursty 2).release
+
+let test_figure2_and_figure3 () =
+  let m, l, loads, (new_id, new_load) = Generate.figure2_loads () in
+  Alcotest.(check int) "three processors" 3 m;
+  Alcotest.(check (float 1e-9)) "unit interval" 1.0 l;
+  Alcotest.(check int) "three existing jobs" 3 (List.length loads);
+  Alcotest.(check bool) "new job fresh id" true
+    (not (List.mem_assoc new_id loads));
+  Alcotest.(check bool) "new load positive" true (new_load > 0.0);
+  let f3 = Generate.figure3 ~power:p2 in
+  Alcotest.(check int) "figure3 jobs" 2 (Instance.n_jobs f3);
+  Alcotest.(check int) "figure3 single proc" 1 f3.machines
+
+let test_datacenter_preset () =
+  let inst = Generate.datacenter ~power:p2 ~machines:4 ~seed:11 ~n:30 in
+  Alcotest.(check int) "n" 30 (Instance.n_jobs inst);
+  Alcotest.(check int) "m" 4 inst.machines;
+  (* values follow the lottery: only two levels *)
+  Array.iter
+    (fun (j : Job.t) ->
+      Alcotest.(check bool) "lottery level" true
+        (j.value = 0.4 || j.value = 30.0))
+    inst.jobs
+
+let test_diurnal_preset () =
+  let inst =
+    Generate.diurnal ~power:p2 ~machines:2 ~seed:5 ~n:50 ~period:10.0 ()
+  in
+  Alcotest.(check int) "n" 50 (Instance.n_jobs inst);
+  (* deterministic *)
+  let inst' =
+    Generate.diurnal ~power:p2 ~machines:2 ~seed:5 ~n:50 ~period:10.0 ()
+  in
+  Alcotest.(check (float 0.0)) "deterministic"
+    (Instance.job inst 10).release
+    (Instance.job inst' 10).release;
+  (* arrivals are increasing and positive *)
+  let releases =
+    List.init 50 (fun i -> (Instance.job inst i).release)
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a <= b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted arrivals" true (increasing releases);
+  Alcotest.(check bool) "positive times" true (List.for_all (fun r -> r > 0.0) releases);
+  (* values proportional to work *)
+  Array.iter
+    (fun (j : Job.t) ->
+      Alcotest.(check (float 1e-9)) "v = 2w" (2.0 *. j.workload) j.value)
+    inst.jobs
+
+let test_diurnal_concentrates_at_peak () =
+  (* with an extreme peak/trough contrast, most arrivals land near the
+     middle of each period *)
+  let inst =
+    Generate.diurnal ~power:p2 ~machines:1 ~seed:9 ~n:400 ~period:10.0
+      ~peak_rate:50.0 ~trough_rate:0.5 ()
+  in
+  let near_peak = ref 0 in
+  Array.iter
+    (fun (j : Job.t) ->
+      let phase = Float.rem j.release 10.0 /. 10.0 in
+      if phase > 0.25 && phase < 0.75 then incr near_peak)
+    inst.jobs;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/400 near peak" !near_peak)
+    true
+    (float_of_int !near_peak /. 400.0 > 0.7)
+
+let test_invalid_arguments () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Generate.random: n < 1")
+    (fun () ->
+      ignore
+        (Generate.random ~power:p2 ~machines:1 ~seed:0 ~n:0
+           ~arrivals:(Poisson 1.0) ~sizes:(Fixed 1.0) ~laxity:(1.0, 1.0)
+           ~values:Infinite));
+  Alcotest.check_raises "bad laxity"
+    (Invalid_argument "Generate.random: bad laxity range") (fun () ->
+      ignore
+        (Generate.random ~power:p2 ~machines:1 ~seed:0 ~n:1
+           ~arrivals:(Poisson 1.0) ~sizes:(Fixed 1.0) ~laxity:(2.0, 1.0)
+           ~values:Infinite))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generate",
+        [
+          Alcotest.test_case "bkp shape" `Quick test_bkp_family_shape;
+          Alcotest.test_case "bkp value" `Quick test_bkp_custom_value;
+          Alcotest.test_case "deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "seed variation" `Quick test_random_seed_variation;
+          Alcotest.test_case "laxity range" `Quick
+            test_random_density_in_laxity_range;
+          Alcotest.test_case "value models" `Quick test_value_models;
+          Alcotest.test_case "arrival processes" `Quick test_arrival_processes;
+          Alcotest.test_case "figures" `Quick test_figure2_and_figure3;
+          Alcotest.test_case "datacenter" `Quick test_datacenter_preset;
+          Alcotest.test_case "diurnal" `Quick test_diurnal_preset;
+          Alcotest.test_case "diurnal peak" `Quick test_diurnal_concentrates_at_peak;
+          Alcotest.test_case "invalid args" `Quick test_invalid_arguments;
+        ] );
+    ]
