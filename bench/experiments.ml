@@ -36,6 +36,7 @@ let e1 () =
                 let r = Speedscale_core.Pd.run inst in
                 Ratio.make ~cost:(Cost.total r.cost) ~lower_bound:r.dual_bound)
           in
+          (* slint: allow unsafe-pow -- alpha ranges over positive literals *)
           let guarantee = alpha ** alpha in
           let a = Ratio.aggregate ~guarantee samples in
           if a.violations > 0 then all_ok := false;
@@ -79,6 +80,7 @@ let e2 () =
           let opt = Yds.energy inst.power (Array.to_list inst.jobs) in
           let ratio = Cost.total pd.cost /. opt in
           if ratio < !last -. 1e-9 then monotone := false;
+          (* slint: allow unsafe-pow -- alpha ranges over positive literals *)
           if ratio > (alpha ** alpha) +. 1e-6 then bounded := false;
           last := ratio;
           Tab.add_row tab
@@ -88,6 +90,7 @@ let e2 () =
               Tab.cell_f (Cost.total pd.cost);
               Tab.cell_f opt;
               Tab.cell_f ratio;
+              (* slint: allow unsafe-pow -- alpha ranges over positive literals *)
               Tab.cell_f (alpha ** alpha);
             ])
         [ 5; 10; 20; 40; 80; 160; 320 ])
@@ -680,6 +683,7 @@ let e15 () =
   let overheads =
     List.map
       (fun count ->
+        (* slint: allow unsafe-pow -- top and base are positive speeds *)
         let ratio = (top /. base) ** (1.0 /. float_of_int (count - 1)) in
         let levels =
           Speedscale_discrete.Levels.geometric ~base ~ratio ~count

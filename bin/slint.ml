@@ -1,0 +1,86 @@
+(* slint: the speedscale static-analysis driver.  See doc/LINTING.md. *)
+
+let usage = "slint [--root DIR] [--json] [--baseline FILE] [--write-baseline] [--rules r1,r2] [--list-rules]"
+
+open Speedscale_lint
+
+let () =
+  let root = ref "." in
+  let json = ref false in
+  let baseline_path = ref None in
+  let write_baseline = ref false in
+  let rule_names = ref None in
+  let list_rules = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR  directory to scan (default .)");
+      ("--json", Arg.Set json, "  emit findings as a JSON array");
+      ( "--baseline",
+        Arg.String (fun s -> baseline_path := Some s),
+        "FILE  baseline sexp (default ROOT/lint-baseline.sexp)" );
+      ( "--write-baseline",
+        Arg.Set write_baseline,
+        "  rewrite the baseline to grandfather all current findings" );
+      ( "--rules",
+        Arg.String (fun s -> rule_names := Some (String.split_on_char ',' s)),
+        "NAMES  comma-separated subset of rules to run" );
+      ("--list-rules", Arg.Set list_rules, "  print rule names and exit");
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> raise (Arg.Bad (Fmt.str "unexpected argument %S" anon)))
+    usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rule.t) -> Fmt.pr "%-16s %s@." r.name r.doc)
+      Registry.all;
+    exit 0
+  end;
+  let rules =
+    match !rule_names with
+    | None -> Registry.all
+    | Some names -> (
+      match Registry.select (List.map String.trim names) with
+      | rules -> rules
+      | exception Invalid_argument msg ->
+        Fmt.epr "slint: %s@." msg;
+        exit 2)
+  in
+  if not (Sys.file_exists !root && Sys.is_directory !root) then begin
+    Fmt.epr "slint: root %s is not a directory@." !root;
+    exit 2
+  end;
+  let baseline_file =
+    match !baseline_path with
+    | Some p -> p
+    | None -> Filename.concat !root "lint-baseline.sexp"
+  in
+  let findings = Engine.scan ~rules ~root:!root () in
+  if !write_baseline then begin
+    let errors =
+      List.filter (fun (f : Finding.t) -> f.severity = Finding.Error) findings
+    in
+    let oc = open_out baseline_file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Baseline.to_string (Baseline.of_findings errors)));
+    Fmt.pr "slint: wrote %d baseline entr%s to %s@." (List.length errors)
+      (if List.length errors = 1 then "y" else "ies")
+      baseline_file;
+    exit 0
+  end;
+  let baseline =
+    match Baseline.load baseline_file with
+    | Ok entries -> entries
+    | Error msg ->
+      Fmt.epr "slint: bad baseline %s: %s@." baseline_file msg;
+      exit 2
+  in
+  let fresh = List.filter (fun f -> not (Baseline.mem baseline f)) findings in
+  if !json then Fmt.pr "%a" Report.pp_json fresh
+  else if fresh <> [] then Fmt.pr "%a" Report.pp_human fresh;
+  let failing =
+    List.exists (fun (f : Finding.t) -> f.severity = Finding.Error) fresh
+  in
+  exit (if failing then 1 else 0)

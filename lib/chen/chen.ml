@@ -47,7 +47,7 @@ let build ~machines ~length pairs =
   List.iter
     (fun (id, _) ->
       if Hashtbl.mem ids_seen id then
-        invalid_arg (Printf.sprintf "Chen.build: duplicate job id %d" id);
+        invalid_arg (Fmt.str "Chen.build: duplicate job id %d" id);
       Hashtbl.add ids_seen id ())
     pairs;
   let arr = Array.of_list pairs in
@@ -154,7 +154,7 @@ let probe_speed_zero t =
 
 let probe_speed t z =
   if z < 0.0 || Float.is_nan z then invalid_arg "Chen.probe_speed: bad load";
-  if z = 0.0 then probe_speed_zero t
+  if Float.equal z 0.0 then probe_speed_zero t
   else begin
     (* Recompute the partition with the probe merged in.  The probe gets a
        fresh id below any real one; only its speed is needed. *)
@@ -195,7 +195,7 @@ let marginal_power power t = Power.deriv power (probe_speed_zero t)
 let slices t ~t0 ~t1 =
   if not (Feq.approx (t1 -. t0) t.length) then
     invalid_arg
-      (Printf.sprintf "Chen.slices: window [%g,%g) has length %g, expected %g"
+      (Fmt.str "Chen.slices: window [%g,%g) has length %g, expected %g"
          t0 t1 (t1 -. t0) t.length);
   let d = t.n_dedicated in
   let dedicated =

@@ -46,6 +46,7 @@ let analyze (inst : Instance.t) (r : Pd.result) =
   let power = inst.power in
   let alpha = Power.alpha power in
   let delta = r.delta in
+  if delta <= 0.0 then invalid_arg "Analysis.analyze: delta must be positive";
   let bounds = r.final_boundaries in
   let n_intervals = Array.length bounds - 1 in
   let finished = Array.make n false in

@@ -216,7 +216,7 @@ let lambdas t = List.rev t.lambda_rev
 
 let snapshot t =
   let b = Buffer.create 1024 in
-  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let pf fmt = Fmt.kstr (Buffer.add_string b) fmt in
   pf "pd-snapshot v1\n";
   pf "alpha %.17g\n" (Power.alpha t.power);
   pf "machines %d\n" t.machines;
@@ -240,18 +240,18 @@ let snapshot t =
       in
       pf "job %d %.17g %.17g %.17g %s lambda %.17g %s\n" j.id j.release
         j.deadline j.workload
-        (if j.value = Float.infinity then "inf"
-         else Printf.sprintf "%.17g" j.value)
+        (if Float.equal j.value Float.infinity then "inf"
+         else Fmt.str "%.17g" j.value)
         lambda status)
     (List.rev t.seen);
   Buffer.contents b
 
 let restore text =
-  let fail lineno msg = failwith (Printf.sprintf "Pd.restore: line %d: %s" lineno msg) in
+  let fail lineno msg = failwith (Fmt.str "Pd.restore: line %d: %s" lineno msg) in
   let parse_float lineno what s =
     match float_of_string_opt s with
     | Some f -> f
-    | None -> fail lineno (Printf.sprintf "bad %s %S" what s)
+    | None -> fail lineno (Fmt.str "bad %s %S" what s)
   in
   let alpha = ref None
   and machines = ref None
@@ -319,7 +319,7 @@ let restore text =
              | _ -> fail lineno "bad status"
            in
            jobs := (job, parse_float lineno "lambda" l, accepted) :: !jobs
-         | _ -> fail lineno (Printf.sprintf "unrecognized %S" line));
+         | _ -> fail lineno (Fmt.str "unrecognized %S" line));
   let alpha = match !alpha with Some a -> a | None -> failwith "Pd.restore: missing alpha" in
   let machines = match !machines with Some m -> m | None -> failwith "Pd.restore: missing machines" in
   let delta = match !delta with Some d -> d | None -> failwith "Pd.restore: missing delta" in

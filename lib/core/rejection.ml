@@ -1,7 +1,7 @@
 open Speedscale_model
 
 let threshold_speed ?delta power (j : Job.t) =
-  if j.value = Float.infinity then Float.infinity
+  if Float.equal j.value Float.infinity then Float.infinity
   else
     let delta = Option.value delta ~default:(Power.delta_star power) in
     Power.inv_deriv power (j.value /. (delta *. j.workload))

@@ -35,14 +35,14 @@ let bracket t s =
         if t.levels.(mid) <= s then go mid hi else go lo (mid - 1)
     in
     let i = go 0 (n - 1) in
-    if t.levels.(i) = s || i = n - 1 then (Some t.levels.(i), t.levels.(i))
+    if Float.equal t.levels.(i) s || i = n - 1 then (Some t.levels.(i), t.levels.(i))
     else (Some t.levels.(i), t.levels.(i + 1))
   end
 
 let round_slice t (sl : Schedule.slice) =
   if not (covering t sl.speed) then
     invalid_arg
-      (Printf.sprintf "Levels.round_slice: speed %g above highest level %g"
+      (Fmt.str "Levels.round_slice: speed %g above highest level %g"
          sl.speed (max_level t));
   let duration = sl.t1 -. sl.t0 in
   match bracket t sl.speed with

@@ -189,7 +189,7 @@ let to_csv run =
   List.iter
     (fun e ->
       Buffer.add_string b
-        (Printf.sprintf "%.9g,%s,%d,%d,%.9g\n" e.time (kind_name e.kind) e.job
+        (Fmt.str "%.9g,%s,%d,%d,%.9g\n" e.time (kind_name e.kind) e.job
            e.proc e.speed))
     run.events;
   Buffer.contents b

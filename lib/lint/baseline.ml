@@ -1,0 +1,64 @@
+type entry = { file : string; line : int; rule : string }
+
+let header =
+  "; slint baseline -- grandfathered findings, one (file line rule) per line.\n\
+   ; The goal state is an empty list: fix or explicitly suppress instead.\n"
+
+let to_string entries =
+  let b = Buffer.create 256 in
+  Buffer.add_string b header;
+  List.iter
+    (fun e -> Buffer.add_string b (Fmt.str "(%s %d %s)\n" e.file e.line e.rule))
+    entries;
+  Buffer.contents b
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if String.equal line "" || line.[0] = ';' then Ok None
+  else
+    let n = String.length line in
+    if n < 2 || line.[0] <> '(' || line.[n - 1] <> ')' then
+      Error (Fmt.str "line %d: expected (file line rule), got %S" lineno line)
+    else
+      let inner = String.trim (String.sub line 1 (n - 2)) in
+      match
+        String.split_on_char ' ' inner |> List.filter (fun s -> s <> "")
+      with
+      | [ file; l; rule ] -> (
+        match int_of_string_opt l with
+        | Some line -> Ok (Some { file; line; rule })
+        | None -> Error (Fmt.str "line %d: bad line number %S" lineno l))
+      | _ -> Error (Fmt.str "line %d: expected 3 fields, got %S" lineno inner)
+
+let of_string text =
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match parse_line lineno l with
+      | Ok None -> go acc (lineno + 1) rest
+      | Ok (Some e) -> go (e :: acc) (lineno + 1) rest
+      | Error _ as e -> e)
+  in
+  go [] 1 (String.split_on_char '\n' text)
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        of_string (really_input_string ic n))
+
+let of_findings findings =
+  List.map
+    (fun (f : Finding.t) -> { file = f.file; line = f.line; rule = f.rule })
+    findings
+
+let mem entries (f : Finding.t) =
+  List.exists
+    (fun e ->
+      String.equal e.file f.file && e.line = f.line
+      && String.equal e.rule f.rule)
+    entries

@@ -1,0 +1,17 @@
+(** Checked-in baseline of grandfathered findings ([lint-baseline.sexp]).
+
+    The format is a line-oriented sexp: comments start with [;], every
+    other non-blank line is a [(file line rule)] triple.  A finding
+    matching a baseline entry does not fail the build; the intended
+    steady state is an empty baseline. *)
+
+type entry = { file : string; line : int; rule : string }
+
+val to_string : entry list -> string
+val of_string : string -> (entry list, string) result
+
+val load : string -> (entry list, string) result
+(** [Ok []] when the file does not exist. *)
+
+val of_findings : Finding.t list -> entry list
+val mem : entry list -> Finding.t -> bool

@@ -1,0 +1,77 @@
+let parse_structure ~rel text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf rel;
+  match Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception Syntaxerr.Error _ ->
+    Error
+      (Finding.v ~line:lexbuf.lex_curr_p.pos_lnum ~file:rel ~rule:"parse-error"
+         ~severity:Finding.Error "syntax error; file does not parse")
+  | exception Lexer.Error (_, loc) ->
+    Error
+      (Finding.of_location ~rule:"parse-error" ~severity:Finding.Error
+         ~message:"lexical error; file does not scan" loc)
+
+let check_source ?(has_mli = true) ~rules ~rel text =
+  let ctx : Rule.ctx = { rel } in
+  let applicable = List.filter (fun (r : Rule.t) -> r.applies rel) rules in
+  let structural = List.filter_map (fun (r : Rule.t) -> r.check_structure) applicable in
+  let raw =
+    (if structural = [] then []
+     else
+       match parse_structure ~rel text with
+       | Error f -> [ f ]
+       | Ok str -> List.concat_map (fun check -> check ctx str) structural)
+    @ List.concat_map
+        (fun (r : Rule.t) ->
+          match r.check_source with None -> [] | Some check -> check ctx ~has_mli)
+        applicable
+  in
+  let sup = Suppress.parse ~file:rel text in
+  let kept = List.filter (fun f -> not (Suppress.suppressed sup f)) raw in
+  List.sort Finding.compare
+    (kept @ Suppress.malformed sup @ Suppress.unused sup ~file:rel)
+
+let skip_dir name =
+  String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+  || String.equal name "node_modules"
+
+let list_sources ~root =
+  let files = ref [] in
+  let rec walk rel_dir =
+    let abs = if rel_dir = "" then root else Filename.concat root rel_dir in
+    match Sys.readdir abs with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun name ->
+          let rel = if rel_dir = "" then name else rel_dir ^ "/" ^ name in
+          if Sys.is_directory (Filename.concat root rel) then begin
+            if not (skip_dir name) then walk rel
+          end
+          else if
+            Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+          then files := rel :: !files)
+        entries
+  in
+  walk "";
+  List.rev !files
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan ?(rules = []) ~root () =
+  let all = list_sources ~root in
+  let have = Hashtbl.create 64 in
+  List.iter (fun rel -> Hashtbl.replace have rel ()) all;
+  all
+  |> List.filter (fun rel -> Filename.check_suffix rel ".ml")
+  |> List.concat_map (fun rel ->
+         let text = read_file (Filename.concat root rel) in
+         let has_mli = Hashtbl.mem have (rel ^ "i") in
+         check_source ~has_mli ~rules ~rel text)
+  |> List.sort Finding.compare

@@ -1,0 +1,20 @@
+(** The scan driver: source discovery, parsing, rule dispatch and
+    suppression filtering. *)
+
+val parse_structure :
+  rel:string -> string -> (Parsetree.structure, Finding.t) result
+(** Parse implementation text; a syntax/lexical failure becomes a
+    [parse-error] finding rather than an exception. *)
+
+val check_source :
+  ?has_mli:bool -> rules:Rule.t list -> rel:string -> string -> Finding.t list
+(** Run every applicable rule over one file's text (as [rel]), apply
+    suppression directives, and report malformed or unused directives.
+    [has_mli] (default [true]) feeds the file-level rules. *)
+
+val list_sources : root:string -> string list
+(** All [.ml]/[.mli] paths under [root], relative, sorted, skipping
+    hidden and underscore-prefixed directories ([_build], [.git], ...). *)
+
+val scan : ?rules:Rule.t list -> root:string -> unit -> Finding.t list
+(** Lint the whole tree under [root]. *)

@@ -1,0 +1,41 @@
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let v ?(line = 0) ?(col = 0) ~file ~rule ~severity message =
+  { file; line; col; rule; severity; message }
+
+let of_location ~rule ~severity ~message (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    rule;
+    severity;
+    message;
+  }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Fmt.pf ppf "%s:%d:%d: [%s] %s: %s" t.file t.line t.col t.rule
+    (severity_name t.severity) t.message

@@ -1,0 +1,29 @@
+(** A single lint finding: a rule violation anchored to a source position. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;  (** path relative to the scan root *)
+  line : int;  (** 1-based; 0 means the finding is about the whole file *)
+  col : int;  (** 0-based column *)
+  rule : string;  (** rule name, e.g. ["float-eq"] *)
+  severity : severity;
+  message : string;
+}
+
+val severity_name : severity -> string
+
+val v :
+  ?line:int -> ?col:int -> file:string -> rule:string -> severity:severity ->
+  string -> t
+(** File-level finding constructor ([line] defaults to 0). *)
+
+val of_location :
+  rule:string -> severity:severity -> message:string -> Location.t -> t
+(** Finding anchored at the start of a parsetree location. *)
+
+val compare : t -> t -> int
+(** Order by (file, line, col, rule). *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: [rule] severity: message] *)

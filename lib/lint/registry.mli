@@ -1,0 +1,7 @@
+(** The eight project rules, in reporting order. *)
+
+val all : Rule.t list
+val names : string list
+
+val select : string list -> Rule.t list
+(** Resolve rule names; raises [Invalid_argument] on an unknown name. *)

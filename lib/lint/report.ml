@@ -1,0 +1,36 @@
+let pp_human ppf findings =
+  List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) findings;
+  let errors, warnings =
+    List.partition (fun (f : Finding.t) -> f.severity = Finding.Error) findings
+  in
+  Fmt.pf ppf "%d error%s, %d warning%s@."
+    (List.length errors)
+    (if List.length errors = 1 then "" else "s")
+    (List.length warnings)
+    (if List.length warnings = 1 then "" else "s")
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_json ppf findings =
+  let item (f : Finding.t) =
+    Fmt.str
+      "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"}"
+      (json_escape f.file) f.line f.col (json_escape f.rule)
+      (Finding.severity_name f.severity)
+      (json_escape f.message)
+  in
+  Fmt.pf ppf "[%s]@." (String.concat "," (List.map item findings))

@@ -1,0 +1,8 @@
+(** Reporters: human-readable text and machine-readable JSON. *)
+
+val pp_human : Format.formatter -> Finding.t list -> unit
+(** One [file:line:col: [rule] severity: message] line per finding plus a
+    summary count. *)
+
+val pp_json : Format.formatter -> Finding.t list -> unit
+(** A JSON array of [{file, line, col, rule, severity, message}]. *)

@@ -1,0 +1,28 @@
+type ctx = { rel : string }
+
+type t = {
+  name : string;
+  doc : string;
+  severity : Finding.severity;
+  applies : string -> bool;
+  check_structure : (ctx -> Parsetree.structure -> Finding.t list) option;
+  check_source : (ctx -> has_mli:bool -> Finding.t list) option;
+}
+
+let everywhere _ = true
+
+let under dir rel =
+  let prefix = dir ^ "/" in
+  let n = String.length prefix in
+  String.length rel >= n && String.equal (String.sub rel 0 n) prefix
+
+let lib_only = under "lib"
+
+let make ?(applies = everywhere) ?check_structure ?check_source ~doc ~severity
+    name =
+  { name; doc; severity; applies; check_structure; check_source }
+
+let find ~name rules = List.find_opt (fun r -> String.equal r.name name) rules
+
+let finding rule ~message loc =
+  Finding.of_location ~rule:rule.name ~severity:rule.severity ~message loc

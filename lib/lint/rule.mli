@@ -1,0 +1,38 @@
+(** A pluggable lint rule.
+
+    A rule may inspect the parsetree of an implementation
+    ([check_structure]), or file-level facts the engine computes
+    ([check_source], currently just whether a matching [.mli] exists).
+    [applies] filters by path relative to the scan root, so rules can be
+    scoped e.g. to [lib/] only. *)
+
+type ctx = { rel : string }  (** path of the file under scrutiny *)
+
+type t = {
+  name : string;
+  doc : string;
+  severity : Finding.severity;
+  applies : string -> bool;
+  check_structure : (ctx -> Parsetree.structure -> Finding.t list) option;
+  check_source : (ctx -> has_mli:bool -> Finding.t list) option;
+}
+
+val everywhere : string -> bool
+(** [applies] predicate matching every file. *)
+
+val under : string -> string -> bool
+(** [under dir rel] is true when [rel] lives below [dir ^ "/"]. *)
+
+val lib_only : string -> bool
+(** [under "lib"]. *)
+
+val make :
+  ?applies:(string -> bool) ->
+  ?check_structure:(ctx -> Parsetree.structure -> Finding.t list) ->
+  ?check_source:(ctx -> has_mli:bool -> Finding.t list) ->
+  doc:string -> severity:Finding.severity -> string -> t
+
+val find : name:string -> t list -> t option
+
+val finding : t -> message:string -> Location.t -> Finding.t
+(** Finding carrying the rule's name and severity. *)

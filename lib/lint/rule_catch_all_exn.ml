@@ -1,0 +1,45 @@
+open Parsetree
+
+let name = "catch-all-exn"
+
+let doc =
+  "'with _ ->' swallows every exception, including Out_of_memory, \
+   Stack_overflow and Assert_failure; match the specific exceptions you \
+   expect"
+
+let catch_all (c : case) =
+  Option.is_none c.pc_guard
+  && (match c.pc_lhs.ppat_desc with
+     | Ppat_any | Ppat_exception { ppat_desc = Ppat_any; _ } -> true
+     | _ -> false)
+
+let loc_of (c : case) =
+  match c.pc_lhs.ppat_desc with
+  | Ppat_exception p -> p.ppat_loc
+  | _ -> c.pc_lhs.ppat_loc
+
+let check _ctx str =
+  let acc = ref [] in
+  Astq.iter_expressions str (fun e ->
+      let flag_cases ~exception_only cases =
+        List.iter
+          (fun (c : case) ->
+            let is_exn_case =
+              match c.pc_lhs.ppat_desc with
+              | Ppat_exception _ -> true
+              | _ -> not exception_only
+            in
+            if is_exn_case && catch_all c then
+              acc :=
+                Finding.of_location ~rule:name ~severity:Finding.Error
+                  ~message:doc (loc_of c)
+                :: !acc)
+          cases
+      in
+      match e.pexp_desc with
+      | Pexp_try (_, cases) -> flag_cases ~exception_only:false cases
+      | Pexp_match (_, cases) -> flag_cases ~exception_only:true cases
+      | _ -> ());
+  List.rev !acc
+
+let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name

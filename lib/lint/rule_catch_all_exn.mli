@@ -1,0 +1,4 @@
+(** Flags exception handlers that catch everything: [try ... with _ ->]
+    and [match ... with exception _ ->] (unguarded wildcard patterns). *)
+
+val rule : Rule.t

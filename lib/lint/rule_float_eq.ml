@@ -1,0 +1,62 @@
+open Parsetree
+
+let name = "float-eq"
+
+let doc =
+  "polymorphic =, <>, ==, != or compare applied to a float expression; \
+   use Float.equal / Float.compare or Util.Feq (DESIGN.md section 5)"
+
+let eq_paths =
+  [
+    [ "=" ]; [ "<>" ]; [ "==" ]; [ "!=" ]; [ "compare" ];
+    [ "Stdlib"; "=" ]; [ "Stdlib"; "<>" ]; [ "Stdlib"; "compare" ];
+  ]
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let float_ident_paths =
+  [
+    [ "Float"; "infinity" ]; [ "Float"; "neg_infinity" ]; [ "Float"; "nan" ];
+    [ "Float"; "pi" ]; [ "Float"; "epsilon" ]; [ "Float"; "max_float" ];
+    [ "Float"; "min_float" ]; [ "infinity" ]; [ "neg_infinity" ]; [ "nan" ];
+    [ "max_float" ]; [ "min_float" ]; [ "epsilon_float" ];
+  ]
+
+let float_fun_paths =
+  [
+    [ "float_of_int" ]; [ "sqrt" ]; [ "exp" ]; [ "log" ]; [ "log10" ];
+    [ "cos" ]; [ "sin" ]; [ "tan" ]; [ "atan" ]; [ "abs_float" ];
+    [ "Float"; "abs" ]; [ "Float"; "of_int" ]; [ "Float"; "exp" ];
+    [ "Float"; "log" ]; [ "Float"; "sqrt" ]; [ "Float"; "round" ];
+    [ "Float"; "min" ]; [ "Float"; "max" ];
+  ]
+
+(* Syntactic approximation of "this expression has type float". *)
+let floatish e =
+  let e = Astq.strip e in
+  Option.is_some (Astq.float_const e)
+  || Astq.path_is e float_ident_paths
+  ||
+  match Astq.apply_parts e with
+  | Some (f, _) -> (
+    Astq.path_is f float_fun_paths
+    ||
+    match Astq.path f with
+    | Some [ op ] -> List.mem op float_ops
+    | _ -> false)
+  | None -> false
+
+let check _ctx str =
+  let acc = ref [] in
+  Astq.iter_expressions str (fun e ->
+      match Astq.apply_parts e with
+      | Some (f, [ a; b ]) when Astq.path_is f eq_paths && (floatish a || floatish b)
+        ->
+        acc :=
+          Finding.of_location ~rule:name ~severity:Finding.Error ~message:doc
+            e.pexp_loc
+          :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name

@@ -1,0 +1,5 @@
+(** Flags polymorphic structural (in)equality and [compare] applied to
+    expressions that are syntactically float-valued (literal, float
+    operator application, [Float.infinity], ...). *)
+
+val rule : Rule.t

@@ -1,0 +1,18 @@
+let name = "missing-mli"
+
+let doc =
+  "every module under lib/ must ship an interface (.mli) so its exported \
+   surface is explicit and documented"
+
+let applies rel = Rule.lib_only rel && Filename.check_suffix rel ".ml"
+
+let check (ctx : Rule.ctx) ~has_mli =
+  if has_mli then []
+  else
+    [
+      Finding.v ~file:ctx.rel ~rule:name ~severity:Finding.Error
+        (Fmt.str "%s has no matching %si" ctx.rel ctx.rel);
+    ]
+
+let rule =
+  Rule.make ~applies ~doc ~severity:Finding.Error ~check_source:check name

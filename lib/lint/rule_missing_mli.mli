@@ -1,0 +1,4 @@
+(** Flags [lib/**.ml] files that have no sibling [.mli].  File-level
+    finding (line 0); suppressible by a directive anywhere in the file. *)
+
+val rule : Rule.t

@@ -1,0 +1,49 @@
+open Parsetree
+
+let name = "naive-sum"
+
+let doc =
+  "naive float accumulation with fold_left (+.); use Util.Ksum's \
+   compensated summation in lib/ (DESIGN.md section 5)"
+
+let fold_paths =
+  [
+    [ "List"; "fold_left" ]; [ "Array"; "fold_left" ]; [ "Seq"; "fold_left" ];
+    [ "ListLabels"; "fold_left" ]; [ "ArrayLabels"; "fold_left" ];
+  ]
+
+(* (+.) directly, or an eta-expanded [fun acc x -> acc +. ...]. *)
+let is_float_adder f =
+  let f = Astq.strip f in
+  Astq.path_is f [ [ "+." ] ]
+  ||
+  match f.pexp_desc with
+  | Pexp_fun (Nolabel, None, { ppat_desc = Ppat_var { txt = acc; _ }; _ }, body)
+    -> (
+    let body =
+      match (Astq.strip body).pexp_desc with
+      | Pexp_fun (Nolabel, None, _, inner) -> inner
+      | _ -> body
+    in
+    match Astq.apply_parts body with
+    | Some (op, [ lhs; _ ]) ->
+      Astq.path_is op [ [ "+." ] ] && Astq.path_is lhs [ [ acc ] ]
+    | _ -> false)
+  | _ -> false
+
+let check _ctx str =
+  let acc = ref [] in
+  Astq.iter_expressions str (fun e ->
+      match Astq.apply_parts e with
+      | Some (f, adder :: _) when Astq.suffix_is f fold_paths && is_float_adder adder
+        ->
+        acc :=
+          Finding.of_location ~rule:name ~severity:Finding.Error ~message:doc
+            e.pexp_loc
+          :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let rule =
+  Rule.make ~applies:Rule.lib_only ~doc ~severity:Finding.Error
+    ~check_structure:check name

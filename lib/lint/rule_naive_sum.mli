@@ -1,0 +1,5 @@
+(** Flags [List.fold_left (+.)]-style float accumulation in [lib/], where
+    the repo mandates [Util.Ksum] (Neumaier compensated summation) so the
+    dual-certificate comparisons stay trustworthy. *)
+
+val rule : Rule.t

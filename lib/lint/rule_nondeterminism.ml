@@ -1,0 +1,22 @@
+let name = "nondeterminism"
+
+let doc =
+  "global Random state breaks run-to-run reproducibility; thread a seeded \
+   Random.State through Util.Rand instead (DESIGN.md section 5)"
+
+(* Any [Random.f] where [f] is a value of the global-state API.  Seeded
+   [Random.State.*] paths have three components and are not matched. *)
+let check _ctx str =
+  let acc = ref [] in
+  Astq.iter_expressions str (fun e ->
+      match Astq.path e with
+      | Some [ "Random"; f ] when not (String.equal f "State") ->
+        acc :=
+          Finding.of_location ~rule:name ~severity:Finding.Error
+            ~message:(Fmt.str "Random.%s uses the ambient global state; %s" f doc)
+            e.pexp_loc
+          :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name

@@ -1,0 +1,5 @@
+(** Flags [Random.self_init] and every other use of the global [Random]
+    state.  Experiments must stay bit-reproducible, so randomness goes
+    through a fixed-seed [Random.State] via [Util.Rand]. *)
+
+val rule : Rule.t

@@ -1,0 +1,32 @@
+open Parsetree
+
+let name = "obj-magic"
+
+let doc =
+  "Obj.magic and assert false are banned by policy: Obj.magic defeats \
+   the type system, and an unreachable branch must be suppressed with a \
+   written justification of why it cannot be reached"
+
+let check _ctx str =
+  let acc = ref [] in
+  let flag loc message =
+    acc :=
+      Finding.of_location ~rule:name ~severity:Finding.Error ~message loc
+      :: !acc
+  in
+  Astq.iter_expressions str (fun e ->
+      match e.pexp_desc with
+      | Pexp_assert
+          { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None);
+            _ } ->
+        flag e.pexp_loc
+          "assert false: justify unreachability in a suppression comment or \
+           raise a descriptive exception"
+      | _ ->
+        if Astq.path_is e [ [ "Obj"; "magic" ] ] then
+          flag e.pexp_loc "Obj.magic defeats the type system"
+        else if Astq.path_is e [ [ "Obj"; "repr" ]; [ "Obj"; "obj" ] ] then
+          flag e.pexp_loc "Obj.repr/Obj.obj reinterpret memory unchecked");
+  List.rev !acc
+
+let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name

@@ -1,0 +1,5 @@
+(** Policy rule for unsafe escapes: flags [Obj.magic] (and
+    [Obj.repr]/[Obj.obj]) plus [assert false], which must carry a
+    suppression comment justifying unreachability. *)
+
+val rule : Rule.t

@@ -1,0 +1,35 @@
+let name = "printf-in-lib"
+
+let doc =
+  "Printf / implicit-stdout printing inside lib/; build strings with \
+   Fmt.str and print through Fmt/Logs formatters so output stays \
+   redirectable and testable"
+
+let stdout_idents =
+  [
+    [ "print_string" ]; [ "print_endline" ]; [ "print_newline" ];
+    [ "print_char" ]; [ "print_int" ]; [ "print_float" ]; [ "print_bytes" ];
+    [ "prerr_string" ]; [ "prerr_endline" ]; [ "prerr_newline" ];
+    [ "Format"; "printf" ]; [ "Format"; "eprintf" ];
+    [ "Format"; "print_string" ]; [ "Format"; "print_newline" ];
+  ]
+
+let check _ctx str =
+  let acc = ref [] in
+  Astq.iter_expressions str (fun e ->
+      let flagged =
+        match Astq.path e with
+        | Some ("Printf" :: _ :: _) -> true
+        | Some p -> List.mem p stdout_idents
+        | None -> false
+      in
+      if flagged then
+        acc :=
+          Finding.of_location ~rule:name ~severity:Finding.Error ~message:doc
+            e.pexp_loc
+          :: !acc);
+  List.rev !acc
+
+let rule =
+  Rule.make ~applies:Rule.lib_only ~doc ~severity:Finding.Error
+    ~check_structure:check name

@@ -1,0 +1,6 @@
+(** Flags any [Printf.*] use and implicit-stdout printers
+    ([print_string], [Format.printf], ...) inside [lib/].  Library code
+    formats with [Fmt]; executables under [bin/], [bench/] and
+    [examples/] may print freely. *)
+
+val rule : Rule.t

@@ -24,7 +24,7 @@ let render ?(width = 72) ?(show_speed = true) (s : Schedule.t) =
     let cell_time c = lo +. ((float_of_int c +. 0.5) *. span /. float_of_int width) in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf
-      (Printf.sprintf "time %.3g .. %.3g  (%d columns, %.3g per cell)\n" lo hi
+      (Fmt.str "time %.3g .. %.3g  (%d columns, %.3g per cell)\n" lo hi
          width (span /. float_of_int width));
     for proc = 0 to s.machines - 1 do
       let jobs_row = Bytes.make width '.' in
@@ -52,10 +52,10 @@ let render ?(width = 72) ?(show_speed = true) (s : Schedule.t) =
           end
       done;
       Buffer.add_string buf
-        (Printf.sprintf "p%-2d |%s|\n" proc (Bytes.to_string jobs_row));
+        (Fmt.str "p%-2d |%s|\n" proc (Bytes.to_string jobs_row));
       if show_speed then
         Buffer.add_string buf
-          (Printf.sprintf "    |%s| speed (max %.3g)\n"
+          (Fmt.str "    |%s| speed (max %.3g)\n"
              (Bytes.to_string speed_row) smax)
     done;
     Buffer.contents buf

@@ -5,7 +5,7 @@ type sample = { cost : float; lower_bound : float; ratio : float }
 let make ~cost ~lower_bound =
   if not (lower_bound > 0.0) then
     invalid_arg
-      (Printf.sprintf "Ratio.make: lower bound must be > 0 (got %g)"
+      (Fmt.str "Ratio.make: lower bound must be > 0 (got %g)"
          lower_bound);
   { cost; lower_bound; ratio = cost /. lower_bound }
 

@@ -22,10 +22,10 @@ let horizon t =
     t.jobs
 
 let total_value t =
-  Array.fold_left (fun acc (j : Job.t) -> acc +. j.value) 0.0 t.jobs
+  Speedscale_util.Ksum.sum_by (fun (j : Job.t) -> j.value) (Array.to_list t.jobs)
 
 let must_finish t =
-  Array.for_all (fun (j : Job.t) -> j.value = Float.infinity) t.jobs
+  Array.for_all (fun (j : Job.t) -> Float.equal j.value Float.infinity) t.jobs
 
 let with_values t f =
   let jobs =

@@ -1,15 +1,15 @@
 let to_string (inst : Instance.t) =
   let b = Buffer.create 256 in
-  Buffer.add_string b (Printf.sprintf "alpha %.17g\n" (Power.alpha inst.power));
-  Buffer.add_string b (Printf.sprintf "machines %d\n" inst.machines);
+  Buffer.add_string b (Fmt.str "alpha %.17g\n" (Power.alpha inst.power));
+  Buffer.add_string b (Fmt.str "machines %d\n" inst.machines);
   Buffer.add_string b "# release deadline workload value\n";
   Array.iter
     (fun (j : Job.t) ->
       Buffer.add_string b
-        (Printf.sprintf "job %.17g %.17g %.17g %s\n" j.release j.deadline
+        (Fmt.str "job %.17g %.17g %.17g %s\n" j.release j.deadline
            j.workload
-           (if j.value = Float.infinity then "inf"
-            else Printf.sprintf "%.17g" j.value)))
+           (if Float.equal j.value Float.infinity then "inf"
+            else Fmt.str "%.17g" j.value)))
     inst.jobs;
   Buffer.contents b
 
@@ -18,7 +18,7 @@ let of_string s =
   let parse_float what lineno v =
     match float_of_string_opt v with
     | Some f -> f
-    | None -> failwith (Printf.sprintf "line %d: bad %s %S" lineno what v)
+    | None -> failwith (Fmt.str "line %d: bad %s %S" lineno what v)
   in
   String.split_on_char '\n' s
   |> List.iteri (fun i line ->
@@ -32,7 +32,7 @@ let of_string s =
              match int_of_string_opt v with
              | Some m -> machines := Some m
              | None ->
-               failwith (Printf.sprintf "line %d: bad machines %S" lineno v))
+               failwith (Fmt.str "line %d: bad machines %S" lineno v))
            | [ "job"; r; d; w; v ] ->
              let value =
                if v = "inf" then Float.infinity
@@ -45,7 +45,7 @@ let of_string s =
                    ~workload:(parse_float "workload" lineno w)
                    ~value)
                :: !jobs
-           | _ -> failwith (Printf.sprintf "line %d: unrecognized %S" lineno line));
+           | _ -> failwith (Fmt.str "line %d: unrecognized %S" lineno line));
   let alpha =
     match !alpha with
     | Some a -> a

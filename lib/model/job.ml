@@ -7,7 +7,7 @@ type t = {
 }
 
 let make ~id ~release ~deadline ~workload ~value =
-  let fail msg = invalid_arg (Printf.sprintf "Job.make(id=%d): %s" id msg) in
+  let fail msg = invalid_arg (Fmt.str "Job.make(id=%d): %s" id msg) in
   if not (Float.is_finite release) || release < 0.0 then
     fail "release must be finite >= 0";
   if not (Float.is_finite deadline) || deadline <= release then

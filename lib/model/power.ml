@@ -2,30 +2,37 @@ type t = { alpha : float }
 
 let make alpha =
   if not (Float.is_finite alpha) || alpha <= 1.0 then
-    invalid_arg (Printf.sprintf "Power.make: alpha must be finite > 1: %g" alpha);
+    invalid_arg (Fmt.str "Power.make: alpha must be finite > 1: %g" alpha);
   { alpha }
 
 let alpha t = t.alpha
 
 let energy_rate t s =
   if s < 0.0 then invalid_arg "Power.energy_rate: negative speed";
-  if s = 0.0 then 0.0 else s ** t.alpha
+  if Float.equal s 0.0 then 0.0 else s ** t.alpha
 
 let energy t ~speed ~duration = duration *. energy_rate t speed
 
 let deriv t s =
   if s < 0.0 then invalid_arg "Power.deriv: negative speed";
-  if s = 0.0 then 0.0 else t.alpha *. (s ** (t.alpha -. 1.0))
+  if Float.equal s 0.0 then 0.0 else t.alpha *. (s ** (t.alpha -. 1.0))
 
 let inv_deriv t y =
   if y < 0.0 then invalid_arg "Power.inv_deriv: negative marginal";
-  if y = 0.0 then 0.0 else (y /. t.alpha) ** (1.0 /. (t.alpha -. 1.0))
+  if Float.equal y 0.0 then 0.0
+  else
+    (* slint: allow unsafe-pow -- y >= 0 here and alpha > 1 by [make] *)
+    (y /. t.alpha) ** (1.0 /. (t.alpha -. 1.0))
 
+(* slint: allow unsafe-pow -- alpha > 1 by [make] *)
 let competitive_bound t = t.alpha ** t.alpha
 let cll_bound t = competitive_bound t +. (2.0 *. Float.exp 1.0 *. t.alpha)
+
+(* slint: allow unsafe-pow -- alpha > 1 by [make] *)
 let delta_star t = t.alpha ** (1.0 -. t.alpha)
 
 let rejection_speed_factor t =
+  (* slint: allow unsafe-pow -- alpha > 1 by [make] *)
   t.alpha ** ((t.alpha -. 2.0) /. (t.alpha -. 1.0))
 
 let pp ppf t = Format.fprintf ppf "P_%.3g" t.alpha

@@ -12,7 +12,7 @@ let make ~machines ~rejected slices =
   let check s =
     if s.proc < 0 || s.proc >= machines then
       invalid_arg
-        (Printf.sprintf "Schedule.make: slice processor %d out of range" s.proc);
+        (Fmt.str "Schedule.make: slice processor %d out of range" s.proc);
     if not (Float.is_finite s.t0 && Float.is_finite s.t1 && s.t0 < s.t1) then
       invalid_arg "Schedule.make: slice must have t0 < t1 (finite)";
     if not (Float.is_finite s.speed) || s.speed < 0.0 then
@@ -67,7 +67,7 @@ let overlap_free label slices =
     | a :: (b :: _ as rest) ->
       if b.t0 < a.t1 -. work_tol then
         Error
-          (Printf.sprintf "%s: slices overlap: [%g,%g) and [%g,%g)" label a.t0
+          (Fmt.str "%s: slices overlap: [%g,%g) and [%g,%g)" label a.t0
              a.t1 b.t0 b.t1)
       else go rest
     | _ -> Ok ()
@@ -92,14 +92,14 @@ let validate (inst : Instance.t) (t : t) =
     iter_results
       (fun s ->
         if s.job < 0 || s.job >= n then
-          Error (Printf.sprintf "slice refers to unknown job %d" s.job)
+          Error (Fmt.str "slice refers to unknown job %d" s.job)
         else
           let j = Instance.job inst s.job in
           if s.t0 >= j.release -. work_tol && s.t1 <= j.deadline +. work_tol
           then Ok ()
           else
             Error
-              (Printf.sprintf
+              (Fmt.str
                  "job %d processed on [%g,%g) outside its window [%g,%g)"
                  s.job s.t0 s.t1 j.release j.deadline))
       t.slices
@@ -108,7 +108,7 @@ let validate (inst : Instance.t) (t : t) =
     iter_results
       (fun p ->
         overlap_free
-          (Printf.sprintf "processor %d" p)
+          (Fmt.str "processor %d" p)
           (List.filter (fun s -> s.proc = p) t.slices))
       (List.init t.machines Fun.id)
   in
@@ -116,7 +116,7 @@ let validate (inst : Instance.t) (t : t) =
     iter_results
       (fun id ->
         overlap_free
-          (Printf.sprintf "job %d" id)
+          (Fmt.str "job %d" id)
           (List.filter (fun s -> s.job = id) t.slices))
       (List.init n Fun.id)
   in
@@ -126,7 +126,7 @@ let validate (inst : Instance.t) (t : t) =
       if List.mem id t.rejected || List.mem id fin then Ok ()
       else
         Error
-          (Printf.sprintf "job %d is neither rejected nor finished (work %g/%g)"
+          (Fmt.str "job %d is neither rejected nor finished (work %g/%g)"
              id (work_of_job t id)
              (Instance.job inst id).workload))
     (List.init n Fun.id)

@@ -20,7 +20,7 @@ let boundaries t = Array.copy t.bounds
 
 let bounds t k =
   if k < 0 || k >= n_intervals t then
-    invalid_arg (Printf.sprintf "Timeline.bounds: index %d" k);
+    invalid_arg (Fmt.str "Timeline.bounds: index %d" k);
   (t.bounds.(k), t.bounds.(k + 1))
 
 let length t k =
@@ -51,7 +51,7 @@ let is_boundary t x = Array.exists (fun b -> b = x) t.bounds
 let covering t ~release ~deadline =
   if not (is_boundary t release && is_boundary t deadline) then
     invalid_arg
-      (Printf.sprintf
+      (Fmt.str
          "Timeline.covering: window [%g, %g) endpoints are not boundaries"
          release deadline);
   let acc = ref [] in

@@ -32,7 +32,7 @@ let solve ?(max_jobs = 14) (inst : Instance.t) =
   let n = Instance.n_jobs inst in
   if n > max_jobs then
     invalid_arg
-      (Printf.sprintf "Opt.solve: %d jobs exceed the enumeration limit %d" n
+      (Fmt.str "Opt.solve: %d jobs exceed the enumeration limit %d" n
          max_jobs);
   let best =
     ref

@@ -18,7 +18,7 @@ type report = {
 let evaluate alg inst =
   if not (alg.applicable inst) then
     invalid_arg
-      (Printf.sprintf "Driver.evaluate: %s is not applicable here" alg.name);
+      (Fmt.str "Driver.evaluate: %s is not applicable here" alg.name);
   let t0 = Unix.gettimeofday () in
   let schedule = alg.run inst in
   let elapsed_s = Unix.gettimeofday () -. t0 in
@@ -44,7 +44,7 @@ let pd =
 
 let pd_with_delta delta =
   {
-    name = Printf.sprintf "PD(delta=%.4g)" delta;
+    name = Fmt.str "PD(delta=%.4g)" delta;
     description = "primal-dual online with explicit delta";
     applicable = always;
     run = (fun inst -> (Speedscale_core.Pd.run ~delta inst).schedule);

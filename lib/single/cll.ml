@@ -1,10 +1,11 @@
 open Speedscale_model
 
 let threshold_speed power (j : Job.t) =
-  if j.value = Float.infinity then Float.infinity
+  if Float.equal j.value Float.infinity then Float.infinity
   else
     let alpha = Power.alpha power in
     Power.rejection_speed_factor power
+    (* slint: allow unsafe-pow -- value >= 0 and workload > 0 are Job.make invariants *)
     *. ((j.value /. j.workload) ** (1.0 /. (alpha -. 1.0)))
 
 let schedule (inst : Instance.t) =

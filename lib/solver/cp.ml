@@ -80,7 +80,7 @@ let lost_value t x =
       let missing = Float.max 0.0 (1.0 -. c) in
       (* infinite-value jobs are pinned to the simplex by the projection;
          tolerate float dust in the completion *)
-      if v = Float.infinity then begin
+      if Float.equal v Float.infinity then begin
         if missing > 1e-6 then Ksum.add acc Float.infinity
       end
       else Ksum.add acc (v *. missing))
@@ -136,7 +136,7 @@ let project t mode x =
         match mode with
         | Must_finish -> Proj.simplex ~total:1.0 block
         | Profitable ->
-          if v = Float.infinity then Proj.simplex ~total:1.0 block
+          if Float.equal v Float.infinity then Proj.simplex ~total:1.0 block
           else Proj.capped_simplex ~total:1.0 block
       in
       Array.blit projected 0 out t.offsets.(j) len)
@@ -191,7 +191,7 @@ let rebalance_sweeps t mode x ~sweeps =
       let speed_of_price mu = Power.inv_deriv t.inst.power (mu /. w) in
       let assigned mu =
         let s = speed_of_price mu in
-        Array.fold_left (fun acc p -> acc +. load_at p s) 0.0 others
+        Ksum.sum_by (fun p -> load_at p s) (Array.to_list others)
       in
       let commit mu =
         let s = speed_of_price mu in
@@ -223,7 +223,7 @@ let rebalance_sweeps t mode x ~sweeps =
       match mode with
       | Must_finish -> solve_full ()
       | Profitable ->
-        if job.value = Float.infinity then solve_full ()
+        if Float.equal job.value Float.infinity then solve_full ()
         else if assigned job.value >= w *. (1.0 -. 1e-12) then solve_full ()
         else
           (* partial completion at marginal price = value *)

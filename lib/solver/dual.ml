@@ -44,6 +44,7 @@ let evaluate (inst : Instance.t) tl ~lambda =
       (fun (j, s) ->
         let job = Instance.job inst j in
         xhat.(j) <- xhat.(j) +. (lk *. s /. job.workload);
+        (* slint: allow unsafe-pow -- contributors are filtered to shat > 0 above *)
         Ksum.add interval_acc ((1.0 -. alpha) *. lk *. (s ** alpha)))
       contributors
   done;

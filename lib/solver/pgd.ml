@@ -33,7 +33,7 @@ let minimize ?(max_iters = 5000) ?(tol = 1e-10) ?(initial_step = 1.0) ~f ~grad
          (* Armijo: improve at least proportionally to the move's length *)
          if fc <= !fx -. (1e-4 /. Float.max eta 1e-18 *. dist *. dist) then
            (candidate, fc, eta, dist)
-         else if tries <= 0 || dist = 0.0 then (candidate, fc, eta, dist)
+         else if tries <= 0 || Float.equal dist 0.0 then (candidate, fc, eta, dist)
          else attempt (eta /. 2.0) (tries - 1)
        in
        let candidate, fc, eta, dist = attempt !step 60 in

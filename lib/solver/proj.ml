@@ -23,7 +23,7 @@ let simplex ~total v =
 
 let capped_simplex ~total v =
   let clipped = Array.map (Float.max 0.0) v in
-  let sum = Array.fold_left ( +. ) 0.0 clipped in
+  let sum = Speedscale_util.Ksum.sum_array clipped in
   if sum <= total then clipped else simplex ~total v
 
 let box ~lo ~hi v = Array.map (fun x -> Float.min hi (Float.max lo x)) v

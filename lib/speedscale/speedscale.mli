@@ -1,0 +1,66 @@
+(** Umbrella module: the whole library under one namespace.
+
+    [Speedscale.Pd.run] is the paper's algorithm; everything else is the
+    substrate and evaluation machinery around it.  Individual libraries
+    ([speedscale_core], [speedscale_model], …) remain usable directly for
+    finer-grained dependencies. *)
+
+(* model *)
+module Power = Speedscale_model.Power
+module Job = Speedscale_model.Job
+module Instance = Speedscale_model.Instance
+module Timeline = Speedscale_model.Timeline
+module Schedule = Speedscale_model.Schedule
+module Cost = Speedscale_model.Cost
+module Io = Speedscale_model.Io
+
+(* the paper's contribution *)
+module Pd = Speedscale_core.Pd
+module Rejection = Speedscale_core.Rejection
+module Analysis = Speedscale_core.Analysis
+
+(* substrates *)
+module Chen = Speedscale_chen.Chen
+module Cp = Speedscale_solver.Cp
+module Dual = Speedscale_solver.Dual
+module Kkt = Speedscale_solver.Kkt
+module Proj = Speedscale_solver.Proj
+module Pgd = Speedscale_solver.Pgd
+
+(* single-processor classics *)
+module Yds = Speedscale_single.Yds
+module Oa = Speedscale_single.Oa
+module Avr = Speedscale_single.Avr
+module Bkp = Speedscale_single.Bkp
+module Qoa = Speedscale_single.Qoa
+module Cll = Speedscale_single.Cll
+
+(* multiprocessor *)
+module Mopt = Speedscale_multi.Mopt
+module Moa = Speedscale_multi.Moa
+module Mavr = Speedscale_multi.Mavr
+module Opt = Speedscale_multi.Opt
+module Mcll = Speedscale_multi.Mcll
+module Partitioned = Speedscale_multi.Partitioned
+
+(* extensions and tooling *)
+module Levels = Speedscale_discrete.Levels
+module Dinic = Speedscale_flow.Dinic
+module Feasibility = Speedscale_flow.Feasibility
+module Executor = Speedscale_engine.Executor
+module Generate = Speedscale_workload.Generate
+module Driver = Speedscale_sim.Driver
+module Baselines = Speedscale_sim.Baselines
+module Ratio = Speedscale_metrics.Ratio
+module Profit = Speedscale_metrics.Profit
+module Structure = Speedscale_metrics.Structure
+module Gantt = Speedscale_metrics.Gantt
+
+(* numeric utilities *)
+module Feq = Speedscale_util.Feq
+module Bisect = Speedscale_util.Bisect
+module Ksum = Speedscale_util.Ksum
+module Stats = Speedscale_util.Stats
+module Tab = Speedscale_util.Tab
+module Rand = Speedscale_util.Rand
+module Golden = Speedscale_util.Golden

@@ -5,11 +5,11 @@ let bracket_done ~tol lo hi =
 
 let root ?(iterations = default_iterations) ?(tol = 1e-13) ~f ~lo ~hi () =
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then lo
-  else if fhi = 0.0 then hi
+  if Float.equal flo 0.0 then lo
+  else if Float.equal fhi 0.0 then hi
   else if flo *. fhi > 0.0 then
     invalid_arg
-      (Printf.sprintf "Bisect.root: no sign change on [%g, %g] (f: %g, %g)" lo
+      (Fmt.str "Bisect.root: no sign change on [%g, %g] (f: %g, %g)" lo
          hi flo fhi)
   else
     (* Invariant: f changes sign on [lo, hi]; [sign_lo] is the sign of f lo. *)
@@ -19,7 +19,7 @@ let root ?(iterations = default_iterations) ?(tol = 1e-13) ~f ~lo ~hi () =
       else
         let mid = 0.5 *. (lo +. hi) in
         let fm = f mid in
-        if fm = 0.0 then mid
+        if Float.equal fm 0.0 then mid
         else if fm < 0.0 = sign_lo then loop mid hi (k - 1)
         else loop lo mid (k - 1)
     in
@@ -45,7 +45,7 @@ let grow_bracket ?(factor = 2.0) ?(max_doublings = 200) ~f ~target ~lo ~init
     if f hi >= target then hi
     else if k = 0 then
       failwith
-        (Printf.sprintf "Bisect.grow_bracket: target %g unreachable at %g"
+        (Fmt.str "Bisect.grow_bracket: target %g unreachable at %g"
            target hi)
     else loop (hi *. factor) (k - 1)
   in

@@ -21,4 +21,4 @@ let clamp ~lo ~hi x =
 
 let finite_or_fail ctx x =
   if Float.is_finite x then x
-  else invalid_arg (Printf.sprintf "%s: non-finite value %h" ctx x)
+  else invalid_arg (Fmt.str "%s: non-finite value %h" ctx x)

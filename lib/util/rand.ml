@@ -18,6 +18,7 @@ let exponential st ~rate =
 let pareto st ~shape ~scale =
   if shape <= 0.0 || scale <= 0.0 then invalid_arg "Rand.pareto: args <= 0";
   let u = 1.0 -. Random.State.float st 1.0 in
+  (* slint: allow unsafe-pow -- u is in (0, 1] by construction *)
   scale /. (u ** (1.0 /. shape))
 
 (* Box-Muller; we only need one variate per call and accept the waste. *)

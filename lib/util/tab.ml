@@ -35,7 +35,7 @@ let render t =
   in
   let render_row row =
     row
-    |> List.mapi (fun i c -> Printf.sprintf "%-*s" widths.(i) c)
+    |> List.mapi (fun i c -> Fmt.str "%-*s" widths.(i) c)
     |> String.concat "  "
     |> trim_end
   and total_width =
@@ -47,13 +47,10 @@ let render t =
     @ List.map render_row rows
     @ [ rule ])
 
-let print t =
-  print_string (render t);
-  print_newline ();
-  print_newline ()
+let print t = Fmt.pr "%s@.@." (render t)
 
-let cell_f ?(digits = 4) v = Printf.sprintf "%.*f" digits v
-let cell_g v = Printf.sprintf "%.6g" v
+let cell_f ?(digits = 4) v = Fmt.str "%.*f" digits v
+let cell_g v = Fmt.str "%.6g" v
 
 let bar ~width ~max_value v =
   if max_value <= 0.0 then ""

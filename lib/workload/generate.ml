@@ -29,6 +29,7 @@ let draw_value st power ~workload ~density = function
   | Infinite -> Float.infinity
   | Proportional c -> c *. workload
   | Per_density c ->
+    if density <= 0.0 then invalid_arg "Generate.draw_value: density <= 0";
     c *. workload *. (density ** (Power.alpha power -. 1.0))
   | Uniform_value (lo, hi) -> Rand.uniform st ~lo ~hi
   | Lottery { low; high; p_high } ->
@@ -72,6 +73,7 @@ let bkp_lower_bound ~alpha ~n ?(value = 1e12) () =
          Job.make ~id:i
            ~release:(float_of_int (j - 1))
            ~deadline:(float_of_int n)
+           (* slint: allow unsafe-pow -- j <= n so the base is >= 1 *)
            ~workload:(float_of_int (n - j + 1) ** (-1.0 /. alpha))
            ~value))
 

@@ -1,0 +1,2 @@
+; slint baseline -- grandfathered findings, one (file line rule) per line.
+; The goal state is an empty list: fix or explicitly suppress instead.

@@ -273,7 +273,7 @@ let prop_pd_total_work_conserved =
           <= 1e-6 *. (1.0 +. j.workload))
         r.accepted
       && List.for_all
-           (fun id -> Schedule.work_of_job r.schedule id = 0.0)
+           (fun id -> Float.equal (Schedule.work_of_job r.schedule id) 0.0)
            r.rejected)
 
 (* ------------------------------------------------------------------ *)
@@ -451,6 +451,7 @@ let bkp_instance ~alpha ~n =
     (List.init n (fun i ->
          let j = i + 1 in
          mk_job ~id:i ~r:(float_of_int (j - 1)) ~d:(float_of_int n)
+           (* slint: allow unsafe-pow -- j <= n so the base is >= 1 *)
            ~w:(float_of_int (n - j + 1) ** (-1.0 /. alpha))
            ~v:1e12 ()))
 

@@ -1,0 +1,285 @@
+(* Fixture-driven tests for the speedscale_lint engine: every rule firing
+   and not firing, suppression handling, and the baseline round-trip. *)
+
+open Speedscale_lint
+
+(* Directive text assembled by concatenation so slint does not read these
+   fixtures as directives for THIS file when scanning the tree. *)
+let allow rule reason = "(* slint: " ^ "allow " ^ rule ^ " -- " ^ reason ^ " *)"
+
+let rules_of name = Registry.select [ name ]
+
+let findings ?(rel = "lib/model/fixture.ml") ?(has_mli = true) ~rule text =
+  Engine.check_source ~has_mli ~rules:(rules_of rule) ~rel text
+  |> List.filter (fun (f : Finding.t) -> String.equal f.rule rule)
+
+let check_fires name ?rel ?has_mli ~rule text =
+  Alcotest.(check bool)
+    (name ^ ": fires") true
+    (findings ?rel ?has_mli ~rule text <> [])
+
+let check_quiet name ?rel ?has_mli ~rule text =
+  let hits = findings ?rel ?has_mli ~rule text in
+  Alcotest.(check int) (name ^ ": quiet") 0 (List.length hits)
+
+(* ---------------- float-eq ---------------- *)
+
+let test_float_eq () =
+  let rule = "float-eq" in
+  check_fires "literal rhs" ~rule "let f x = x = 1.0";
+  check_fires "float op" ~rule "let f a b = a +. 1.0 = b";
+  check_fires "infinity" ~rule "let f v = v = Float.infinity";
+  check_fires "compare" ~rule "let f x = compare x 0.5";
+  check_fires "physical" ~rule "let f x = x == 0.0";
+  check_fires "not-equal" ~rule "let f x = x <> sqrt 2.0";
+  check_quiet "int compare" ~rule "let f x = x = 1";
+  check_quiet "Float.equal" ~rule "let f x = Float.equal x 1.0";
+  check_quiet "string" ~rule {|let f s = s = "inf"|}
+
+(* ---------------- naive-sum ---------------- *)
+
+let test_naive_sum () =
+  let rule = "naive-sum" in
+  check_fires "operator" ~rule "let f l = List.fold_left ( +. ) 0.0 l";
+  check_fires "eta" ~rule "let f a = Array.fold_left (fun acc x -> acc +. x) 0.0 a";
+  check_fires "projection" ~rule
+    "let f l = List.fold_left (fun acc j -> acc +. j.value) 0.0 l";
+  check_quiet "outside lib" ~rel:"bench/fixture.ml" ~rule
+    "let f l = List.fold_left ( +. ) 0.0 l";
+  check_quiet "int fold" ~rule "let f l = List.fold_left ( + ) 0 l";
+  check_quiet "max fold" ~rule "let f l = List.fold_left Float.max 0.0 l"
+
+(* ---------------- nondeterminism ---------------- *)
+
+let test_nondeterminism () =
+  let rule = "nondeterminism" in
+  check_fires "Random.float" ~rule "let f () = Random.float 1.0";
+  check_fires "Random.self_init" ~rule "let f () = Random.self_init ()";
+  check_quiet "Random.State" ~rule "let f st = Random.State.float st 1.0";
+  check_quiet "unrelated" ~rule "let f x = x + 1"
+
+(* ---------------- printf-in-lib ---------------- *)
+
+let test_printf_in_lib () =
+  let rule = "printf-in-lib" in
+  check_fires "Printf.printf" ~rule {|let f () = Printf.printf "x"|};
+  check_fires "Printf.sprintf" ~rule {|let f n = Printf.sprintf "%d" n|};
+  check_fires "print_endline" ~rule {|let f () = print_endline "x"|};
+  check_fires "Format.printf" ~rule {|let f () = Format.printf "x"|};
+  check_quiet "outside lib" ~rel:"bin/fixture.ml" ~rule
+    {|let f () = Printf.printf "x"|};
+  check_quiet "Fmt.str" ~rule {|let f n = Fmt.str "%d" n|};
+  check_quiet "Format.fprintf" ~rule {|let pp ppf n = Format.fprintf ppf "%d" n|}
+
+(* ---------------- missing-mli ---------------- *)
+
+let test_missing_mli () =
+  let rule = "missing-mli" in
+  check_fires "no mli" ~has_mli:false ~rule "let x = 1";
+  check_quiet "has mli" ~has_mli:true ~rule "let x = 1";
+  check_quiet "outside lib" ~rel:"bench/fixture.ml" ~has_mli:false ~rule
+    "let x = 1"
+
+(* ---------------- catch-all-exn ---------------- *)
+
+let test_catch_all_exn () =
+  let rule = "catch-all-exn" in
+  check_fires "try wildcard" ~rule "let f g = try g () with _ -> 0";
+  check_fires "match exception _" ~rule
+    "let f g = match g () with x -> x | exception _ -> 0";
+  check_quiet "named exn" ~rule "let f g = try g () with Not_found -> 0";
+  check_quiet "guarded wildcard" ~rule
+    "let f g p = try g () with _ when p -> 0"
+
+(* ---------------- unsafe-pow ---------------- *)
+
+let test_unsafe_pow () =
+  let rule = "unsafe-pow" in
+  check_fires "unknown base" ~rule "let f x a = x ** (1.0 /. a)";
+  check_fires "unguarded arg" ~rule "let f s alpha = s ** alpha";
+  check_quiet "integral exponent" ~rule "let f x = x ** 2.0";
+  check_quiet "float_of_int exponent" ~rule "let f x n = x ** float_of_int n";
+  check_quiet "literal base" ~rule "let f a = 2.0 ** a";
+  check_quiet "guarded branch" ~rule
+    "let f s a = if s >= 0.0 then s ** a else 0.0";
+  check_quiet "guard-raise sequence" ~rule
+    {|let f s a = if s < 0.0 then invalid_arg "s"; s ** a|};
+  check_quiet "nonneg let" ~rule "let f x a = let y = Float.abs x in y ** a";
+  check_fires "rebound variable" ~rule
+    {|let f s a = if s < 0.0 then invalid_arg "s"; let s = s -. 2.0 in s ** a|};
+  check_quiet "alpha producer" ~rule "let f p a = Power.alpha p ** a";
+  check_quiet "sqrt base" ~rule "let f x a = sqrt x ** a"
+
+(* ---------------- obj-magic ---------------- *)
+
+let test_obj_magic () =
+  let rule = "obj-magic" in
+  check_fires "Obj.magic" ~rule "let f x = (Obj.magic x : int)";
+  check_fires "assert false" ~rule "let f () = assert false";
+  check_quiet "assert cond" ~rule "let f x = assert (x > 0)";
+  check_quiet "plain code" ~rule "let f x = x + 1"
+
+(* ---------------- suppression handling ---------------- *)
+
+let test_suppression () =
+  let rule = "float-eq" in
+  (* end-of-line directive silences that line's finding *)
+  check_quiet "same line" ~rule
+    ("let f x = x = 1.0  " ^ allow "float-eq" "fixture");
+  (* directive-only line governs the next code line *)
+  check_quiet "next line" ~rule
+    (allow "float-eq" "fixture" ^ "\nlet f x = x = 1.0");
+  (* a directive for a different rule does not apply *)
+  check_fires "wrong rule" ~rule
+    ("let f x = x = 1.0  " ^ allow "unsafe-pow" "fixture");
+  (* the line after the governed one is not covered *)
+  check_fires "only one line" ~rule
+    (allow "float-eq" "fixture" ^ "\nlet f x = x = 1.0\nlet g x = x = 2.0");
+  (* file-level findings accept a directive anywhere *)
+  check_quiet "file-level" ~rel:"lib/model/fixture.ml" ~has_mli:false
+    ~rule:"missing-mli"
+    ("let x = 1\n" ^ allow "missing-mli" "fixture")
+
+let test_suppression_diagnostics () =
+  let all f rule =
+    List.filter (fun (g : Finding.t) -> String.equal g.rule rule) f
+  in
+  (* missing reason -> suppress-syntax error *)
+  let f =
+    Engine.check_source ~rules:Registry.all ~rel:"lib/model/fixture.ml"
+      ("let f x = x = 1.0  (* slint: " ^ "allow float-eq *)")
+  in
+  Alcotest.(check int) "missing reason" 1 (List.length (all f "suppress-syntax"));
+  (* a malformed directive suppresses nothing *)
+  Alcotest.(check int) "still reported" 1 (List.length (all f "float-eq"));
+  (* directive matching no finding -> unused-suppression warning *)
+  let f =
+    Engine.check_source ~rules:Registry.all ~rel:"lib/model/fixture.ml"
+      ("let f x = x + 1  " ^ allow "float-eq" "fixture")
+  in
+  let unused = all f "unused-suppression" in
+  Alcotest.(check int) "unused" 1 (List.length unused);
+  Alcotest.(check bool)
+    "unused is a warning" true
+    (match unused with
+    | [ u ] -> u.severity = Finding.Warning
+    | _ -> false)
+
+(* ---------------- parse errors ---------------- *)
+
+let test_parse_error () =
+  let f =
+    Engine.check_source ~rules:Registry.all ~rel:"lib/model/fixture.ml"
+      "let f x = ("
+  in
+  Alcotest.(check bool)
+    "syntax error reported" true
+    (List.exists (fun (g : Finding.t) -> String.equal g.rule "parse-error") f)
+
+(* ---------------- baseline ---------------- *)
+
+let test_baseline_roundtrip () =
+  let entries =
+    [
+      { Baseline.file = "lib/model/power.ml"; line = 12; rule = "float-eq" };
+      { Baseline.file = "bench/experiments.ml"; line = 39; rule = "unsafe-pow" };
+    ]
+  in
+  (match Baseline.of_string (Baseline.to_string entries) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    Alcotest.(check int) "length" (List.length entries) (List.length back);
+    List.iter2
+      (fun (a : Baseline.entry) (b : Baseline.entry) ->
+        Alcotest.(check string) "file" a.file b.file;
+        Alcotest.(check int) "line" a.line b.line;
+        Alcotest.(check string) "rule" a.rule b.rule)
+      entries back);
+  (* comments and blank lines are ignored *)
+  (match Baseline.of_string "; header\n\n(a.ml 3 float-eq)\n" with
+  | Error e -> Alcotest.fail e
+  | Ok l -> Alcotest.(check int) "comments skipped" 1 (List.length l));
+  (* mem matches findings against entries *)
+  let fnd =
+    Finding.v ~line:12 ~file:"lib/model/power.ml" ~rule:"float-eq"
+      ~severity:Finding.Error "m"
+  in
+  Alcotest.(check bool) "mem hit" true (Baseline.mem entries fnd);
+  Alcotest.(check bool)
+    "mem miss" false
+    (Baseline.mem entries { fnd with line = 13 });
+  (* of_findings drops nothing *)
+  Alcotest.(check int) "of_findings" 1
+    (List.length (Baseline.of_findings [ fnd ]))
+
+let test_baseline_malformed () =
+  match Baseline.of_string "(a.ml not-a-number float-eq)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+(* ---------------- registry & reporters ---------------- *)
+
+let test_registry () =
+  Alcotest.(check int) "eight rules" 8 (List.length Registry.all);
+  Alcotest.(check bool)
+    "select resolves every name" true
+    (List.length (Registry.select Registry.names) = 8);
+  match Registry.select [ "no-such-rule" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i =
+    i + k <= n && (String.equal (String.sub s i k) sub || go (i + 1))
+  in
+  go 0
+
+let test_reporters () =
+  let f =
+    [
+      Finding.v ~line:3 ~col:4 ~file:"a.ml" ~rule:"float-eq"
+        ~severity:Finding.Error {|msg with "quote"|};
+    ]
+  in
+  let human = Format.asprintf "%a" Report.pp_human f in
+  Alcotest.(check bool)
+    "human line" true
+    (contains human "a.ml:3:4: [float-eq]");
+  let json = Format.asprintf "%a" Report.pp_json f in
+  Alcotest.(check bool) "json escapes" true (contains json {|\"quote\"|});
+  Alcotest.(check bool)
+    "json fields" true
+    (contains json {|"rule":"float-eq"|})
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "float-eq" `Quick test_float_eq;
+          Alcotest.test_case "naive-sum" `Quick test_naive_sum;
+          Alcotest.test_case "nondeterminism" `Quick test_nondeterminism;
+          Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "catch-all-exn" `Quick test_catch_all_exn;
+          Alcotest.test_case "unsafe-pow" `Quick test_unsafe_pow;
+          Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "directives" `Quick test_suppression;
+          Alcotest.test_case "diagnostics" `Quick test_suppression_diagnostics;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "reporters" `Quick test_reporters;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_baseline_malformed;
+        ] );
+    ]

@@ -335,7 +335,7 @@ let test_io_parse_format () =
   Alcotest.(check int) "jobs" 2 (Instance.n_jobs inst);
   check_float "value" 3.25 (Instance.job inst 0).value;
   Alcotest.(check bool) "inf value" true
-    ((Instance.job inst 1).value = Float.infinity)
+    (Float.equal (Instance.job inst 1).value Float.infinity)
 
 let test_io_errors () =
   let expect_failure name text =
@@ -420,8 +420,9 @@ let prop_instance_with_values_preserves_shape =
       List.for_all
         (fun i ->
           let a = Instance.job inst i and b = Instance.job inst' i in
-          a.release = b.release && a.workload = b.workload
-          && b.value = 2.0 *. b.workload)
+          Float.equal a.release b.release
+          && Float.equal a.workload b.workload
+          && Float.equal b.value (2.0 *. b.workload))
         (List.init (Instance.n_jobs inst) Fun.id))
 
 let () =

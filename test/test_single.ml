@@ -175,6 +175,7 @@ let test_oa_adversarial_ratio_grows () =
     List.init n (fun i ->
         let j = i + 1 in
         mk_job ~id:i ~r:(float_of_int (j - 1)) ~d:(float_of_int n)
+          (* slint: allow unsafe-pow -- j <= n so the base is >= 1 *)
           ~w:(float_of_int (n - j + 1) ** (-1.0 /. alpha))
           ())
   in

@@ -76,7 +76,7 @@ let test_value_models () =
   (* infinite *)
   Array.iter
     (fun (j : Job.t) ->
-      Alcotest.(check bool) "inf" true (j.value = Float.infinity))
+      Alcotest.(check bool) "inf" true (Float.equal j.value Float.infinity))
     (base Infinite).jobs;
   (* per-density with fixed density 1: v = c * w *)
   Array.iter
@@ -84,8 +84,8 @@ let test_value_models () =
     (base (Per_density 3.0)).jobs;
   (* lottery: both levels occur over 20 draws with p=0.5 *)
   let lottery = (base (Lottery { low = 1.0; high = 9.0; p_high = 0.5 })).jobs in
-  let lows = Array.exists (fun (j : Job.t) -> j.value = 1.0) lottery in
-  let highs = Array.exists (fun (j : Job.t) -> j.value = 9.0) lottery in
+  let lows = Array.exists (fun (j : Job.t) -> Float.equal j.value 1.0) lottery in
+  let highs = Array.exists (fun (j : Job.t) -> Float.equal j.value 9.0) lottery in
   Alcotest.(check bool) "both outcomes" true (lows && highs)
 
 let test_arrival_processes () =
@@ -124,7 +124,7 @@ let test_datacenter_preset () =
   Array.iter
     (fun (j : Job.t) ->
       Alcotest.(check bool) "lottery level" true
-        (j.value = 0.4 || j.value = 30.0))
+        (Float.equal j.value 0.4 || Float.equal j.value 30.0))
     inst.jobs
 
 let test_diurnal_preset () =
