@@ -24,6 +24,7 @@ let e1 () =
         [ "alpha"; "m"; "seeds"; "mean"; "p90"; "max"; "alpha^alpha"; "violations" ]
   in
   let all_ok = ref true in
+  let worst = ref 0.0 and total_violations = ref 0 in
   List.iter
     (fun alpha ->
       List.iter
@@ -39,6 +40,9 @@ let e1 () =
           (* slint: allow unsafe-pow -- alpha ranges over positive literals *)
           let guarantee = alpha ** alpha in
           let a = Ratio.aggregate ~guarantee samples in
+          if a.max_ratio /. guarantee > !worst then
+            worst := a.max_ratio /. guarantee;
+          total_violations := !total_violations + a.violations;
           if a.violations > 0 then all_ok := false;
           Tab.add_row tab
             [
@@ -54,6 +58,8 @@ let e1 () =
         [ 1; 2; 4; 8 ])
     [ 1.5; 2.0; 2.5; 3.0 ];
   Tab.print tab;
+  metric "worst_certified_ratio_vs_guarantee" !worst;
+  counter "violations" !total_violations;
   verdict ~expected:"all certified ratios strictly below alpha^alpha, 0 violations"
     !all_ok
 
@@ -93,7 +99,8 @@ let e2 () =
               (* slint: allow unsafe-pow -- alpha ranges over positive literals *)
               Tab.cell_f (alpha ** alpha);
             ])
-        [ 5; 10; 20; 40; 80; 160; 320 ])
+        [ 5; 10; 20; 40; 80; 160; 320 ];
+      metric (Printf.sprintf "final_ratio_alpha%g" alpha) !last)
     [ 2.0; 3.0 ];
   Tab.print tab;
   verdict
@@ -813,7 +820,9 @@ let e17 () =
       report "reject everything" (Speedscale_sim.Baselines.reject_all inst);
     ]
   in
-  ignore best_cost;
+  metric "pd_total" pd_cost;
+  metric "best_static_total" (Cost.total best_cost);
+  counter "pd_rejected" (List.length pd.rejected);
   let tab =
     Tab.create
       ~title:
@@ -977,6 +986,10 @@ let e20 () =
       if ratio > 27.0 +. 1e-6 then ok := false;
       if Cost.total r.cost > (r.guarantee *. r.dual_bound) +. 1e-6 then
         ok := false;
+      if n = 800 then begin
+        metric "certified_ratio_n800" ratio;
+        counter "rejected_n800" (List.length r.rejected)
+      end;
       Tab.add_row tab
         [
           string_of_int n;

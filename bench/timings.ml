@@ -1,7 +1,11 @@
 (* E12 — Bechamel micro-timings of the core operations, one Test.make per
    experiment table so the cost of regenerating each table is itself
    measured, plus the primitive kernels (Chen partition, YDS, PD arrival
-   processing, dual evaluation). *)
+   processing, dual evaluation).
+
+   Every estimate is also emitted as a structured Speedscale_obs record
+   (id "E12/<test-name>", kind Timing) so BENCH_*.json files carry the
+   micro-timings that `psched bench-diff` gates on. *)
 
 open Bechamel
 open Speedscale_model
@@ -62,20 +66,36 @@ let tests =
       Test.make ~name:"replay-n50-m4" (replay_kernel ~n:50);
     ]
 
-let run () =
+let run ?(smoke = false) () =
   Harness.section "E12" "Bechamel micro-timings (ns per run, OLS estimate)";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let cfg =
+    (* smoke: one repetition batch with a tiny quota, just enough to prove
+       the pipeline runs end to end; numbers are meaningless. *)
+    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.005) ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   List.iter
     (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] ->
-        Printf.printf "%-40s %14.0f ns/run  (%.3f ms)\n" name est (est /. 1e6)
-      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Some est
+        | _ -> None
+      in
+      (match est with
+      | Some est ->
+        Harness.out "%-40s %14.0f ns/run  (%.3f ms)\n" name est (est /. 1e6)
+      | None -> Harness.out "%-40s (no estimate)\n" name);
+      Harness.add_record
+        (Speedscale_obs.Record.make
+           ~id:(Printf.sprintf "E12/%s" name)
+           ~timing:
+             { Speedscale_obs.Record.no_timing with ns_per_run = est }
+           Speedscale_obs.Record.Timing))
     (List.sort compare rows)

@@ -1,0 +1,157 @@
+type status =
+  | Regression of float
+  | Improvement of float
+  | Stable of float option
+  | Added
+  | Removed
+
+type entry = {
+  id : string;
+  status : status;
+  verdict_broke : bool;
+  payload_drifted : bool;
+  old_measure : float option;
+  new_measure : float option;
+}
+
+type report = {
+  threshold : float;
+  entries : entry list;
+  compared : int;
+  regressions : int;
+  improvements : int;
+  verdict_breaks : int;
+}
+
+let default_threshold = 0.10
+
+(* ns_per_run when both runs have it (comparable units), else wall_s. *)
+let measures (a : Record.t) (b : Record.t) =
+  let pick f r = Option.bind r.Record.timing f in
+  match (pick (fun t -> t.Record.ns_per_run) a, pick (fun t -> t.ns_per_run) b)
+  with
+  | Some x, Some y -> (Some x, Some y)
+  | _ -> (
+    match (pick (fun t -> t.Record.wall_s) a, pick (fun t -> t.wall_s) b) with
+    | Some x, Some y -> (Some x, Some y)
+    | _ -> (None, None))
+
+let classify ~threshold (old_r : Record.t) (new_r : Record.t) =
+  let old_m, new_m = measures old_r new_r in
+  let status =
+    match (old_m, new_m) with
+    | Some o, Some n when o > 0.0 ->
+      let ratio = n /. o in
+      if ratio > 1.0 +. threshold then Regression ratio
+      else if ratio < 1.0 -. threshold then Improvement ratio
+      else Stable (Some ratio)
+    | _ -> Stable None
+  in
+  let verdict_broke =
+    match (old_r.verdict, new_r.verdict) with
+    | Some true, Some false -> true
+    | _ -> false
+  in
+  let payload_drifted =
+    not
+      (Record.equal_modulo_timing
+         { old_r with verdict = None }
+         { new_r with verdict = None })
+  in
+  {
+    id = old_r.id;
+    status;
+    verdict_broke;
+    payload_drifted;
+    old_measure = old_m;
+    new_measure = new_m;
+  }
+
+let compare_files ?(threshold = default_threshold) old_file new_file =
+  if threshold <= 0.0 then
+    invalid_arg "Diff.compare_files: threshold must be positive";
+  let open Record in
+  let find id records = List.find_opt (fun r -> String.equal r.id id) records in
+  let paired =
+    List.map
+      (fun old_r ->
+        match find old_r.id new_file.records with
+        | Some new_r -> classify ~threshold old_r new_r
+        | None ->
+          {
+            id = old_r.id;
+            status = Removed;
+            verdict_broke = false;
+            payload_drifted = false;
+            old_measure = None;
+            new_measure = None;
+          })
+      old_file.records
+  in
+  let added =
+    List.filter_map
+      (fun new_r ->
+        if Option.is_some (find new_r.id old_file.records) then None
+        else
+          Some
+            {
+              id = new_r.id;
+              status = Added;
+              verdict_broke = false;
+              payload_drifted = false;
+              old_measure = None;
+              new_measure = None;
+            })
+      new_file.records
+  in
+  let entries = paired @ added in
+  let count p = List.length (List.filter p entries) in
+  {
+    threshold;
+    entries;
+    compared =
+      count (fun e ->
+          match e.status with
+          | Regression _ | Improvement _ | Stable _ -> true
+          | Added | Removed -> false);
+    regressions = count (fun e -> match e.status with Regression _ -> true | _ -> false);
+    improvements =
+      count (fun e -> match e.status with Improvement _ -> true | _ -> false);
+    verdict_breaks = count (fun e -> e.verdict_broke);
+  }
+
+let ok r = r.regressions = 0 && r.verdict_breaks = 0
+
+let to_string r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "bench-diff: fail on new/old > %.2f (threshold %.0f%%)"
+    (1.0 +. r.threshold) (r.threshold *. 100.0);
+  let measure = function
+    | None -> "-"
+    | Some m -> Fmt.str "%.4g" m
+  in
+  line "  %-36s %12s %12s %8s  %s" "id" "old" "new" "ratio" "status";
+  List.iter
+    (fun e ->
+      let ratio, status =
+        match e.status with
+        | Regression x -> (Fmt.str "%.3f" x, "REGRESSION")
+        | Improvement x -> (Fmt.str "%.3f" x, "improvement")
+        | Stable (Some x) -> (Fmt.str "%.3f" x, "ok")
+        | Stable None -> ("-", "ok (untimed)")
+        | Added -> ("-", "added")
+        | Removed -> ("-", "removed")
+      in
+      let status = if e.verdict_broke then status ^ " VERDICT-BROKE" else status in
+      let status = if e.payload_drifted then status ^ " (payload drifted)" else status in
+      line "  %-36s %12s %12s %8s  %s" e.id (measure e.old_measure)
+        (measure e.new_measure) ratio status)
+    r.entries;
+  line
+    "summary: %d compared, %d regressions, %d improvements, %d verdict breaks"
+    r.compared r.regressions r.improvements r.verdict_breaks;
+  line "%s"
+    (if ok r then "OK: no perf regressions"
+     else "FAIL: perf or verdict regression detected");
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** The perf-regression gate behind [psched bench-diff OLD.json NEW.json].
+
+    Records are joined on [Record.id].  For each pair the timing measure is
+    the bechamel estimate ([ns_per_run]) when both sides carry one, falling
+    back to task wall-clock ([wall_s]); the pair is a {e regression} when
+    [new / old > 1 + threshold].  Two further failure modes are gated:
+
+    - a verdict that flips CONFIRMED → NOT CONFIRMED (a correctness
+      regression is never "just noise");
+    - nothing at all — added/removed benchmarks and drifted deterministic
+      metrics are reported but do not fail, so growing the suite never
+      blocks a PR.
+
+    [ok] is what the CLI turns into the exit code. *)
+
+type status =
+  | Regression of float  (** new/old timing ratio above the threshold *)
+  | Improvement of float  (** new/old timing ratio below 1 - threshold *)
+  | Stable of float option  (** within threshold; [None] = nothing timed *)
+  | Added  (** only in the new file *)
+  | Removed  (** only in the old file *)
+
+type entry = {
+  id : string;
+  status : status;
+  verdict_broke : bool;  (** CONFIRMED in old, NOT CONFIRMED in new *)
+  payload_drifted : bool;
+      (** deterministic metrics/counters/params differ between the files *)
+  old_measure : float option;  (** ns per run (or wall seconds) in old *)
+  new_measure : float option;
+}
+
+type report = {
+  threshold : float;
+  entries : entry list;  (** old-file order, then additions *)
+  compared : int;  (** ids present on both sides *)
+  regressions : int;
+  improvements : int;
+  verdict_breaks : int;
+}
+
+val default_threshold : float
+(** [0.10]: flag a kernel that got more than 10% slower. *)
+
+val compare_files : ?threshold:float -> Record.file -> Record.file -> report
+(** [compare_files old_file new_file].  Raises [Invalid_argument] on a
+    non-positive threshold. *)
+
+val ok : report -> bool
+(** No regressions and no verdict breaks. *)
+
+val to_string : report -> string
+(** Human-readable table plus a one-line summary, newline-terminated. *)

@@ -1,0 +1,42 @@
+let default_jobs () =
+  let n = Domain.recommended_domain_count () in
+  if n < 1 then 1 else if n > 8 then 8 else n
+
+let map ~jobs f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let run i =
+      out.(i) <- Some (match f arr.(i) with v -> Ok v | exception e -> Error e)
+    in
+    let workers = min jobs n in
+    if workers <= 1 then
+      for i = 0 to n - 1 do
+        run i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            run i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains
+    end;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> invalid_arg "Runner.map: unreached task slot")
+         out)

@@ -70,6 +70,13 @@ let test_figure_contents_stable () =
       "speed in the last atomic interval [2,3): PD 1.000 vs OA 1.667";
     ]
 
+let test_unknown_id_rejected () =
+  (* a typo like E99 must not pass for a successful (empty) run *)
+  let code, text = run_experiments [ "E99" ] in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) "names the bad id" true
+    (count_substring text "unknown experiment id \"E99\"" > 0)
+
 let () =
   Alcotest.run "bench-harness"
     [
@@ -78,5 +85,10 @@ let () =
           Alcotest.test_case "fast experiments confirmed" `Quick
             test_fast_experiments_confirmed;
           Alcotest.test_case "figures stable" `Quick test_figure_contents_stable;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "unknown id rejected" `Quick
+            test_unknown_id_rejected;
         ] );
     ]

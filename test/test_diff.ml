@@ -1,0 +1,351 @@
+(* Tests for the perf-regression gate (Speedscale_obs.Diff and the
+   `psched bench-diff` CLI), the parallel-runner determinism of the bench
+   harness, and the PD cost/certificate laws the benchmark records lean
+   on. *)
+
+open Speedscale_obs
+open Speedscale_model
+
+(* ------------------------------------------------------------------ *)
+(* Executable discovery (same convention as test_bench.ml)              *)
+(* ------------------------------------------------------------------ *)
+
+let find_exe candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let bench_exe =
+  find_exe
+    [ "../bench/main.exe"; "_build/default/bench/main.exe"; "bench/main.exe" ]
+
+let psched_exe =
+  find_exe [ "../bin/psched.exe"; "_build/default/bin/psched.exe"; "bin/psched.exe" ]
+
+let run_command cmd =
+  let out = Filename.temp_file "diff" ".out" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out)) in
+  let ic = open_in_bin out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+(* ------------------------------------------------------------------ *)
+(* Diff unit behavior                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let timing_rec id ns =
+  Record.make ~id
+    ~timing:{ Record.no_timing with ns_per_run = Some ns }
+    Record.Timing
+
+let verdict_rec id v =
+  Record.make ~id ~verdict:v
+    ~timing:{ Record.no_timing with wall_s = Some 0.5 }
+    Record.Experiment
+
+let mk_file records =
+  { Record.version = Record.schema_version;
+    env = Record.current_env ~jobs:1;
+    records }
+
+let test_diff_identical_is_ok () =
+  let f = mk_file [ timing_rec "a" 100.0; timing_rec "b" 5.0; verdict_rec "E1" true ] in
+  let r = Diff.compare_files f f in
+  Alcotest.(check bool) "ok" true (Diff.ok r);
+  Alcotest.(check int) "compared" 3 r.compared;
+  Alcotest.(check int) "regressions" 0 r.regressions;
+  Alcotest.(check int) "verdict breaks" 0 r.verdict_breaks;
+  List.iter
+    (fun (e : Diff.entry) ->
+      match e.status with
+      | Diff.Stable _ -> ()
+      | _ -> Alcotest.failf "entry %s not Stable" e.id)
+    r.entries
+
+let test_diff_flags_slowdown () =
+  let old_f = mk_file [ timing_rec "a" 100.0; timing_rec "b" 100.0 ] in
+  let new_f = mk_file [ timing_rec "a" 125.0; timing_rec "b" 104.0 ] in
+  let r = Diff.compare_files old_f new_f in
+  Alcotest.(check bool) "not ok" false (Diff.ok r);
+  Alcotest.(check int) "one regression" 1 r.regressions;
+  (match (List.find (fun (e : Diff.entry) -> e.id = "a") r.entries).status with
+  | Diff.Regression ratio -> Alcotest.(check (float 1e-9)) "ratio" 1.25 ratio
+  | _ -> Alcotest.fail "a must be a Regression");
+  (* the human rendering names the failure *)
+  let text = Diff.to_string r in
+  Alcotest.(check bool) "rendered" true
+    (let sub = "REGRESSION" in
+     let n = String.length text and k = String.length sub in
+     let rec go i = i + k <= n && (String.sub text i k = sub || go (i + 1)) in
+     go 0)
+
+let test_diff_improvement_is_ok () =
+  let old_f = mk_file [ timing_rec "a" 100.0 ] in
+  let new_f = mk_file [ timing_rec "a" 50.0 ] in
+  let r = Diff.compare_files old_f new_f in
+  Alcotest.(check bool) "ok" true (Diff.ok r);
+  Alcotest.(check int) "improvement counted" 1 r.improvements
+
+let test_diff_verdict_break_fails () =
+  (* same timing, CONFIRMED -> NOT CONFIRMED: never "just noise" *)
+  let old_f = mk_file [ verdict_rec "E1" true ] in
+  let new_f = mk_file [ verdict_rec "E1" false ] in
+  let r = Diff.compare_files old_f new_f in
+  Alcotest.(check bool) "not ok" false (Diff.ok r);
+  Alcotest.(check int) "verdict breaks" 1 r.verdict_breaks;
+  Alcotest.(check int) "no timing regression" 0 r.regressions
+
+let test_diff_added_removed_do_not_fail () =
+  let old_f = mk_file [ timing_rec "a" 100.0; timing_rec "gone" 7.0 ] in
+  let new_f = mk_file [ timing_rec "a" 100.0; timing_rec "fresh" 9.0 ] in
+  let r = Diff.compare_files old_f new_f in
+  Alcotest.(check bool) "growing the suite never blocks" true (Diff.ok r);
+  let status_of id =
+    (List.find (fun (e : Diff.entry) -> e.id = id) r.entries).status
+  in
+  (match status_of "gone" with
+  | Diff.Removed -> ()
+  | _ -> Alcotest.fail "gone must be Removed");
+  match status_of "fresh" with
+  | Diff.Added -> ()
+  | _ -> Alcotest.fail "fresh must be Added"
+
+let test_diff_threshold_configurable () =
+  let old_f = mk_file [ timing_rec "a" 100.0 ] in
+  let new_f = mk_file [ timing_rec "a" 115.0 ] in
+  (* 15% slower: fails at the default 10%, passes at 20% *)
+  Alcotest.(check bool) "default flags it" false
+    (Diff.ok (Diff.compare_files old_f new_f));
+  Alcotest.(check bool) "loose threshold passes" true
+    (Diff.ok (Diff.compare_files ~threshold:0.20 old_f new_f));
+  Alcotest.check_raises "non-positive threshold rejected"
+    (Invalid_argument "Diff.compare_files: threshold must be positive")
+    (fun () -> ignore (Diff.compare_files ~threshold:0.0 old_f new_f))
+
+let prop_diff_uniform_scaling =
+  QCheck.Test.make
+    ~name:"uniform slowdown beyond the threshold flags every record"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 10) (make Gen.(float_range 1.0 1e9)))
+        (make Gen.(float_range 1.2 3.0)))
+    (fun (times, c) ->
+      let ids = List.mapi (fun i t -> (Printf.sprintf "k%d" i, t)) times in
+      let old_f = mk_file (List.map (fun (id, t) -> timing_rec id t) ids) in
+      let new_f = mk_file (List.map (fun (id, t) -> timing_rec id (t *. c)) ids) in
+      let r = Diff.compare_files old_f new_f in
+      (not (Diff.ok r)) && r.regressions = List.length times)
+
+let prop_diff_within_threshold_stable =
+  QCheck.Test.make ~name:"jitter inside the threshold never fails" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 10) (make Gen.(float_range 1.0 1e9)))
+        (make Gen.(float_range 0.95 1.05)))
+    (fun (times, c) ->
+      let ids = List.mapi (fun i t -> (Printf.sprintf "k%d" i, t)) times in
+      let old_f = mk_file (List.map (fun (id, t) -> timing_rec id t) ids) in
+      let new_f = mk_file (List.map (fun (id, t) -> timing_rec id (t *. c)) ids) in
+      Diff.ok (Diff.compare_files old_f new_f))
+
+(* ------------------------------------------------------------------ *)
+(* PD cost / certificate laws (the numbers the records carry)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Same random family as bench/harness.ml. *)
+let random_instance ~alpha ~machines ~seed ~n =
+  let power = Power.make alpha in
+  Speedscale_workload.Generate.random ~power ~machines ~seed ~n
+    ~arrivals:(Poisson (float_of_int machines))
+    ~sizes:(Uniform_size (0.3, 2.5))
+    ~laxity:(0.4, 2.5)
+    ~values:(Uniform_value (0.2, 20.0))
+
+let arb_pd_setup =
+  QCheck.make
+    ~print:(fun (alpha, machines, seed, n) ->
+      Printf.sprintf "alpha=%g m=%d seed=%d n=%d" alpha machines seed n)
+    QCheck.Gen.(
+      tup4 (oneofl [ 2.0; 2.5; 3.0 ]) (int_range 1 4) (int_range 0 10_000)
+        (int_range 1 40))
+
+(* NOTE the law that is deliberately ABSENT here: "cost(PD) <= Σ v_j"
+   (PD no worse than rejecting everything) is NOT a theorem and is
+   empirically false on this very family — with δ = α^(1-α) an accepted
+   job may invest up to α^(α-1)·v_j of energy, and on 14 400 sampled
+   instances 281 violated the naive bound (worst ratio ≈ 2.98).  The
+   paper's actual guarantee chain, tested below, is
+       cost(PD) <= α^α · g(λ̃) <= α^α · OPT <= α^α · Σ v_j
+   with g(λ̃) <= OPT <= Σ v_j by weak duality (rejecting everything is a
+   feasible solution of cost Σ v_j). *)
+
+let prop_pd_dual_bound_below_total_value =
+  QCheck.Test.make ~name:"weak duality: g(lambda) <= sum of values"
+    ~count:120 arb_pd_setup (fun (alpha, machines, seed, n) ->
+      let inst = random_instance ~alpha ~machines ~seed ~n in
+      let r = Speedscale_core.Pd.run inst in
+      r.dual_bound <= Instance.total_value inst *. (1.0 +. 1e-9) +. 1e-12)
+
+let prop_pd_cost_within_guarantee_of_certificate =
+  QCheck.Test.make
+    ~name:"Theorem 3: cost(PD) <= alpha^alpha * g(lambda)" ~count:120
+    arb_pd_setup (fun (alpha, machines, seed, n) ->
+      let inst = random_instance ~alpha ~machines ~seed ~n in
+      let r = Speedscale_core.Pd.run inst in
+      Cost.total r.cost <= (r.guarantee *. r.dual_bound *. (1.0 +. 1e-6)) +. 1e-9)
+
+let prop_pd_cost_within_guarantee_of_total_value =
+  QCheck.Test.make
+    ~name:"chained bound: cost(PD) <= alpha^alpha * sum of values"
+    ~count:120 arb_pd_setup (fun (alpha, machines, seed, n) ->
+      let inst = random_instance ~alpha ~machines ~seed ~n in
+      let r = Speedscale_core.Pd.run inst in
+      Cost.total r.cost
+      <= (r.guarantee *. Instance.total_value inst *. (1.0 +. 1e-6)) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-runner determinism, end to end through the bench exe        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json ids ~jobs =
+  let json = Filename.temp_file "bench" ".json" in
+  let code, text =
+    run_command
+      (Printf.sprintf "%s %s --jobs %d --json %s"
+         (Filename.quote bench_exe)
+         (String.concat " " ids) jobs (Filename.quote json))
+  in
+  Alcotest.(check int) (Printf.sprintf "jobs=%d exit" jobs) 0 code;
+  let file =
+    match Record.read_file ~path:json with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "jobs=%d: %s" jobs e
+  in
+  Sys.remove json;
+  (text, file)
+
+let test_parallel_equals_sequential () =
+  let ids = [ "E2"; "E3"; "E4"; "E5" ] in
+  let out1, f1 = bench_json ids ~jobs:1 in
+  let out3, f3 = bench_json ids ~jobs:3 in
+  (* stdout is byte-identical: the DLS sink + ordered merge leave no trace
+     of the fan-out *)
+  Alcotest.(check string) "stdout bytes" out1 out3;
+  (* structured records agree on everything except wall-clock *)
+  Alcotest.(check int) "record count"
+    (List.length f1.records) (List.length f3.records);
+  List.iter2
+    (fun (a : Record.t) (b : Record.t) ->
+      Alcotest.(check string) "record order" a.id b.id;
+      Alcotest.(check bool)
+        (Printf.sprintf "record %s payload" a.id)
+        true
+        (Record.equal_modulo_timing a b))
+    f1.records f3.records;
+  (* the producing jobs count is the only env difference *)
+  Alcotest.(check int) "env jobs 1" 1 f1.env.jobs;
+  Alcotest.(check int) "env jobs 3" 3 f3.env.jobs
+
+(* ------------------------------------------------------------------ *)
+(* psched bench-diff CLI                                                *)
+(* ------------------------------------------------------------------ *)
+
+let write_tmp_file records =
+  let path = Filename.temp_file "bench" ".json" in
+  Record.write_file ~path (mk_file records);
+  path
+
+let test_cli_identical_exits_zero () =
+  let old_p = write_tmp_file [ timing_rec "a" 100.0; verdict_rec "E1" true ] in
+  let code, text =
+    run_command
+      (Printf.sprintf "%s bench-diff %s %s" (Filename.quote psched_exe)
+         (Filename.quote old_p) (Filename.quote old_p))
+  in
+  Sys.remove old_p;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "says OK" true
+    (let sub = "OK: no perf regressions" in
+     let n = String.length text and k = String.length sub in
+     let rec go i = i + k <= n && (String.sub text i k = sub || go (i + 1)) in
+     go 0)
+
+let test_cli_regression_exits_nonzero () =
+  let old_p = write_tmp_file [ timing_rec "a" 100.0 ] in
+  let new_p = write_tmp_file [ timing_rec "a" 130.0 ] in
+  let code, _ =
+    run_command
+      (Printf.sprintf "%s bench-diff %s %s" (Filename.quote psched_exe)
+         (Filename.quote old_p) (Filename.quote new_p))
+  in
+  (* 30% slower passes a loose threshold *)
+  let code_loose, _ =
+    run_command
+      (Printf.sprintf "%s bench-diff --threshold 0.5 %s %s"
+         (Filename.quote psched_exe) (Filename.quote old_p)
+         (Filename.quote new_p))
+  in
+  Sys.remove old_p;
+  Sys.remove new_p;
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check int) "loose threshold exit 0" 0 code_loose
+
+let test_cli_bad_input_exits_nonzero () =
+  let bad = Filename.temp_file "bench" ".json" in
+  let oc = open_out bad in
+  output_string oc "this is not json\n";
+  close_out oc;
+  let code, _ =
+    run_command
+      (Printf.sprintf "%s bench-diff %s %s" (Filename.quote psched_exe)
+         (Filename.quote bad) (Filename.quote bad))
+  in
+  Sys.remove bad;
+  Alcotest.(check int) "decode failure exit 2" 2 code
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "diff"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "identical ok" `Quick test_diff_identical_is_ok;
+          Alcotest.test_case "slowdown flagged" `Quick test_diff_flags_slowdown;
+          Alcotest.test_case "improvement ok" `Quick
+            test_diff_improvement_is_ok;
+          Alcotest.test_case "verdict break fails" `Quick
+            test_diff_verdict_break_fails;
+          Alcotest.test_case "added/removed tolerated" `Quick
+            test_diff_added_removed_do_not_fail;
+          Alcotest.test_case "threshold" `Quick test_diff_threshold_configurable;
+          q prop_diff_uniform_scaling;
+          q prop_diff_within_threshold_stable;
+        ] );
+      ( "pd-laws",
+        [
+          q prop_pd_dual_bound_below_total_value;
+          q prop_pd_cost_within_guarantee_of_certificate;
+          q prop_pd_cost_within_guarantee_of_total_value;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_equals_sequential;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "identical exits 0" `Quick
+            test_cli_identical_exits_zero;
+          Alcotest.test_case "regression exits 1" `Quick
+            test_cli_regression_exits_nonzero;
+          Alcotest.test_case "bad input exits 2" `Quick
+            test_cli_bad_input_exits_nonzero;
+        ] );
+    ]

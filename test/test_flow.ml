@@ -227,6 +227,25 @@ let prop_min_cap_monotone_in_machines =
       let c1 = cap 1 and c2 = cap 2 and c4 = cap 4 in
       c1 >= c2 -. 1e-9 && c2 >= c4 -. 1e-9)
 
+(* Scaling every workload by c >= 1 scales all flow capacities linearly
+   while the interval structure (job windows) is unchanged, so the minimum
+   feasible cap is monotone and in fact exactly linear in the scale. *)
+let prop_min_cap_monotone_in_workload_scale =
+  QCheck.Test.make
+    ~name:"min speed cap scales linearly with workload" ~count:60
+    QCheck.(pair arb_jobs (float_range 1.0 4.0))
+    (fun (jobs, c) ->
+      let mk scale =
+        Instance.make ~power:p2 ~machines:2
+          (List.mapi
+             (fun i (r, d, w) -> mk_job ~id:i ~r ~d ~w:(w *. scale))
+             jobs)
+      in
+      let cap = Feasibility.min_speed_cap (mk 1.0) in
+      let cap' = Feasibility.min_speed_cap (mk c) in
+      cap' >= cap *. (1.0 -. 1e-6)
+      && Float.abs (cap' -. (c *. cap)) <= 1e-5 *. (1.0 +. (c *. cap)))
+
 let prop_pd_schedule_respects_feasibility =
   QCheck.Test.make
     ~name:"PD's max speed is at least the min feasible cap" ~count:50
@@ -263,6 +282,7 @@ let () =
           q prop_flow_schedule_respects_cap;
           q prop_min_cap_matches_yds_peak;
           q prop_min_cap_monotone_in_machines;
+          q prop_min_cap_monotone_in_workload_scale;
           q prop_pd_schedule_respects_feasibility;
         ] );
     ]

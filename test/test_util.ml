@@ -110,12 +110,36 @@ let test_ksum_compensation () =
   let total = Ksum.sum [ 1.0; 1e16; -1e16 ] in
   check_float "compensated" 1.0 total
 
+let test_ksum_neumaier_case () =
+  (* the classical case where plain Kahan returns 0: the correction term
+     itself underflows unless the larger summand feeds it (Neumaier) *)
+  check_float "neumaier" 2.0 (Ksum.sum [ 1.0; 1e100; 1.0; -1e100 ]);
+  check_float "accumulator api" 2.0
+    (let acc = Ksum.create () in
+     List.iter (Ksum.add acc) [ 1.0; 1e100; 1.0; -1e100 ];
+     Ksum.total acc)
+
 let prop_ksum_matches_sorted_sum =
   QCheck.Test.make ~name:"ksum close to exact rational sum" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
     (fun xs ->
       let naive = List.fold_left ( +. ) 0.0 (List.sort Float.compare xs) in
       Float.abs (Ksum.sum xs -. naive) <= 1e-6 *. (1.0 +. Float.abs naive))
+
+(* For positive summands, adding in ascending order is a high-accuracy
+   reference; the compensated sum must match it to ~1 ulp of the total
+   even when magnitudes span 16 decades. *)
+let prop_ksum_matches_sorted_reference_wide_range =
+  QCheck.Test.make
+    ~name:"ksum within 1e-12 of the sorted-ascending sum over 16 decades"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 60) (make Gen.(float_range (-8.0) 8.0)))
+    (fun exponents ->
+      let xs = List.map (fun e -> 10.0 ** e) exponents in
+      let reference =
+        List.fold_left ( +. ) 0.0 (List.sort Float.compare xs)
+      in
+      Float.abs (Ksum.sum xs -. reference) <= 1e-12 *. reference)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
@@ -189,7 +213,9 @@ let () =
         [
           Alcotest.test_case "simple" `Quick test_ksum_simple;
           Alcotest.test_case "compensation" `Quick test_ksum_compensation;
+          Alcotest.test_case "neumaier" `Quick test_ksum_neumaier_case;
           q prop_ksum_matches_sorted_sum;
+          q prop_ksum_matches_sorted_reference_wide_range;
         ] );
       ( "stats",
         [
