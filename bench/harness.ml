@@ -92,6 +92,7 @@ type task_result = {
 }
 
 let with_task id (f : unit -> unit) : task_result =
+  (* slint: allow dls-misuse -- audited save/restore: the ambient ctx is snapshotted here and restored after f (), including on exceptions *)
   let saved = Domain.DLS.get ctx_key in
   let c =
     { buf = Buffer.create 4096; recs = []; current = id; metrics = [];

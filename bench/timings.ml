@@ -93,6 +93,7 @@ let run ?(smoke = false) () =
         Harness.out "%-40s %14.0f ns/run  (%.3f ms)\n" name est (est /. 1e6)
       | None -> Harness.out "%-40s (no estimate)\n" name);
       Harness.add_record
+        (* slint: allow taint-nondet -- audited: the benchmark name set is fixed; Hashtbl.fold only perturbs order and rows are sorted before emission *)
         (Speedscale_obs.Record.make
            ~id:(Printf.sprintf "E12/%s" name)
            ~timing:

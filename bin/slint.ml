@@ -1,29 +1,48 @@
 (* slint: the speedscale static-analysis driver.  See doc/LINTING.md. *)
 
-let usage = "slint [--root DIR] [--json] [--baseline FILE] [--write-baseline] [--rules r1,r2] [--list-rules]"
+let usage =
+  "slint [--root DIR] [--json] [--sarif PATH] [--baseline FILE] \
+   [--write-baseline] [--rules r1,r2] [--rule NAME] [--list-rules]\n\n\
+   Exit codes:\n\
+  \  0  no findings outside the baseline\n\
+  \  1  at least one error-severity finding outside the baseline\n\
+  \  2  usage or configuration error (unknown rule, bad root, bad baseline)\n"
 
 open Speedscale_lint
 
 let () =
   let root = ref "." in
   let json = ref false in
+  let sarif_path = ref None in
   let baseline_path = ref None in
   let write_baseline = ref false in
-  let rule_names = ref None in
+  let rule_names = ref [] in
   let list_rules = ref false in
+  let add_rules s =
+    rule_names := !rule_names @ List.map String.trim (String.split_on_char ',' s)
+  in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR  directory to scan (default .)");
       ("--json", Arg.Set json, "  emit findings as a JSON array");
+      ( "--sarif",
+        Arg.String (fun s -> sarif_path := Some s),
+        "PATH  additionally write a SARIF 2.1.0 report to PATH" );
       ( "--baseline",
         Arg.String (fun s -> baseline_path := Some s),
         "FILE  baseline sexp (default ROOT/lint-baseline.sexp)" );
       ( "--write-baseline",
         Arg.Set write_baseline,
         "  rewrite the baseline to grandfather all current findings" );
+      ( "--update-baseline",
+        Arg.Set write_baseline,
+        "  alias of --write-baseline" );
       ( "--rules",
-        Arg.String (fun s -> rule_names := Some (String.split_on_char ',' s)),
+        Arg.String add_rules,
         "NAMES  comma-separated subset of rules to run" );
+      ( "--rule",
+        Arg.String add_rules,
+        "NAME  run a single rule (repeatable; adds to --rules)" );
       ("--list-rules", Arg.Set list_rules, "  print rule names and exit");
     ]
   in
@@ -38,9 +57,9 @@ let () =
   end;
   let rules =
     match !rule_names with
-    | None -> Registry.all
-    | Some names -> (
-      match Registry.select (List.map String.trim names) with
+    | [] -> Registry.all
+    | names -> (
+      match Registry.select names with
       | rules -> rules
       | exception Invalid_argument msg ->
         Fmt.epr "slint: %s@." msg;
@@ -78,6 +97,16 @@ let () =
       exit 2
   in
   let fresh = List.filter (fun f -> not (Baseline.mem baseline f)) findings in
+  (match !sarif_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let ppf = Format.formatter_of_out_channel oc in
+        Report.pp_sarif ~rules ppf fresh;
+        Format.pp_print_flush ppf ()));
   if !json then Fmt.pr "%a" Report.pp_json fresh
   else if fresh <> [] then Fmt.pr "%a" Report.pp_human fresh;
   let failing =

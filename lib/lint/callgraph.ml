@@ -1,0 +1,192 @@
+(* Per-file call graph over let bindings.
+
+   Every [let x = e] (and [let rec f = ... and g = ...]) whose pattern is a
+   simple variable becomes a node, whether toplevel or nested inside another
+   binding's body; anonymous closures stay part of their enclosing node.
+   An edge [a -> b] is recorded whenever the body of [a] mentions the name
+   of an in-scope node [b] — application or not, so closures passed to
+   higher-order functions count as calls — with lexical scoping: shadowed
+   names (function parameters, match/case bindings, inner lets) do not
+   resolve to outer nodes.  Mutual recursion is represented naturally: a
+   [let rec ... and ...] group has all its names in scope in all its
+   bodies, producing the cycle the {!Taint} solver then iterates over. *)
+
+open Parsetree
+
+type node = {
+  id : int;
+  name : string;
+  loc : Location.t;  (* location of the bound name *)
+  body : expression;  (* the bound right-hand side, parameters included *)
+  parent : int;  (* enclosing node, -1 for structure-toplevel bindings *)
+  recursive : bool;  (* member of a [let rec] group *)
+}
+
+type t = {
+  nodes : node array;
+  calls : int list array;  (* deduped callee ids, first-reference order *)
+}
+
+type ctx = { node : int; resolve : string -> int option }
+
+let nodes t = t.nodes
+let n_nodes t = Array.length t.nodes
+let calls t id = t.calls.(id)
+
+let node_named t name =
+  Array.fold_left
+    (fun acc nd -> if String.equal nd.name name then Some nd else acc)
+    None t.nodes
+
+let rec is_descendant t ~ancestor id =
+  if id < 0 then false
+  else
+    let p = t.nodes.(id).parent in
+    p >= 0 && (p = ancestor || is_descendant t ~ancestor p)
+
+let build ?(on_expr = fun _ _ -> ()) (str : structure) : t =
+  let nodes = ref [] and n = ref 0 in
+  let calls : (int, (int, unit) Hashtbl.t * int list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (* env maps a bare name to a node id, or -1 when shadowed by a non-node
+     binder (parameter, pattern variable, destructuring let). *)
+  let env = ref [] in
+  let current = ref (-1) in
+  let resolve x =
+    match List.assoc_opt x !env with
+    | Some id when id >= 0 -> Some id
+    | _ -> None
+  in
+  let add_edge callee =
+    if !current >= 0 then begin
+      let seen, order =
+        match Hashtbl.find_opt calls !current with
+        | Some p -> p
+        | None ->
+          let p = (Hashtbl.create 8, ref []) in
+          Hashtbl.replace calls !current p;
+          p
+      in
+      if not (Hashtbl.mem seen callee) then begin
+        Hashtbl.replace seen callee ();
+        order := callee :: !order
+      end
+    end
+  in
+  let new_node name loc body ~recursive =
+    let id = !n in
+    incr n;
+    nodes := { id; name; loc; body; parent = !current; recursive } :: !nodes;
+    id
+  in
+  let scoped_env e f =
+    let saved = !env in
+    env := e;
+    Fun.protect ~finally:(fun () -> env := saved) f
+  in
+  let scoped_current id f =
+    let saved = !current in
+    current := id;
+    Fun.protect ~finally:(fun () -> current := saved) f
+  in
+  let shadow names base =
+    List.fold_left (fun e x -> (x, -1) :: e) base names
+  in
+  (* Shared handling of a binding group: create nodes, walk right-hand
+     sides ([let rec] sees the whole group in scope), return the extended
+     environment for whatever the bindings scope over. *)
+  let bindings it recursive vbs =
+    let named vb =
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt; _ } -> Some txt
+      | _ -> None
+    in
+    let ids =
+      List.map
+        (fun vb ->
+          match named vb with
+          | Some name ->
+            Some (new_node name vb.pvb_pat.ppat_loc vb.pvb_expr ~recursive)
+          | None -> None)
+        vbs
+    in
+    let bound =
+      List.fold_left2
+        (fun e vb id ->
+          match id with
+          | Some id -> (
+            match named vb with
+            | Some name -> (name, id) :: e
+            | None -> e)
+          | None -> shadow (Astq.pat_vars vb.pvb_pat) e)
+        !env vbs ids
+    in
+    List.iter2
+      (fun vb id ->
+        let rhs_env = if recursive then bound else !env in
+        let walk () =
+          scoped_env rhs_env (fun () -> it.Ast_iterator.expr it vb.pvb_expr)
+        in
+        match id with
+        | Some id -> scoped_current id walk
+        | None -> walk ())
+      vbs ids;
+    bound
+  in
+  let expr it e =
+    on_expr { node = !current; resolve } e;
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ } ->
+      Option.iter add_edge (resolve x)
+    | Pexp_let (rf, vbs, body) ->
+      let bound = bindings it (rf = Asttypes.Recursive) vbs in
+      scoped_env bound (fun () -> it.Ast_iterator.expr it body)
+    | Pexp_fun (_, default, pat, body) ->
+      Option.iter (it.Ast_iterator.expr it) default;
+      it.Ast_iterator.pat it pat;
+      scoped_env (shadow (Astq.pat_vars pat) !env) (fun () ->
+          it.Ast_iterator.expr it body)
+    | Pexp_function cases | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      (match e.pexp_desc with
+      | Pexp_match (scrut, _) | Pexp_try (scrut, _) ->
+        it.Ast_iterator.expr it scrut
+      | _ -> ());
+      List.iter
+        (fun (c : case) ->
+          it.Ast_iterator.pat it c.pc_lhs;
+          let inner = shadow (Astq.pat_vars c.pc_lhs) !env in
+          Option.iter
+            (fun g -> scoped_env inner (fun () -> it.Ast_iterator.expr it g))
+            c.pc_guard;
+          scoped_env inner (fun () -> it.Ast_iterator.expr it c.pc_rhs))
+        cases
+    | Pexp_for (pat, start, stop, _, body) ->
+      it.Ast_iterator.expr it start;
+      it.Ast_iterator.expr it stop;
+      scoped_env (shadow (Astq.pat_vars pat) !env) (fun () ->
+          it.Ast_iterator.expr it body)
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let structure_item it si =
+    match si.pstr_desc with
+    | Pstr_value (rf, vbs) ->
+      (* the bindings stay in scope for the rest of the structure *)
+      env := bindings it (rf = Asttypes.Recursive) vbs
+    | _ -> Ast_iterator.default_iterator.structure_item it si
+  in
+  let it = { Ast_iterator.default_iterator with expr; structure_item } in
+  it.structure it str;
+  let count = !n in
+  let node_arr = Array.make count None in
+  List.iter (fun nd -> node_arr.(nd.id) <- Some nd) !nodes;
+  let nodes =
+    Array.map
+      (function
+        | Some nd -> nd
+        | None -> invalid_arg "Callgraph.build: missing node slot")
+      node_arr
+  in
+  let call_arr = Array.make count [] in
+  Hashtbl.iter (fun id (_, order) -> call_arr.(id) <- List.rev !order) calls;
+  { nodes; calls = call_arr }

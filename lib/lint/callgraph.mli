@@ -1,0 +1,41 @@
+(** Per-file call graph over let bindings, the substrate of the
+    interprocedural lint rules.
+
+    Every simple [let x = e] binding — toplevel or nested — becomes a node;
+    anonymous closures remain part of their enclosing node.  An edge
+    [a -> b] exists when [a]'s right-hand side mentions the (unshadowed)
+    name of node [b]: plain mentions count, so a function passed to a
+    higher-order combinator is linked like a direct call.  [let rec ... and
+    ...] groups yield the cycles {!Taint.solve} iterates over. *)
+
+type node = {
+  id : int;
+  name : string;
+  loc : Location.t;  (** location of the bound name *)
+  body : Parsetree.expression;  (** the bound RHS, parameters included *)
+  parent : int;  (** enclosing node id, [-1] for structure toplevel *)
+  recursive : bool;  (** member of a [let rec] group *)
+}
+
+type t
+
+type ctx = { node : int; resolve : string -> int option }
+(** Passed to [on_expr] at every visited expression: the enclosing node
+    ([-1] outside any binding) and the scoped resolver from bare names to
+    node ids (shadowed names do not resolve). *)
+
+val build : ?on_expr:(ctx -> Parsetree.expression -> unit) -> Parsetree.structure -> t
+(** Builds the graph in a single scoped traversal.  [on_expr] lets a rule
+    piggyback on the traversal — it fires before the walker descends, so
+    subexpressions are visited afterwards. *)
+
+val nodes : t -> node array
+val n_nodes : t -> int
+val calls : t -> int -> int list
+(** Callees of a node, deduplicated, in first-mention order. *)
+
+val node_named : t -> string -> node option
+(** The last node carrying this name, if any (later shadowers win). *)
+
+val is_descendant : t -> ancestor:int -> int -> bool
+(** Whether a node's lexical parent chain passes through [ancestor]. *)

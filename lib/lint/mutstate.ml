@@ -1,0 +1,170 @@
+(* A syntactic model of mutable values for the concurrency rules.
+
+   [classify] decides, from a binding's right-hand side alone, whether the
+   bound value is shared-mutable ([Mutable]), safe to share across domains
+   by construction ([Exempt]: Atomic.t, Mutex.t, Domain.DLS keys — the DLS
+   slot itself is domain-local), or not known to be either ([Unknown]).
+   [write_root] and [deref_root] recognise the mutation forms the parser
+   produces: [:=], [<-] on fields, the [Array.set]/[Bytes.set] applications
+   that [a.(i) <- v] desugars to, the stdlib container mutators, and [!]
+   dereference (a read that races with any concurrent [:=]). *)
+
+open Parsetree
+module S = Set.Make (String)
+
+type kind =
+  | Ref
+  | Arr  (* "Array" clashes with the stdlib module *)
+  | Bytes_
+  | Hashtbl_
+  | Buffer_
+  | Queue_
+  | Stack_
+  | Mutable_record
+
+type classification = Mutable of kind | Exempt | Unknown
+
+let kind_name = function
+  | Ref -> "ref cell"
+  | Arr -> "array"
+  | Bytes_ -> "bytes"
+  | Hashtbl_ -> "hash table"
+  | Buffer_ -> "buffer"
+  | Queue_ -> "queue"
+  | Stack_ -> "stack"
+  | Mutable_record -> "record with mutable fields"
+
+(* Constructors whose result is freshly-allocated mutable state, keyed by
+   module suffix. *)
+let constructors =
+  [
+    (Arr,
+     [ "make"; "init"; "create_float"; "make_matrix"; "of_list"; "copy";
+       "append"; "concat"; "sub"; "map"; "mapi"; "of_seq" ],
+     "Array");
+    (Bytes_, [ "create"; "make"; "init"; "of_string"; "copy"; "sub" ], "Bytes");
+    (Hashtbl_, [ "create"; "copy"; "of_seq" ], "Hashtbl");
+    (Buffer_, [ "create" ], "Buffer");
+    (Queue_, [ "create"; "copy"; "of_seq" ], "Queue");
+    (Stack_, [ "create"; "copy"; "of_seq" ], "Stack");
+  ]
+
+let exempt_suffixes =
+  [ [ "Atomic"; "make" ]; [ "Mutex"; "create" ]; [ "DLS"; "new_key" ];
+    [ "Semaphore"; "Counting"; "make" ]; [ "Semaphore"; "Binary"; "make" ] ]
+
+let lid_last = function
+  | Longident.Lident s | Longident.Ldot (_, s) -> s
+  | Longident.Lapply _ -> ""
+
+(* Record fields declared [mutable] anywhere in this file. *)
+let mutable_fields (str : structure) =
+  let acc = ref S.empty in
+  let type_declaration it (td : type_declaration) =
+    (match td.ptype_kind with
+    | Ptype_record labels ->
+      List.iter
+        (fun (ld : label_declaration) ->
+          if ld.pld_mutable = Asttypes.Mutable then
+            acc := S.add ld.pld_name.txt !acc)
+        labels
+    | _ -> ());
+    Ast_iterator.default_iterator.type_declaration it td
+  in
+  let it = { Ast_iterator.default_iterator with type_declaration } in
+  it.structure it str;
+  !acc
+
+let classify ~mutable_fields e =
+  let e = Astq.strip e in
+  match e.pexp_desc with
+  | Pexp_array _ -> Mutable Arr
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun ((lid : Longident.t Asttypes.loc), _) ->
+             S.mem (lid_last lid.txt) mutable_fields)
+           fields ->
+    Mutable Mutable_record
+  | _ -> (
+    match Astq.apply_parts e with
+    | None -> Unknown
+    | Some (f, _) ->
+      if Astq.suffix_is f exempt_suffixes then Exempt
+      else if Astq.path_is f [ [ "ref" ]; [ "Stdlib"; "ref" ] ] then Mutable Ref
+      else (
+        match
+          List.find_opt
+            (fun (_, fns, m) ->
+              Astq.suffix_is f (List.map (fun fn -> [ m; fn ]) fns))
+            constructors
+        with
+        | Some (k, _, _) -> Mutable k
+        | None -> Unknown))
+
+(* Module-suffix mutator tables: applying one of these to a variable
+   mutates it in place. *)
+let mutators =
+  [
+    ("Array", [ "set"; "unsafe_set"; "fill"; "blit"; "sort"; "stable_sort"; "fast_sort" ]);
+    ("Bytes", [ "set"; "unsafe_set"; "fill"; "blit"; "blit_string" ]);
+    ("Hashtbl",
+     [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]);
+    ("Buffer",
+     [ "add_char"; "add_string"; "add_bytes"; "add_substring"; "add_subbytes";
+       "add_buffer"; "add_channel"; "clear"; "reset"; "truncate" ]);
+    ("Queue", [ "add"; "push"; "pop"; "take"; "clear"; "transfer" ]);
+    ("Stack", [ "push"; "pop"; "clear" ]);
+  ]
+
+let rec root_var e =
+  match (Astq.strip e).pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_field (inner, _) -> root_var inner
+  | _ -> None
+
+(* [write_root e] returns [(var, op)] when [e] writes through [var]. *)
+let write_root e =
+  match (Astq.strip e).pexp_desc with
+  | Pexp_setfield (target, { txt; _ }, _) ->
+    Option.map
+      (fun v -> (v, Fmt.str "%s.%s <-" v (lid_last txt)))
+      (root_var target)
+  | _ -> (
+    match Astq.apply_parts e with
+    | Some (f, target :: _) -> (
+      if Astq.path_is f [ [ ":=" ] ] then
+        Option.map (fun v -> (v, ":=")) (root_var target)
+      else if
+        Astq.path_is f
+          [ [ "incr" ]; [ "decr" ]; [ "Stdlib"; "incr" ]; [ "Stdlib"; "decr" ] ]
+      then
+        Option.map
+          (fun v ->
+            (v, match Astq.path f with Some p -> String.concat "." p | None -> "incr"))
+          (root_var target)
+      else
+        match
+          List.find_opt
+            (fun (m, fns) ->
+              Astq.suffix_is f (List.map (fun fn -> [ m; fn ]) fns))
+            mutators
+        with
+        | Some (m, _) ->
+          Option.map
+            (fun v ->
+              let op =
+                match Astq.path f with
+                | Some p -> String.concat "." p
+                | None -> m ^ ".<mutator>"
+              in
+              (v, op))
+            (root_var target)
+        | None -> None)
+    | _ -> None)
+
+(* [deref_root e] returns the variable when [e] is [!x]: a bare read of a
+   shared ref races with any concurrent [:=]. *)
+let deref_root e =
+  match Astq.apply_parts e with
+  | Some (f, [ target ]) when Astq.path_is f [ [ "!" ] ] -> root_var target
+  | _ -> None

@@ -1,0 +1,49 @@
+(** A syntactic model of mutable values: what creates shared-mutable state,
+    what is safe to share across domains by construction, and which
+    expression shapes mutate (or racily read) a variable.  Used by
+    {!Rule_domain_race}. *)
+
+module S : Set.S with type elt = string
+
+type kind =
+  | Ref
+  | Arr
+  | Bytes_
+  | Hashtbl_
+  | Buffer_
+  | Queue_
+  | Stack_
+  | Mutable_record
+
+type classification =
+  | Mutable of kind  (** freshly-allocated shared-mutable state *)
+  | Exempt
+      (** safe to share across domains by construction: [Atomic.make],
+          [Mutex.create], [Domain.DLS.new_key], semaphores *)
+  | Unknown
+
+val kind_name : kind -> string
+
+val mutable_fields : Parsetree.structure -> S.t
+(** Names of record fields declared [mutable] in this file's type
+    declarations. *)
+
+val classify :
+  mutable_fields:S.t -> Parsetree.expression -> classification
+(** Classifies a binding right-hand side: [ref e], array/bytes/container
+    constructors, array literals, and record literals that set a known
+    mutable field are [Mutable]. *)
+
+val root_var : Parsetree.expression -> string option
+(** The simple variable at the root of an lvalue-ish expression:
+    [x], [x.f], [x.f.g]. *)
+
+val write_root : Parsetree.expression -> (string * string) option
+(** [(var, op)] when the expression writes through the simple variable
+    [var]: [x := e], [x.f <- e], [Array.set]/[Bytes.set] (what
+    [x.(i) <- e] desugars to), and the stdlib container mutators
+    ([Hashtbl.replace], [Buffer.add_string], [Queue.push], ...). *)
+
+val deref_root : Parsetree.expression -> string option
+(** The variable when the expression is [!x] — a read that races with any
+    concurrent [:=]. *)

@@ -8,6 +8,9 @@ let all =
     Rule_catch_all_exn.rule;
     Rule_unsafe_pow.rule;
     Rule_obj_magic.rule;
+    Rule_domain_race.rule;
+    Rule_dls_misuse.rule;
+    Rule_taint_nondet.rule;
   ]
 
 let names = List.map (fun (r : Rule.t) -> r.name) all

@@ -25,6 +25,41 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* SARIF 2.1.0, the minimal subset code-review tooling ingests: one run,
+   the driver's rule metadata, and one result per finding with a physical
+   location.  Output is deterministic (rule order follows the registry,
+   result order follows the finding list) so the golden fixture in
+   test/slint_golden.sarif can be byte-compared. *)
+let pp_sarif ~rules ppf findings =
+  let rule_entry (r : Rule.t) =
+    Fmt.str
+      "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"},\"defaultConfiguration\":{\"level\":\"%s\"}}"
+      (json_escape r.name) (json_escape r.doc)
+      (match r.severity with Finding.Error -> "error" | Finding.Warning -> "warning")
+  in
+  let result (f : Finding.t) =
+    let level =
+      match f.severity with Finding.Error -> "error" | Finding.Warning -> "warning"
+    in
+    (* SARIF regions are 1-based in both coordinates; Finding.col is a
+       0-based parsetree column, and line 0 means a whole-file finding
+       (no region at all). *)
+    let region =
+      if f.line = 0 then ""
+      else
+        Fmt.str ",\"region\":{\"startLine\":%d,\"startColumn\":%d}" f.line
+          (f.col + 1)
+    in
+    Fmt.str
+      "{\"ruleId\":\"%s\",\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"}%s}}]}"
+      (json_escape f.rule) level (json_escape f.message) (json_escape f.file)
+      region
+  in
+  Fmt.pf ppf
+    "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"slint\",\"informationUri\":\"doc/LINTING.md\",\"rules\":[%s]}},\"results\":[%s]}]}@."
+    (String.concat "," (List.map rule_entry rules))
+    (String.concat "," (List.map result findings))
+
 let pp_json ppf findings =
   let item (f : Finding.t) =
     Fmt.str

@@ -1,4 +1,4 @@
-(** Reporters: human-readable text and machine-readable JSON. *)
+(** Reporters: human-readable text, machine-readable JSON, and SARIF. *)
 
 val pp_human : Format.formatter -> Finding.t list -> unit
 (** One [file:line:col: [rule] severity: message] line per finding plus a
@@ -6,3 +6,8 @@ val pp_human : Format.formatter -> Finding.t list -> unit
 
 val pp_json : Format.formatter -> Finding.t list -> unit
 (** A JSON array of [{file, line, col, rule, severity, message}]. *)
+
+val pp_sarif : rules:Rule.t list -> Format.formatter -> Finding.t list -> unit
+(** SARIF 2.1.0 with the given rules as the driver's rule metadata and one
+    [result] per finding.  Deterministic for a fixed rule list and finding
+    order, so golden fixtures can byte-compare the output. *)

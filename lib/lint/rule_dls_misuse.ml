@@ -1,0 +1,129 @@
+(* Domain.DLS discipline.
+
+   Two misuse shapes:
+
+   - a [Domain.DLS.new_key] anywhere but the right-hand side of a toplevel
+     binding: a key created per call (or worse, inside a spawned closure)
+     silently partitions state nobody can find again;
+
+   - a [DLS.get k] textually before a [DLS.set k] of the same key in the
+     same function: the read observes the ambient/default value, which is
+     either a bug (missing initialisation) or a deliberate save/restore
+     swap that deserves an audited per-site suppression (the pattern in
+     bench/harness.ml's output sink). *)
+
+open Parsetree
+
+let name = "dls-misuse"
+
+let doc =
+  "Domain.DLS misuse: a key created outside a toplevel binding, or a DLS \
+   slot read before it is set in the same function (doc/LINTING.md \
+   \"Dataflow rules\")"
+
+let new_key_suffix = [ [ "DLS"; "new_key" ] ]
+let get_suffix = [ [ "DLS"; "get" ] ]
+let set_suffix = [ [ "DLS"; "set" ] ]
+
+let is_fun_literal e =
+  match (Astq.strip e).pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+let check _ctx str =
+  (* right-hand sides of toplevel bindings whose (stripped) body is a
+     direct new_key application are the sanctioned creation sites *)
+  let allowed = Hashtbl.create 8 in
+  List.iter
+    (fun (si : structure_item) ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let rhs = Astq.strip vb.pvb_expr in
+            match Astq.apply_parts rhs with
+            | Some (f, _) when Astq.suffix_is f new_key_suffix ->
+              Hashtbl.replace allowed rhs.pexp_loc.loc_start.pos_cnum ()
+            | _ -> ())
+          vbs
+      | _ -> ())
+    str;
+  let acc = ref [] in
+  let slots = ref [] in  (* (node, key, is_set, loc) *)
+  let on_expr (c : Callgraph.ctx) e =
+    match Astq.apply_parts e with
+    | Some (f, args) -> (
+      if Astq.suffix_is f new_key_suffix then begin
+        let stripped = Astq.strip e in
+        if not (Hashtbl.mem allowed stripped.pexp_loc.loc_start.pos_cnum) then
+          acc :=
+            Finding.of_location ~rule:name ~severity:Finding.Error
+              ~message:
+                "Domain.DLS.new_key inside a function or closure: a key \
+                 created per call partitions domain-local state invisibly; \
+                 create keys once, in a toplevel binding, before any domain \
+                 is spawned"
+              e.pexp_loc
+            :: !acc
+      end;
+      let record is_set =
+        match args with
+        | key :: _ -> (
+          match Mutstate.root_var key with
+          | Some k -> slots := (c.node, k, is_set, e.pexp_loc) :: !slots
+          | None -> ())
+        | [] -> ()
+      in
+      if Astq.suffix_is f get_suffix then record false
+      else if Astq.suffix_is f set_suffix then record true)
+    | None -> ()
+  in
+  let cg = Callgraph.build ~on_expr str in
+  (* get-before-set, per (function, key): report the earliest offending
+     read once.  A [let saved = DLS.get k] right-hand side is its own
+     callgraph node — attribute every slot event to the nearest enclosing
+     *function* node so the get and the set land in the same scope. *)
+  let nodes = Callgraph.nodes cg in
+  let rec owner id =
+    if id < 0 then id
+    else if is_fun_literal nodes.(id).body then id
+    else owner nodes.(id).parent
+  in
+  let slots =
+    List.rev_map (fun (node, key, is_set, loc) -> (owner node, key, is_set, loc))
+      !slots
+  in
+  let module SS = Set.Make (struct
+    type t = int * string
+
+    let compare = compare
+  end) in
+  let reported = ref SS.empty in
+  List.iter
+    (fun (node, key, is_set, loc) ->
+      if not is_set then
+        let later_set =
+          List.exists
+            (fun (n', k', s', l') ->
+              s' && n' = node && String.equal k' key
+              && l'.Location.loc_start.pos_cnum > loc.Location.loc_start.pos_cnum)
+            slots
+        in
+        if later_set && not (SS.mem (node, key) !reported) then begin
+          reported := SS.add (node, key) !reported;
+          acc :=
+            Finding.of_location ~rule:name ~severity:Finding.Error
+              ~message:
+                (Fmt.str
+                   "DLS slot '%s' is read before it is set in the same \
+                    function: the get observes the ambient/default value; \
+                    set first, or suppress with the audited save/restore \
+                    justification"
+                   key)
+              loc
+            :: !acc
+        end)
+    slots;
+  List.rev !acc
+
+let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name

@@ -1,0 +1,7 @@
+(** Domain.DLS discipline: keys must be created in toplevel bindings, and a
+    [DLS.get] before a [DLS.set] of the same key in the same function is
+    either a missing initialisation or a save/restore swap that needs an
+    audited suppression. *)
+
+val name : string
+val rule : Rule.t

@@ -1,0 +1,198 @@
+(* Interprocedural Domain-race detector.
+
+   A "spawn root" is whatever runs on another domain: the argument of
+   [Domain.spawn], or a closure handed to [Runner.map]/[Runner.run].  The
+   rule computes, with the {!Taint} fixpoint over the per-file
+   {!Callgraph}, the set of outer-scope mutable bindings (per {!Mutstate})
+   each function writes — or reads through [!] — directly or via any local
+   callee, and flags every such access reachable from a spawn root unless
+   the binding is [Atomic.t]-like or the accessing function uses a Mutex.
+   State created inside the spawned function itself is per-domain and is
+   not flagged. *)
+
+open Parsetree
+
+let name = "domain-race"
+
+let doc =
+  "outer-scope mutable state written (or !-read) inside code reachable \
+   from a Domain.spawn / Runner.map closure without Atomic/Mutex \
+   mediation; use Atomic.t, a Mutex, or per-domain state (doc/LINTING.md \
+   \"Dataflow rules\")"
+
+type access = { anode : int; target : int; op : string; loc : Location.t }
+
+let access_key a =
+  (a.target, a.loc.loc_start.pos_lnum, a.loc.loc_start.pos_cnum, a.op)
+
+let compare_access a b = compare (access_key a) (access_key b)
+
+(* Facts are canonical sorted lists; join is a deduplicating merge. *)
+let join_facts a b =
+  List.sort_uniq compare_access (List.rev_append a b)
+
+let equal_facts a b =
+  List.length a = List.length b && List.for_all2 (fun x y -> compare_access x y = 0) a b
+
+type root = Node_root of int | Inline_root of Location.t
+
+let spawn_paths =
+  [ [ "Domain"; "spawn" ]; [ "Runner"; "map" ]; [ "Runner"; "run" ] ]
+
+let mutex_paths =
+  [ [ "Mutex"; "lock" ]; [ "Mutex"; "protect" ]; [ "Mutex"; "try_lock" ] ]
+
+let inside (outer : Location.t) (l : Location.t) =
+  l.loc_start.pos_cnum >= outer.loc_start.pos_cnum
+  && l.loc_end.pos_cnum <= outer.loc_end.pos_cnum
+
+let is_fun_literal e =
+  match (Astq.strip e).pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+let check _ctx str =
+  let raw_accesses = ref [] in
+  let refs = ref [] in  (* (node, callee, loc) for inline-root attribution *)
+  let mediated = Hashtbl.create 8 in
+  let sites = ref [] in  (* (site loc, owner node, roots) *)
+  let on_expr (c : Callgraph.ctx) e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ } -> (
+      match c.resolve x with
+      | Some id -> refs := (c.node, id, e.pexp_loc) :: !refs
+      | None -> ())
+    | _ -> ());
+    if Astq.suffix_is e mutex_paths then Hashtbl.replace mediated c.node ();
+    (match Mutstate.write_root e with
+    | Some (v, op) -> (
+      match c.resolve v with
+      | Some id ->
+        raw_accesses :=
+          { anode = c.node; target = id; op; loc = e.pexp_loc } :: !raw_accesses
+      | None -> ())
+    | None -> ());
+    (match Mutstate.deref_root e with
+    | Some v -> (
+      match c.resolve v with
+      | Some id ->
+        raw_accesses :=
+          { anode = c.node; target = id; op = "!"; loc = e.pexp_loc }
+          :: !raw_accesses
+      | None -> ())
+    | None -> ());
+    match Astq.apply_parts e with
+    | Some (f, args) when Astq.suffix_is f spawn_paths ->
+      let roots =
+        List.filter_map
+          (fun arg ->
+            match (Astq.strip arg).pexp_desc with
+            | Pexp_ident { txt = Longident.Lident x; _ } ->
+              Option.map (fun id -> Node_root id) (c.resolve x)
+            | _ ->
+              if is_fun_literal arg then Some (Inline_root arg.pexp_loc)
+              else None)
+          args
+      in
+      if roots <> [] then sites := (e.pexp_loc, c.node, roots) :: !sites
+    | _ -> ()
+  in
+  let cg = Callgraph.build ~on_expr str in
+  if !sites = [] then []
+  else begin
+    let mf = Mutstate.mutable_fields str in
+    let nodes = Callgraph.nodes cg in
+    let n = Callgraph.n_nodes cg in
+    let cls =
+      Array.map (fun (nd : Callgraph.node) -> Mutstate.classify ~mutable_fields:mf nd.body) nodes
+    in
+    let direct = Array.make n [] in
+    List.iter
+      (fun a ->
+        if
+          a.anode >= 0
+          && (not (Hashtbl.mem mediated a.anode))
+          && (match cls.(a.target) with Mutstate.Mutable _ -> true | _ -> false)
+        then direct.(a.anode) <- a :: direct.(a.anode))
+      !raw_accesses;
+    Array.iteri (fun i l -> direct.(i) <- List.sort_uniq compare_access l) direct;
+    let facts =
+      Taint.solve ~n ~deps:(Callgraph.calls cg)
+        ~init:(fun v -> direct.(v))
+        ~join:join_facts ~equal:equal_facts ()
+    in
+    let reachable root =
+      match root with
+      (* data arguments of the spawn call ([Runner.map f xs]'s [xs]) are
+         evaluated on the spawning domain; only function values run on the
+         other side *)
+      | Node_root id when not (is_fun_literal nodes.(id).body) -> []
+      | Node_root id ->
+        List.filter
+          (fun a ->
+            a.target <> id && not (Callgraph.is_descendant cg ~ancestor:id a.target))
+          (facts.Taint.fact id)
+      | Inline_root range ->
+        (* direct accesses written inside the closure text, plus the full
+           facts of every local function the closure mentions *)
+        let owner_direct =
+          List.filter (fun a -> inside range a.loc) !raw_accesses
+          |> List.filter (fun a ->
+                 (not (Hashtbl.mem mediated a.anode))
+                 && match cls.(a.target) with
+                    | Mutstate.Mutable _ -> true
+                    | _ -> false)
+        in
+        let via_calls =
+          List.concat_map
+            (fun (_, callee, loc) ->
+              if inside range loc then facts.Taint.fact callee else [])
+            !refs
+        in
+        List.filter
+          (fun a -> not (inside range nodes.(a.target).loc))
+          (join_facts owner_direct via_calls)
+    in
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    List.iter
+      (fun (site_loc, _, roots) ->
+        List.iter
+          (fun root ->
+            List.iter
+              (fun a ->
+                let key = access_key a in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  let target = nodes.(a.target) in
+                  let kind =
+                    match cls.(a.target) with
+                    | Mutstate.Mutable k -> Mutstate.kind_name k
+                    | _ -> "mutable value"
+                  in
+                  let action =
+                    if String.equal a.op "!" then "read through !"
+                    else Fmt.str "mutated via %s" a.op
+                  in
+                  acc :=
+                    Finding.of_location ~rule:name ~severity:Finding.Error
+                      ~message:
+                        (Fmt.str
+                           "'%s' (%s bound at line %d) is %s inside code \
+                            reachable from the closure spawned at line %d, \
+                            with no Atomic/Mutex mediation; use Atomic.t, a \
+                            Mutex, per-domain state, or suppress with the \
+                            audited invariant"
+                           target.name kind target.loc.loc_start.pos_lnum
+                           action
+                           site_loc.Location.loc_start.pos_lnum)
+                      a.loc
+                    :: !acc
+                end)
+              (reachable root))
+          roots)
+      (List.rev !sites);
+    List.rev !acc
+  end
+
+let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name

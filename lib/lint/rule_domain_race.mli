@@ -1,0 +1,8 @@
+(** Interprocedural Domain-race detector: outer-scope mutable state
+    (per {!Mutstate}) written — or read through [!] — by code reachable
+    (via the per-file {!Callgraph} and the {!Taint} fixpoint) from a
+    [Domain.spawn] / [Runner.map] closure, without Atomic/Mutex
+    mediation. *)
+
+val name : string
+val rule : Rule.t

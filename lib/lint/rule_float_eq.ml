@@ -3,8 +3,9 @@ open Parsetree
 let name = "float-eq"
 
 let doc =
-  "polymorphic =, <>, ==, != or compare applied to a float expression; \
-   use Float.equal / Float.compare or Util.Feq (DESIGN.md section 5)"
+  "polymorphic =, <>, ==, !=, compare, or the compare-with-0 idiom applied \
+   to a float expression; use Float.equal / Float.compare or Util.Feq \
+   (DESIGN.md section 5)"
 
 let eq_paths =
   [
@@ -46,17 +47,47 @@ let floatish e =
     | _ -> false)
   | None -> false
 
+let compare_paths = [ [ "compare" ]; [ "Stdlib"; "compare" ] ]
+
+let is_zero_literal e =
+  match (Astq.strip e).pexp_desc with
+  | Pexp_constant (Pconst_integer ("0", None)) -> true
+  | _ -> false
+
+(* [compare a b] with a float operand, for the [compare x y = 0] idiom. *)
+let float_compare_app e =
+  match Astq.apply_parts e with
+  | Some (f, [ a; b ]) when Astq.path_is f compare_paths && (floatish a || floatish b)
+    ->
+    Some (Astq.strip e).pexp_loc
+  | _ -> None
+
 let check _ctx str =
   let acc = ref [] in
+  (* inner [compare a b] applications already reported as part of a
+     [compare a b = 0] idiom — the outer form carries the finding *)
+  let skip = Hashtbl.create 4 in
+  let flag (e : expression) =
+    acc :=
+      Finding.of_location ~rule:name ~severity:Finding.Error ~message:doc
+        e.pexp_loc
+      :: !acc
+  in
   Astq.iter_expressions str (fun e ->
-      match Astq.apply_parts e with
-      | Some (f, [ a; b ]) when Astq.path_is f eq_paths && (floatish a || floatish b)
-        ->
-        acc :=
-          Finding.of_location ~rule:name ~severity:Finding.Error ~message:doc
-            e.pexp_loc
-          :: !acc
-      | _ -> ());
+      if not (Hashtbl.mem skip (Astq.strip e).pexp_loc.loc_start.pos_cnum) then
+        match Astq.apply_parts e with
+        | Some (f, [ a; b ]) when Astq.path_is f eq_paths ->
+          let idiom =
+            if is_zero_literal b then float_compare_app a
+            else if is_zero_literal a then float_compare_app b
+            else None
+          in
+          (match idiom with
+          | Some inner_loc ->
+            Hashtbl.replace skip inner_loc.Location.loc_start.pos_cnum ();
+            flag e
+          | None -> if floatish a || floatish b then flag e)
+        | _ -> ());
   List.rev !acc
 
 let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name

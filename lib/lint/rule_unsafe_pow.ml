@@ -3,9 +3,12 @@ open Parsetree
 let name = "unsafe-pow"
 
 let doc =
-  "( ** ) is NaN for a negative base with a non-integral exponent (the \
-   P_alpha energy curve); guard the base non-negative, use an integral \
-   literal exponent, or suppress with the invariant that makes it safe"
+  "( ** ) / Float.pow is NaN for a negative base with a non-integral \
+   exponent (the P_alpha energy curve); guard the base non-negative, use \
+   an integral literal exponent, or suppress with the invariant that makes \
+   it safe"
+
+let pow_paths = [ [ "**" ]; [ "Float"; "pow" ]; [ "Stdlib"; "**" ] ]
 
 module S = Set.Make (String)
 
@@ -131,7 +134,7 @@ let check _ctx str =
   let expr it e =
     (match Astq.apply_parts e with
      | Some (f, [ base; expo ])
-       when Astq.path_is f [ [ "**" ] ]
+       when Astq.path_is f pow_paths
             && not (nonneg !env base || integral_exponent expo) ->
        acc :=
          Finding.of_location ~rule:name ~severity:Finding.Error ~message:doc

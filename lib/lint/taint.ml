@@ -1,0 +1,78 @@
+(* A generic monotone fixpoint solver over a finite dependency graph.
+
+   Nodes are integers [0 .. n-1].  The fact at node [v] is the least
+   solution of
+
+     fact v = transfer v (join (init v) (join over d in deps v of fact d))
+
+   computed with a worklist: when a node's fact grows, only its dependents
+   are revisited.  [join] must be monotone and [equal] must detect
+   stabilisation, otherwise the [bound] on worklist pops is what guarantees
+   termination: on exhaustion the current (sound under-approximation for a
+   monotone join) facts are returned with [converged = false], and callers
+   are expected to treat that as "analysis inconclusive", not as clean. *)
+
+type 'fact result = {
+  fact : int -> 'fact;
+  iterations : int;  (* worklist pops performed *)
+  converged : bool;  (* false iff the iteration bound was exhausted *)
+}
+
+let default_bound ~n ~edges =
+  (* Generous for any finite-chain lattice: every pop that changes a fact
+     climbs some node one lattice step, and per-file graphs are small. *)
+  let b = 4 * (n + 1) * (edges + n + 1) in
+  if b < 256 then 256 else b
+
+let solve ~n ~deps ~init ~join ~equal ?transfer ?bound () =
+  let transfer = match transfer with Some f -> f | None -> fun _ f -> f in
+  let deps = Array.init n deps in
+  let edges = Array.fold_left (fun acc d -> acc + List.length d) 0 deps in
+  let bound =
+    match bound with Some b -> b | None -> default_bound ~n ~edges
+  in
+  let rdeps = Array.make n [] in
+  Array.iteri
+    (fun v ds -> List.iter (fun d -> if d >= 0 && d < n then rdeps.(d) <- v :: rdeps.(d)) ds)
+    deps;
+  Array.iteri (fun v l -> rdeps.(v) <- List.rev l) rdeps;
+  let facts = Array.init n init in
+  let recompute v =
+    let incoming =
+      List.fold_left
+        (fun acc d -> if d >= 0 && d < n then join acc facts.(d) else acc)
+        (init v) deps.(v)
+    in
+    transfer v incoming
+  in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let push v =
+    if not queued.(v) then begin
+      queued.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  for v = 0 to n - 1 do
+    push v
+  done;
+  let iterations = ref 0 in
+  let converged = ref true in
+  let running = ref true in
+  while !running && not (Queue.is_empty queue) do
+    if !iterations >= bound then begin
+      converged := false;
+      running := false
+    end
+    else begin
+      let v = Queue.pop queue in
+      queued.(v) <- false;
+      incr iterations;
+      let nf = recompute v in
+      if not (equal nf facts.(v)) then begin
+        facts.(v) <- nf;
+        List.iter push rdeps.(v)
+      end
+    end
+  done;
+  { fact = (fun v -> facts.(v)); iterations = !iterations; converged = !converged }

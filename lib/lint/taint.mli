@@ -1,0 +1,37 @@
+(** Generic monotone fixpoint solver with a worklist and a termination
+    bound — the engine under the interprocedural lint rules
+    ({!Rule_taint_nondet}, {!Rule_domain_race}).
+
+    Nodes are the integers [0 .. n-1].  The solution satisfies
+
+    {[ fact v = transfer v (join (init v) (join of fact d for d in deps v)) ]}
+
+    at every node, provided [join] is monotone over a finite-height lattice
+    and [equal] recognises stabilisation. *)
+
+type 'fact result = {
+  fact : int -> 'fact;  (** the computed fact at each node *)
+  iterations : int;  (** worklist pops performed *)
+  converged : bool;
+      (** [false] iff the pop bound was exhausted first; treat the facts as
+          inconclusive in that case *)
+}
+
+val default_bound : n:int -> edges:int -> int
+(** The bound used when [?bound] is omitted: [max 256 (4*(n+1)*(edges+n+1))],
+    generous for any finite-chain lattice on per-file graphs. *)
+
+val solve :
+  n:int ->
+  deps:(int -> int list) ->
+  init:(int -> 'fact) ->
+  join:('fact -> 'fact -> 'fact) ->
+  equal:('fact -> 'fact -> bool) ->
+  ?transfer:(int -> 'fact -> 'fact) ->
+  ?bound:int ->
+  unit ->
+  'fact result
+(** [solve ~n ~deps ~init ~join ~equal ()] computes the least fixpoint.
+    [deps v] lists the nodes whose facts flow into [v] (out-of-range ids
+    are ignored); [transfer] post-processes the joined fact (defaults to
+    the identity). *)

@@ -10,6 +10,7 @@ let map ~jobs f xs =
     let n = Array.length arr in
     let out = Array.make n None in
     let run i =
+      (* slint: allow domain-race -- audited: slot i is claimed exclusively via Atomic.fetch_and_add and out is read only after Domain.join *)
       out.(i) <- Some (match f arr.(i) with v -> Ok v | exception e -> Error e)
     in
     let workers = min jobs n in

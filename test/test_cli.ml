@@ -124,6 +124,134 @@ let test_unknown_algorithm_fails () =
       let code, _ = run_capture [ "run"; path; "-a"; "nonsense" ] in
       Alcotest.(check bool) "non-zero exit" true (code <> 0))
 
+(* ---------------- slint ---------------- *)
+
+let slint =
+  let candidates =
+    [ "../bin/slint.exe"; "_build/default/bin/slint.exe"; "bin/slint.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/slint.exe"
+
+let run_slint args =
+  let out = Filename.temp_file "slint" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote slint)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+(* A throwaway scan root holding lib/fixture.ml with the given text (plus
+   an interface so missing-mli stays quiet). *)
+let with_lint_tree text f =
+  let root = Filename.temp_file "slint" ".d" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  let rm p = if Sys.file_exists p then Sys.remove p in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> rm (Filename.concat (Filename.concat root "lib") name))
+        (Sys.readdir (Filename.concat root "lib"));
+      Array.iter
+        (fun name ->
+          let p = Filename.concat root name in
+          if not (Sys.is_directory p) then rm p)
+        (Sys.readdir root);
+      Sys.rmdir (Filename.concat root "lib");
+      Sys.rmdir root)
+    (fun () ->
+      write_file (Filename.concat root "lib/fixture.ml") text;
+      write_file (Filename.concat root "lib/fixture.mli") "";
+      f root)
+
+let clean_source = "let f x = x + 1\n"
+
+let racy_source =
+  "let total = ref 0\n\
+   let add x = total := !total + x\n\
+   let go xs = Domain.spawn (fun () -> List.iter add xs)\n"
+
+let test_slint_exit_codes () =
+  with_lint_tree clean_source (fun root ->
+      let code, _ = run_slint [ "--root"; root ] in
+      Alcotest.(check int) "clean tree exits 0" 0 code);
+  with_lint_tree racy_source (fun root ->
+      let code, text = run_slint [ "--root"; root ] in
+      Alcotest.(check int) "finding exits 1" 1 code;
+      Alcotest.(check bool)
+        "names the rule" true
+        (contains text "domain-race"));
+  let code, text = run_slint [ "--rule"; "no-such-rule"; "--root"; "." ] in
+  Alcotest.(check int) "unknown rule exits 2" 2 code;
+  Alcotest.(check bool) "lists known rules" true (contains text "domain-race");
+  let code, text = run_slint [ "--help" ] in
+  Alcotest.(check int) "help exits 0" 0 code;
+  Alcotest.(check bool) "documents exit codes" true (contains text "Exit codes")
+
+let test_slint_rule_filter () =
+  with_lint_tree racy_source (fun root ->
+      (* an unrelated single rule does not see the race *)
+      let code, _ = run_slint [ "--root"; root; "--rule"; "float-eq" ] in
+      Alcotest.(check int) "filtered rule exits 0" 0 code;
+      let code, text = run_slint [ "--root"; root; "--rule"; "domain-race" ] in
+      Alcotest.(check int) "selected rule exits 1" 1 code;
+      Alcotest.(check bool) "reports the race" true (contains text "domain-race"))
+
+let test_slint_sarif () =
+  with_lint_tree racy_source (fun root ->
+      let sarif = Filename.temp_file "slint" ".sarif" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists sarif then Sys.remove sarif)
+        (fun () ->
+          let code, _ = run_slint [ "--root"; root; "--sarif"; sarif ] in
+          Alcotest.(check int) "still exits 1" 1 code;
+          let text = read_file sarif in
+          Alcotest.(check bool)
+            "sarif version" true
+            (contains text {|"version":"2.1.0"|});
+          Alcotest.(check bool)
+            "result carries the rule id" true
+            (contains text {|"ruleId":"domain-race"|});
+          Alcotest.(check bool)
+            "physical location present" true
+            (contains text "lib/fixture.ml")))
+
+let test_slint_update_baseline () =
+  with_lint_tree racy_source (fun root ->
+      let code, _ = run_slint [ "--root"; root; "--update-baseline" ] in
+      Alcotest.(check int) "update exits 0" 0 code;
+      let baseline = Filename.concat root "lint-baseline.sexp" in
+      Alcotest.(check bool)
+        "baseline written" true
+        (contains (read_file baseline) "domain-race");
+      (* the grandfathered finding no longer fails the scan *)
+      let code, _ = run_slint [ "--root"; root ] in
+      Alcotest.(check int) "baselined tree exits 0" 0 code)
+
 let () =
   Alcotest.run "cli"
     [
@@ -140,5 +268,13 @@ let () =
           Alcotest.test_case "gantt" `Quick test_gantt;
           Alcotest.test_case "unknown algorithm" `Quick
             test_unknown_algorithm_fails;
+        ] );
+      ( "slint",
+        [
+          Alcotest.test_case "exit codes" `Quick test_slint_exit_codes;
+          Alcotest.test_case "--rule filter" `Quick test_slint_rule_filter;
+          Alcotest.test_case "--sarif" `Quick test_slint_sarif;
+          Alcotest.test_case "--update-baseline" `Quick
+            test_slint_update_baseline;
         ] );
     ]

@@ -34,7 +34,16 @@ let test_float_eq () =
   check_fires "not-equal" ~rule "let f x = x <> sqrt 2.0";
   check_quiet "int compare" ~rule "let f x = x = 1";
   check_quiet "Float.equal" ~rule "let f x = Float.equal x 1.0";
-  check_quiet "string" ~rule {|let f s = s = "inf"|}
+  check_quiet "string" ~rule {|let f s = s = "inf"|};
+  (* the compare-with-0 idiom on float operands *)
+  check_fires "compare = 0" ~rule "let f x = compare x 1.0 = 0";
+  check_fires "0 = compare" ~rule "let f x = 0 = compare 1.0 x";
+  check_fires "compare <> 0" ~rule "let f x = compare x 1.0 <> 0";
+  check_quiet "int compare = 0" ~rule "let f x y = compare (x : int) y = 0";
+  (* the idiom is one finding, not one for the inner compare too *)
+  Alcotest.(check int)
+    "compare = 0 reported once" 1
+    (List.length (findings ~rule "let f x = compare x 1.0 = 0"))
 
 (* ---------------- naive-sum ---------------- *)
 
@@ -108,7 +117,12 @@ let test_unsafe_pow () =
   check_fires "rebound variable" ~rule
     {|let f s a = if s < 0.0 then invalid_arg "s"; let s = s -. 2.0 in s ** a|};
   check_quiet "alpha producer" ~rule "let f p a = Power.alpha p ** a";
-  check_quiet "sqrt base" ~rule "let f x a = sqrt x ** a"
+  check_quiet "sqrt base" ~rule "let f x a = sqrt x ** a";
+  (* Float.pow is the same partial function as ( ** ) *)
+  check_fires "Float.pow unknown base" ~rule "let f s a = Float.pow s a";
+  check_quiet "Float.pow guarded" ~rule
+    "let f s a = if s >= 0.0 then Float.pow s a else 0.0";
+  check_quiet "Float.pow integral exponent" ~rule "let f x = Float.pow x 2.0"
 
 (* ---------------- obj-magic ---------------- *)
 
@@ -118,6 +132,188 @@ let test_obj_magic () =
   check_fires "assert false" ~rule "let f () = assert false";
   check_quiet "assert cond" ~rule "let f x = assert (x > 0)";
   check_quiet "plain code" ~rule "let f x = x + 1"
+
+(* ---------------- domain-race ---------------- *)
+
+let test_domain_race () =
+  let rule = "domain-race" in
+  (* the seeded regression: a mutable capture in a spawned closure *)
+  check_fires "ref captured by spawned closure" ~rule
+    {|let total = ref 0
+let add x = total := !total + x
+let go xs = Domain.spawn (fun () -> List.iter add xs)|};
+  check_fires "incr two calls below the spawn" ~rule
+    {|let hits = ref 0
+let bump () = incr hits
+let work () = bump ()
+let go () = Domain.spawn (fun () -> work ())|};
+  check_fires "named worker root" ~rule
+    {|let flag = ref false
+let worker () = flag := true
+let go () = Domain.spawn worker|};
+  check_fires "Runner.map closure" ~rule
+    {|let hits = ref 0
+let f xs = Runner.map (fun x -> incr hits; x) xs|};
+  check_fires "hashtbl mutation" ~rule
+    {|let cache = Hashtbl.create 8
+let go () = Domain.spawn (fun () -> Hashtbl.replace cache 1 2)|};
+  check_fires "bare deref read" ~rule
+    {|let total = ref 0
+let go () = Domain.spawn (fun () -> !total + 1)|};
+  check_quiet "atomic is exempt" ~rule
+    {|let total = Atomic.make 0
+let go () = Domain.spawn (fun () -> Atomic.incr total)|};
+  check_quiet "mutex mediation" ~rule
+    {|let m = Mutex.create ()
+let total = ref 0
+let add x = Mutex.lock m; total := !total + x; Mutex.unlock m
+let go xs = Domain.spawn (fun () -> List.iter add xs)|};
+  check_quiet "state local to the closure" ~rule
+    {|let go () = Domain.spawn (fun () -> let c = ref 0 in c := 1; !c)|};
+  check_quiet "state local to a named root" ~rule
+    {|let worker () = let c = ref 0 in incr c; !c
+let go () = Domain.spawn worker|};
+  check_quiet "data argument is not a root" ~rule
+    {|let tally = ref 0
+let build () = tally := 1; [ 1; 2 ]
+let xs = build ()
+let go f = Runner.map f xs|};
+  check_quiet "no spawn at all" ~rule
+    {|let total = ref 0
+let add x = total := !total + x|}
+
+(* ---------------- dls-misuse ---------------- *)
+
+let test_dls_misuse () =
+  let rule = "dls-misuse" in
+  check_fires "key created inside a function" ~rule
+    "let f () = Domain.DLS.new_key (fun () -> 0)";
+  check_fires "key created inside a spawned closure" ~rule
+    "let go () = Domain.spawn (fun () -> Domain.DLS.new_key (fun () -> 0))";
+  check_fires "get before set" ~rule
+    {|let k = Domain.DLS.new_key (fun () -> 0)
+let f v = let old = Domain.DLS.get k in Domain.DLS.set k v; old|};
+  check_quiet "toplevel key" ~rule
+    "let k = Domain.DLS.new_key (fun () -> 0)";
+  check_quiet "set before get" ~rule
+    {|let k = Domain.DLS.new_key (fun () -> 0)
+let f v = Domain.DLS.set k v; Domain.DLS.get k|};
+  check_quiet "get without any set" ~rule
+    {|let k = Domain.DLS.new_key (fun () -> 0)
+let f () = Domain.DLS.get k|}
+
+(* ---------------- taint-nondet ---------------- *)
+
+let test_taint_nondet () =
+  let rule = "taint-nondet" in
+  (* the seeded regression: a Random call two levels below the function
+     building the record payload *)
+  check_fires "random two calls below the payload" ~rule
+    {|let noise () = Random.float 1.0
+let jitter () = noise () +. 1.0
+let payload () =
+  Record.make ~id:"x" ~metrics:[ ("m", jitter ()) ] Experiment|};
+  check_fires "clock through a local binding" ~rule
+    {|let f () = let d = Unix.gettimeofday () in metric "t" d|};
+  check_fires "hashtbl order through a closure parameter" ~rule
+    {|let rows tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+let emit tbl = List.iter (fun (name, v) -> counter name v) (rows tbl)|};
+  check_fires "direct source in the sink argument" ~rule
+    "let f () = verdict (Sys.time () > 0.0)";
+  check_quiet "untainted payload" ~rule
+    {|let payload v = Record.make ~id:"x" ~metrics:[ ("m", v) ] Experiment|};
+  check_quiet "taint that never reaches the sink" ~rule
+    {|let noise () = Random.float 1.0
+let f () = let _ = noise () in metric "t" 1.0|};
+  check_quiet "Random.State is deterministic" ~rule
+    {|let f st = metric "t" (Random.State.float st 1.0)|};
+  check_quiet "untainted rebinding shadows the taint" ~rule
+    {|let f () =
+  let d = Unix.gettimeofday () in
+  let d = 1.0 in
+  metric "t" (d +. 0.0)|}
+
+(* ---------------- taint solver ---------------- *)
+
+(* The fixpoint the solver must reach for boolean reachability facts:
+   [fact v] iff some node reachable from [v] along [deps] satisfies
+   [init] — computed here independently with a DFS. *)
+let expected_reachability ~n ~deps ~init v =
+  let visited = Array.make n false in
+  let rec go u =
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      List.iter go (deps u)
+    end
+  in
+  go v;
+  List.exists (fun u -> visited.(u) && init u) (List.init n Fun.id)
+
+let solver_arbitrary =
+  QCheck.(pair (int_range 1 25) (small_list (pair small_nat small_nat)))
+
+let test_solver_terminates =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300
+       ~name:"solver terminates and reaches the least fixpoint on random graphs"
+       solver_arbitrary
+       (fun (n, raw_edges) ->
+         (* arbitrary edges modulo n: self-loops and mutual recursion
+            included by construction *)
+         let edges = List.map (fun (a, b) -> (a mod n, b mod n)) raw_edges in
+         let deps v =
+           List.filter_map (fun (a, b) -> if a = v then Some b else None) edges
+         in
+         let init v = v mod 3 = 0 in
+         let r =
+           Taint.solve ~n ~deps ~init ~join:( || ) ~equal:Bool.equal ()
+         in
+         r.Taint.converged
+         && List.for_all
+              (fun v ->
+                Bool.equal (r.Taint.fact v)
+                  (expected_reachability ~n ~deps ~init v))
+              (List.init n Fun.id)))
+
+let test_solver_bound () =
+  (* a hostile transfer function that never stabilises must still stop at
+     the bound, reporting non-convergence rather than hanging *)
+  let r =
+    Taint.solve ~n:2
+      ~deps:(fun v -> [ 1 - v ])
+      ~init:(fun _ -> 0)
+      ~join:max ~equal:Int.equal
+      ~transfer:(fun _ f -> f + 1)
+      ()
+  in
+  Alcotest.(check bool) "did not converge" false r.Taint.converged
+
+(* ---------------- SARIF golden ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let sarif_fixture_findings =
+  [
+    Finding.v ~line:3 ~col:4 ~file:"lib/model/power.ml" ~rule:"float-eq"
+      ~severity:Finding.Error {|polymorphic = on a "float" expression|};
+    Finding.v ~file:"lib/obs/runner.ml" ~rule:"domain-race"
+      ~severity:Finding.Warning "whole-file finding without a region";
+  ]
+
+let test_sarif_golden () =
+  let rules = Registry.select [ "float-eq"; "domain-race" ] in
+  let got =
+    Format.asprintf "%a" (Report.pp_sarif ~rules) sarif_fixture_findings
+  in
+  let path =
+    if Sys.file_exists "slint_golden.sarif" then "slint_golden.sarif"
+    else "test/slint_golden.sarif"
+  in
+  Alcotest.(check string) "sarif golden bytes" (read_file path) got
 
 (* ---------------- suppression handling ---------------- *)
 
@@ -220,10 +416,10 @@ let test_baseline_malformed () =
 (* ---------------- registry & reporters ---------------- *)
 
 let test_registry () =
-  Alcotest.(check int) "eight rules" 8 (List.length Registry.all);
+  Alcotest.(check int) "eleven rules" 11 (List.length Registry.all);
   Alcotest.(check bool)
     "select resolves every name" true
-    (List.length (Registry.select Registry.names) = 8);
+    (List.length (Registry.select Registry.names) = 11);
   match Registry.select [ "no-such-rule" ] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
@@ -265,6 +461,15 @@ let () =
           Alcotest.test_case "catch-all-exn" `Quick test_catch_all_exn;
           Alcotest.test_case "unsafe-pow" `Quick test_unsafe_pow;
           Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "domain-race" `Quick test_domain_race;
+          Alcotest.test_case "dls-misuse" `Quick test_dls_misuse;
+          Alcotest.test_case "taint-nondet" `Quick test_taint_nondet;
+          test_solver_terminates;
+          Alcotest.test_case "solver bound" `Quick test_solver_bound;
+          Alcotest.test_case "sarif golden" `Quick test_sarif_golden;
         ] );
       ( "suppression",
         [
