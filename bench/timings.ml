@@ -99,4 +99,31 @@ let run ?(smoke = false) () =
            ~timing:
              { Speedscale_obs.Record.no_timing with ns_per_run = est }
            Speedscale_obs.Record.Timing))
-    (List.sort compare rows)
+    (List.sort compare rows);
+  (* Deterministic companion to the pd-arrivals timings: the same
+     workload's per-arrival work counters.  Machine-independent, so
+     bench-diff surfaces algorithmic drift (extra probes, breakpoint
+     blow-up) even where raw nanoseconds are too noisy to gate on. *)
+  let inst = Harness.random_instance ~alpha:2.0 ~machines:8 ~seed:9 ~n:100 in
+  let pd =
+    Speedscale_core.Pd.create ~power:inst.Instance.power
+      ~machines:inst.Instance.machines ()
+  in
+  Array.iter
+    (fun j -> ignore (Speedscale_core.Pd.arrive pd j))
+    inst.Instance.jobs;
+  let st = Speedscale_core.Pd.stats pd in
+  Harness.add_record
+    (Speedscale_obs.Record.make ~id:"E12/pd-arrivals-n100-m8-counters"
+       ~params:
+         [
+           ("n", Speedscale_obs.Record.P_int 100);
+           ("machines", Speedscale_obs.Record.P_int 8);
+         ]
+       ~counters:
+         [
+           ("probes", st.probes);
+           ("intervals", st.intervals);
+           ("breakpoints", st.breakpoints);
+         ]
+       Speedscale_obs.Record.Timing)

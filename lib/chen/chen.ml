@@ -143,6 +143,49 @@ let count_gt t x =
   in
   go 0 p
 
+(* Incrementally insert one (id, load) pair: O(p) blits, no sort and no
+   duplicate scan — the committed-state update PD performs once per window
+   interval per accepted job, where a full [build] would dominate the
+   arrival cost.  The prefix sums are recomputed by summation over the new
+   sorted order, so the result is value-identical to [build] on the
+   extended pair list (up to the order of tied loads, which no query
+   observes).  The caller guarantees [id] is not already present. *)
+let add_load t (id, z) =
+  if Float.is_nan z || z <= 0.0 then
+    invalid_arg "Chen.add_load: load must be > 0";
+  let p = Array.length t.loads in
+  let pos = count_gt t z in
+  let ids = Array.make (p + 1) id in
+  Array.blit t.ids 0 ids 0 pos;
+  Array.blit t.ids pos ids (pos + 1) (p - pos);
+  let loads = Array.make (p + 1) z in
+  Array.blit t.loads 0 loads 0 pos;
+  Array.blit t.loads pos loads (pos + 1) (p - pos);
+  let prefix = Array.make (p + 2) 0.0 in
+  for i = 0 to p do
+    prefix.(i + 1) <- prefix.(i) +. loads.(i)
+  done;
+  let n_dedicated = dedicated_prefix ~machines:t.machines ~loads ~prefix in
+  { t with ids; loads; prefix; n_dedicated }
+
+(* Scale every load by [factor] and set a new length: the interval-split
+   update.  Sorted order is preserved (factor > 0) and the dedicated
+   prefix is recomputed on the scaled values, so the result is
+   value-identical to [build] on the scaled pairs. *)
+let rescale t ~length ~factor =
+  if not (Float.is_finite length) || length <= 0.0 then
+    invalid_arg "Chen.rescale: length must be finite > 0";
+  if not (Float.is_finite factor) || factor <= 0.0 then
+    invalid_arg "Chen.rescale: factor must be finite > 0";
+  let p = Array.length t.loads in
+  let loads = Array.map (fun w -> w *. factor) t.loads in
+  let prefix = Array.make (p + 1) 0.0 in
+  for i = 0 to p - 1 do
+    prefix.(i + 1) <- prefix.(i) +. loads.(i)
+  done;
+  let n_dedicated = dedicated_prefix ~machines:t.machines ~loads ~prefix in
+  { t with length; loads; prefix; n_dedicated }
+
 let probe_speed_zero t =
   let d = t.n_dedicated in
   let _, pool_procs, pool_speed = pool_stats t in
@@ -189,6 +232,70 @@ let probe_load_for_speed t s =
       let z_pool = (sl *. float_of_int (t.machines - d)) -. pool_others in
       let z = Float.min z_pool sl in
       Float.max z 0.0
+
+(* Breakpoint speeds of the capped probe response g(s) = min(z(s), cap),
+   where z(s) = probe_load_for_speed t s.  Within a regime where the
+   probe's dedicated count d is fixed, z is one of 0, s*l*(m-d) - rest, or
+   s*l — affine in s — so the kinks of g are contained in: the speeds
+   where d changes (s*l crossing a stored load), the speeds where each
+   affine piece enters (z = 0), hands over (z_pool = s*l), or saturates
+   (z = cap), plus the marginal speed below which z is identically zero.
+   We emit the full superset for every d; spurious entries inside an
+   affine stretch are harmless — callers only rely on g being affine
+   BETWEEN consecutive entries, never on every entry being a real kink. *)
+let probe_breakpoints t ~cap =
+  if Float.is_nan cap || cap <= 0.0 then
+    invalid_arg "Chen.probe_breakpoints: cap must be > 0";
+  let m = t.machines and l = t.length in
+  let p = Array.length t.loads in
+  let psz = probe_speed_zero t in
+  let dmax = Int.min p (m - 1) in
+  (* flat buffer, insertion-sorted in place: this runs once per window
+     interval per arrival, so no lists, no comparison closures *)
+  let buf = Array.make (2 + Int.min p m + (3 * (dmax + 1))) 0.0 in
+  let n = ref 0 in
+  let push s =
+    if Float.is_finite s && s >= psz then begin
+      buf.(!n) <- s;
+      incr n
+    end
+  in
+  push psz;
+  (* d-transitions: only the first m matter (d >= m forces z = 0) *)
+  for i = 0 to Int.min p m - 1 do
+    push (t.loads.(i) /. l)
+  done;
+  (* per fixed dedicated count d: entry (z_pool = 0), saturation
+     (z_pool = cap) and handover (z_pool = s*l) speeds *)
+  for d = 0 to dmax do
+    let others = total_load t -. t.prefix.(d) in
+    let procs = float_of_int (m - d) in
+    push (others /. (procs *. l));
+    push ((cap +. others) /. (procs *. l));
+    if m - d - 1 >= 1 then push (others /. (float_of_int (m - d - 1) *. l))
+  done;
+  (* the z = s*l branch saturates *)
+  push (cap /. l);
+  let len = !n in
+  for i = 1 to len - 1 do
+    let x = buf.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && buf.(!j) > x do
+      buf.(!j + 1) <- buf.(!j);
+      decr j
+    done;
+    buf.(!j + 1) <- x
+  done;
+  let out = ref 0 and prev = ref Float.nan in
+  for i = 0 to len - 1 do
+    let x = buf.(i) in
+    if !out = 0 || not (Float.equal !prev x) then begin
+      buf.(!out) <- x;
+      incr out;
+      prev := x
+    end
+  done;
+  Array.sub buf 0 !out
 
 let marginal_power power t = Power.deriv power (probe_speed_zero t)
 

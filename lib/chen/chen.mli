@@ -33,6 +33,21 @@ val build : machines:int -> length:float -> (int * float) list -> t
 (** Loads with non-positive values are dropped.  Duplicated ids, a
     non-positive length or [machines < 1] raise [Invalid_argument]. *)
 
+val add_load : t -> int * float -> t
+(** [add_load t (id, z)] is [t] with one more job: value-identical to
+    rebuilding from the extended pair list, but O(p) blits instead of a
+    sort plus duplicate scan — the incremental commit update on PD's hot
+    path.  The load must be positive ([Invalid_argument] otherwise) and
+    the id must not already be present (unchecked: the caller owns the id
+    discipline). *)
+
+val rescale : t -> length:float -> factor:float -> t
+(** [rescale t ~length ~factor] scales every load by [factor > 0] and sets
+    the interval length — the split update when a new boundary divides an
+    interval and its committed loads proportionally.  Value-identical to
+    rebuilding from the scaled pairs (sorted order is preserved; prefix
+    sums and the dedicated prefix are recomputed on the scaled values). *)
+
 val machines : t -> int
 val interval_length : t -> float
 
@@ -78,6 +93,18 @@ val probe_load_for_speed : t -> float -> float
     is already running at least that fast).  Closed form, O(log p).
     Satisfies [probe_speed t (probe_load_for_speed t s) = s] whenever the
     result is positive. *)
+
+val probe_breakpoints : t -> cap:float -> float array
+(** Sorted, duplicate-free speeds [s_1 < s_2 < ... < s_B] such that the
+    capped probe response [g s = min (probe_load_for_speed t s) cap] is
+    affine on every segment [[s_i, s_{i+1}]], identically [0] at and below
+    [s_1], and equal to [cap] at [s_B] (and beyond).  A superset of the
+    true kinks of [g] — spurious interior entries are allowed — with
+    [O(machines)] entries.  This is the primitive behind PD's fast
+    water-filling: between two adjacent merged breakpoints the total work
+    a new job would commit across its window is a sum of affine functions,
+    so the finishing price falls out of one linear interpolation instead
+    of a blind bisection.  [cap] must be positive. *)
 
 val marginal_power : Power.t -> t -> float
 (** [P'_α(probe_speed t 0)] — the marginal energy cost per unit of load a

@@ -3,20 +3,60 @@ open Speedscale_model
 open Speedscale_chen
 open Speedscale_solver
 
+(* Two boundaries closer than this (absolute + relative, Feq-style) denote
+   the same instant: deadlines and releases that differ by less than the
+   tolerance must share a boundary, or the proportional split of committed
+   loads divides by a near-zero interval length and amplifies rounding
+   noise into the schedule.  See DESIGN.md section 5. *)
+let boundary_tol = 1e-9
+let same_boundary a b = Feq.approx ~atol:boundary_tol ~rtol:boundary_tol a b
+
+type arrival_stats = {
+  job_id : int;
+  accepted : bool;
+  probes : int;  (** [Chen.probe_load_for_speed] evaluations this arrival *)
+  intervals : int;  (** atomic intervals in the job's window *)
+  breakpoints : int;  (** merged breakpoint count (0 on the reference path) *)
+  wall_s : float;  (** wall-clock seconds, 0 unless [create ~clock] *)
+}
+
+type stats = {
+  arrivals : int;
+  probes : int;
+  intervals : int;
+  breakpoints : int;
+}
+
 type t = {
   power : Power.t;
   machines : int;
   delta : float;
-  mutable bounds : float array;  (* strictly increasing; empty before jobs *)
-  mutable loads : (int * float) list array;  (* per interval, committed *)
+  (* Timeline: [bounds.(0 .. nb-1)] is strictly increasing; interval [k]
+     is [bounds.(k), bounds.(k+1)).  The arrays are capacity buffers
+     ([loads] and [cache] always have the same length as [bounds]) so an
+     insert is a blit, not a reallocation. *)
+  mutable nb : int;
+  mutable bounds : float array;
+  mutable loads : (int * float) list array;
+  mutable cache : Chen.t option array;
   mutable seen : Job.t list;  (* reversed arrival order *)
+  seen_ids : (int, unit) Hashtbl.t;
+  outcomes : (int, float * bool) Hashtbl.t;  (* id -> lambda, accepted *)
   mutable lambda_rev : (int * float) list;
   mutable accepted_rev : int list;
   mutable rejected_rev : int list;
   mutable last_release : float;
+  (* instrumentation *)
+  clock : (unit -> float) option;
+  mutable observer : (arrival_stats -> unit) option;
+  mutable probes_now : int;
+  mutable arrivals : int;
+  mutable probes_total : int;
+  mutable intervals_total : int;
+  mutable breakpoints_total : int;
 }
 
-let create ?delta ~power ~machines () =
+let create ?clock ?delta ~power ~machines () =
   if machines < 1 then invalid_arg "Pd.create: machines < 1";
   let delta = Option.value delta ~default:(Power.delta_star power) in
   if not (Float.is_finite delta) || delta <= 0.0 then
@@ -25,73 +65,150 @@ let create ?delta ~power ~machines () =
     power;
     machines;
     delta;
+    nb = 0;
     bounds = [||];
     loads = [||];
+    cache = [||];
     seen = [];
+    seen_ids = Hashtbl.create 64;
+    outcomes = Hashtbl.create 64;
     lambda_rev = [];
     accepted_rev = [];
     rejected_rev = [];
     last_release = Float.neg_infinity;
+    clock;
+    observer = None;
+    probes_now = 0;
+    arrivals = 0;
+    probes_total = 0;
+    intervals_total = 0;
+    breakpoints_total = 0;
+  }
+
+let set_observer t obs = t.observer <- obs
+
+let stats t =
+  {
+    arrivals = t.arrivals;
+    probes = t.probes_total;
+    intervals = t.intervals_total;
+    breakpoints = t.breakpoints_total;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Timeline maintenance                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Insert [b] as a boundary.  Inside an interval: split it, dividing the
-   committed loads proportionally to the sub-lengths (this keeps every
-   job's speed unchanged, which is why the reformulated online algorithm
-   computes the same schedule as one knowing the partition a priori).
-   Outside the current horizon: append an empty edge interval. *)
-let insert_boundary t b =
-  let n = Array.length t.bounds in
-  if n = 0 then t.bounds <- [| b |]
-  else if Array.exists (fun x -> x = b) t.bounds then ()
-  else if b < t.bounds.(0) then begin
-    t.bounds <- Array.append [| b |] t.bounds;
-    if n >= 2 then t.loads <- Array.append [| [] |] t.loads
-    else t.loads <- [||]
-    (* n = 1: there were no intervals yet; now one interval [b, old) *)
-  end
-  else if b > t.bounds.(n - 1) then begin
-    t.bounds <- Array.append t.bounds [| b |];
-    if n >= 2 then t.loads <- Array.append t.loads [| [] |]
-  end
-  else begin
-    (* strictly inside: find i with bounds.(i) < b < bounds.(i+1) *)
-    let rec find i = if t.bounds.(i + 1) > b then i else find (i + 1) in
-    let i = find 0 in
-    let lo = t.bounds.(i) and hi = t.bounds.(i + 1) in
-    let frac_left = (b -. lo) /. (hi -. lo) in
-    let left = List.map (fun (id, w) -> (id, w *. frac_left)) t.loads.(i) in
-    let right =
-      List.map (fun (id, w) -> (id, w *. (1.0 -. frac_left))) t.loads.(i)
-    in
-    t.bounds <-
-      Array.init (n + 1) (fun j ->
-          if j <= i then t.bounds.(j)
-          else if j = i + 1 then b
-          else t.bounds.(j - 1));
-    t.loads <-
-      Array.init
-        (Array.length t.loads + 1)
-        (fun j ->
-          if j < i then t.loads.(j)
-          else if j = i then left
-          else if j = i + 1 then right
-          else t.loads.(j - 1))
-  end;
-  (* transition from "single boundary" to "first real interval" *)
-  if Array.length t.bounds >= 2 && Array.length t.loads <> Array.length t.bounds - 1
-  then t.loads <- Array.make (Array.length t.bounds - 1) []
+let n_intervals t = if t.nb >= 2 then t.nb - 1 else 0
 
-let window_intervals t ~release ~deadline =
-  let acc = ref [] in
-  for k = Array.length t.bounds - 2 downto 0 do
-    if t.bounds.(k) >= release && t.bounds.(k + 1) <= deadline then
-      acc := k :: !acc
+let ensure_slot t =
+  let cap = Array.length t.bounds in
+  if t.nb >= cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let nb = Array.make ncap 0.0 in
+    Array.blit t.bounds 0 nb 0 t.nb;
+    t.bounds <- nb;
+    let nl = Array.make ncap [] in
+    Array.blit t.loads 0 nl 0 (n_intervals t);
+    t.loads <- nl;
+    let nc = Array.make ncap None in
+    Array.blit t.cache 0 nc 0 (n_intervals t);
+    t.cache <- nc
+  end
+
+(* First index in [0, nb) with bounds.(i) >= b. *)
+let lower_bound t b =
+  let lo = ref 0 and hi = ref t.nb in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.bounds.(mid) < b then lo := mid + 1 else hi := mid
   done;
-  !acc
+  !lo
+
+(* Insert [b] as a boundary unless an existing boundary lies within the
+   dedup tolerance (then [b] snaps to it).  Inside an interval: split it,
+   dividing the committed loads proportionally to the sub-lengths (this
+   keeps every job's speed unchanged, which is why the reformulated online
+   algorithm computes the same schedule as one knowing the partition a
+   priori).  Outside the current horizon: append an empty edge interval.
+   Amortized O(log nb + nb/insert) via binary search + blit into slack
+   capacity.  The tolerance guarantees both sub-lengths of a split exceed
+   boundary_tol * scale, so the proportional split never divides by a
+   near-zero length. *)
+let insert_boundary t b =
+  let pos = lower_bound t b in
+  let dup =
+    (pos < t.nb && same_boundary t.bounds.(pos) b)
+    || (pos > 0 && same_boundary t.bounds.(pos - 1) b)
+  in
+  if not dup then begin
+    ensure_slot t;
+    let n = t.nb and ni = n_intervals t in
+    Array.blit t.bounds pos t.bounds (pos + 1) (n - pos);
+    t.bounds.(pos) <- b;
+    t.nb <- n + 1;
+    if n >= 2 then begin
+      if pos = 0 then begin
+        (* new empty edge interval [b, old first) *)
+        Array.blit t.loads 0 t.loads 1 ni;
+        Array.blit t.cache 0 t.cache 1 ni;
+        t.loads.(0) <- [];
+        t.cache.(0) <- None
+      end
+      else if pos = n then begin
+        (* new empty edge interval [old last, b) *)
+        t.loads.(ni) <- [];
+        t.cache.(ni) <- None
+      end
+      else begin
+        (* split interval pos-1 = [lo, hi) at b *)
+        let lo = t.bounds.(pos - 1) and hi = t.bounds.(pos + 1) in
+        let frac_left = (b -. lo) /. (hi -. lo) in
+        let old = t.loads.(pos - 1) in
+        let old_cache = t.cache.(pos - 1) in
+        Array.blit t.loads (pos - 1) t.loads pos (ni - (pos - 1));
+        Array.blit t.cache (pos - 1) t.cache pos (ni - (pos - 1));
+        t.loads.(pos - 1) <-
+          List.map (fun (id, w) -> (id, w *. frac_left)) old;
+        t.loads.(pos) <-
+          List.map (fun (id, w) -> (id, w *. (1.0 -. frac_left))) old;
+        let half len factor =
+          match old_cache with
+          | None -> None
+          | Some c -> Some (Chen.rescale c ~length:len ~factor)
+        in
+        t.cache.(pos - 1) <- half (b -. lo) frac_left;
+        t.cache.(pos) <- half (hi -. b) (1.0 -. frac_left)
+      end
+    end
+    else if t.nb = 2 then begin
+      (* transition from "single boundary" to "first real interval" *)
+      t.loads.(0) <- [];
+      t.cache.(0) <- None
+    end
+  end
+
+(* Index of the boundary representing [x]: exact, or the neighbour [x]
+   snapped to during [insert_boundary]. *)
+let boundary_index t x =
+  let pos = lower_bound t x in
+  if pos < t.nb && same_boundary t.bounds.(pos) x then pos
+  else if pos > 0 && same_boundary t.bounds.(pos - 1) x then pos - 1
+  else invalid_arg (Fmt.str "Pd.boundary_index: %g is not a boundary" x)
+
+(* The committed-load Chen problem of interval [k], built lazily and
+   invalidated whenever the interval is split or receives new load. *)
+let chen_of t k =
+  match t.cache.(k) with
+  | Some c -> c
+  | None ->
+    let c =
+      Chen.build ~machines:t.machines
+        ~length:(t.bounds.(k + 1) -. t.bounds.(k))
+        t.loads.(k)
+    in
+    t.cache.(k) <- Some c;
+    c
 
 (* ------------------------------------------------------------------ *)
 (* Arrival processing                                                   *)
@@ -110,101 +227,339 @@ type decision = {
 let speed_of_price t ~workload mu =
   Power.inv_deriv t.power (mu /. (t.delta *. workload))
 
-let arrive t (job : Job.t) =
-  if List.exists (fun (j : Job.t) -> j.id = job.id) t.seen then
+let price_of_speed t ~workload s = t.delta *. workload *. Power.deriv t.power s
+
+(* Work (in load units) job would commit across [probs] at speed [s].
+   Summation order is interval order (the Ksum accumulation both arrival
+   paths share float-for-float). *)
+let assigned_at_speed t ~w probs s =
+  t.probes_now <- t.probes_now + Array.length probs;
+  let acc = Ksum.create () in
+  Array.iter
+    (fun (_, p) -> Ksum.add acc (Float.min (Chen.probe_load_for_speed p s) w))
+    probs;
+  Ksum.total acc
+
+let commit t ~w probs lambda =
+  let s = speed_of_price t ~workload:w lambda in
+  t.probes_now <- t.probes_now + Array.length probs;
+  List.filter_map
+    (fun (k, p) ->
+      let z = Float.min (Chen.probe_load_for_speed p s) w in
+      if z > 0.0 then Some (k, z) else None)
+    (Array.to_list probs)
+
+(* Admission checks, timeline refinement and window extraction shared by
+   both arrival paths. *)
+let arrive_common t (job : Job.t) =
+  if Hashtbl.mem t.seen_ids job.id then
     invalid_arg "Pd.arrive: duplicate job id";
   if job.release < t.last_release -. 1e-12 then
     invalid_arg "Pd.arrive: jobs must arrive in release order";
   t.last_release <- Float.max t.last_release job.release;
+  Hashtbl.add t.seen_ids job.id ();
   t.seen <- job :: t.seen;
   insert_boundary t job.release;
   insert_boundary t job.deadline;
-  let window = window_intervals t ~release:job.release ~deadline:job.deadline in
-  (* Chen problems of the committed loads (job j not yet included). *)
-  let problems =
-    List.map
-      (fun k ->
-        let length = t.bounds.(k + 1) -. t.bounds.(k) in
-        (k, Chen.build ~machines:t.machines ~length t.loads.(k)))
-      window
-  in
+  let k_lo = boundary_index t job.release
+  and k_hi = boundary_index t job.deadline in
+  Array.init (max 0 (k_hi - k_lo)) (fun i -> (k_lo + i, chen_of t (k_lo + i)))
+
+let finalize t (job : Job.t) ~accepted ~lambda ~assignment =
   let w = job.workload in
-  (* Work (in load units) job j would commit at price level mu. *)
-  let load_at k_problem s = Float.min (Chen.probe_load_for_speed k_problem s) w in
-  let assigned mu =
-    let s = speed_of_price t ~workload:w mu in
-    Ksum.sum_by (fun (_, p) -> load_at p s) problems
-  in
-  let commit mu =
-    let s = speed_of_price t ~workload:w mu in
-    List.filter_map
-      (fun (k, p) ->
-        let z = load_at p s in
-        if z > 0.0 then Some (k, z) else None)
-      problems
-  in
-  let finalize ~accepted ~lambda ~assignment =
-    let planned_speed = speed_of_price t ~workload:w lambda in
-    t.lambda_rev <- (job.id, lambda) :: t.lambda_rev;
-    if accepted then begin
-      t.accepted_rev <- job.id :: t.accepted_rev;
-      (* rescale so the job is finished exactly despite bisection dust *)
-      let total = Ksum.sum_by snd assignment in
-      let scale = if total > 0.0 then w /. total else 0.0 in
-      let assignment = List.map (fun (k, z) -> (k, z *. scale)) assignment in
-      List.iter
-        (fun (k, z) -> t.loads.(k) <- (job.id, z) :: t.loads.(k))
-        assignment;
-      { job; accepted = true; lambda; planned_speed; assignment }
-    end
-    else begin
-      t.rejected_rev <- job.id :: t.rejected_rev;
-      { job; accepted = false; lambda; planned_speed; assignment = [] }
-    end
-  in
-  (* Decide: can the whole job be placed before the price reaches v_j? *)
-  let at_value = if Float.is_finite job.value then assigned job.value else 0.0 in
-  if Float.is_finite job.value && at_value < w *. (1.0 -. 1e-9) then
-    finalize ~accepted:false ~lambda:job.value ~assignment:[]
+  let planned_speed = speed_of_price t ~workload:w lambda in
+  t.lambda_rev <- (job.id, lambda) :: t.lambda_rev;
+  Hashtbl.replace t.outcomes job.id (lambda, accepted);
+  if accepted then begin
+    t.accepted_rev <- job.id :: t.accepted_rev;
+    (* rescale so the job is finished exactly despite solver dust; a
+       near-zero total cannot be rescued by rescaling — fail loudly
+       instead of recording an acceptance backed by a garbage schedule *)
+    let total = Ksum.sum_by snd assignment in
+    if not (total > 1e-9 *. w) then
+      failwith
+        (Fmt.str
+           "Pd.arrive: job %d accepted but only %g of workload %g was \
+            assigned"
+           job.id total w);
+    let scale = w /. total in
+    let assignment = List.map (fun (k, z) -> (k, z *. scale)) assignment in
+    List.iter
+      (fun (k, z) ->
+        t.loads.(k) <- (job.id, z) :: t.loads.(k);
+        t.cache.(k) <-
+          (match t.cache.(k) with
+          | Some c -> Some (Chen.add_load c (job.id, z))
+          | None -> None))
+      assignment;
+    { job; accepted = true; lambda; planned_speed; assignment }
+  end
   else begin
-    (* find the finishing price mu_star with assigned mu_star = w *)
-    let hi =
-      if Float.is_finite job.value then job.value
+    t.rejected_rev <- job.id :: t.rejected_rev;
+    { job; accepted = false; lambda; planned_speed; assignment = [] }
+  end
+
+let emit_stats t (d : decision) ~intervals ~breakpoints ~t0 =
+  t.arrivals <- t.arrivals + 1;
+  t.probes_total <- t.probes_total + t.probes_now;
+  t.intervals_total <- t.intervals_total + intervals;
+  t.breakpoints_total <- t.breakpoints_total + breakpoints;
+  match t.observer with
+  | None -> ()
+  | Some obs ->
+    let wall_s = match t.clock with Some c -> c () -. t0 | None -> 0.0 in
+    obs
+      {
+        job_id = d.job.id;
+        accepted = d.accepted;
+        probes = t.probes_now;
+        intervals;
+        breakpoints;
+        wall_s;
+      }
+
+let now t = match t.clock with Some c -> c () | None -> 0.0
+
+(* A job whose window collapsed onto existing boundaries (span below the
+   dedup tolerance) can place no work at all. *)
+let degenerate_window t (job : Job.t) =
+  if Float.is_finite job.value then
+    finalize t job ~accepted:false ~lambda:job.value ~assignment:[]
+  else
+    failwith
+      (Fmt.str
+         "Pd.arrive: job %d must finish but its window [%g, %g) is \
+          degenerate (below the boundary tolerance)"
+         job.id job.release job.deadline)
+
+(* ------------------------------------------------------------------ *)
+(* Optimized price solve: breakpoint walk                               *)
+(* ------------------------------------------------------------------ *)
+
+let merge_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) 0.0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let x = a.(!i) and y = b.(!j) in
+      if x <= y then begin
+        out.(!k) <- x;
+        incr i
+      end
       else begin
-        (* grow a bracket: the price at which even a single interval could
-           absorb the whole job is a safe upper bound *)
-        let init =
-          t.delta *. w
-          *. Power.deriv t.power
-               ((w +. 1.0) /. Float.max 1e-9 (Job.span job))
+        out.(!k) <- y;
+        incr j
+      end;
+      incr k
+    done;
+    if !i < la then Array.blit a !i out !k (la - !i)
+    else Array.blit b !j out !k (lb - !j);
+    out
+  end
+
+(* Merged, sorted, duplicate-free breakpoint speeds of the window's capped
+   probe responses.  The total assigned work is affine between adjacent
+   entries, zero at the first entry.  Per-interval lists are already
+   sorted, so balanced two-way merges do the whole job unboxed —
+   [Array.sort]'s polymorphic comparator boxes every float it touches,
+   which is measurable at one merge per arrival. *)
+let merged_breakpoints ~w probs =
+  let parts =
+    Array.map (fun (_, p) -> Chen.probe_breakpoints p ~cap:w) probs
+  in
+  let rec reduce lo hi =
+    if hi - lo = 1 then parts.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      merge_sorted (reduce lo mid) (reduce mid hi)
+  in
+  let all = reduce 0 (Array.length parts) in
+  let n = Array.length all in
+  let out = ref 0 and prev = ref Float.nan in
+  for i = 0 to n - 1 do
+    let x = all.(i) in
+    if !out = 0 || not (Float.equal !prev x) then begin
+      all.(!out) <- x;
+      incr out;
+      prev := x
+    end
+  done;
+  Array.sub all 0 !out
+
+(* Find the speed s_star with assigned s_star = w by walking the merged
+   breakpoint list: binary-search the first breakpoint whose assignment
+   reaches w, then interpolate inside the bracketing segment (assignment
+   is affine there, so the interpolation is exact up to rounding; a
+   bracketed bisection inside the segment is kept as a fallback).
+
+   [bound_s]: [Some s_v] caps the search at the job's value speed —
+   [None] is returned when the assignment never reaches [w] below it,
+   which the caller interprets as "the job finishes exactly as the price
+   reaches its value".  With [bound_s = None] a sentinel past the global
+   saturation breakpoint guarantees the crossing exists. *)
+let solve_speed t ~w probs ~bound_s =
+  let f s = assigned_at_speed t ~w probs s in
+  let nat = merged_breakpoints ~w probs in
+  let bps =
+    match bound_s with
+    | Some sv ->
+      let below = Array.of_list (List.filter (fun s -> s < sv)
+                                   (Array.to_list nat)) in
+      Array.append below [| sv |]
+    | None ->
+      let last = nat.(Array.length nat - 1) in
+      Array.append nat [| last *. (1.0 +. 1e-6) |]
+  in
+  let n = Array.length bps in
+  (* Cancellation in the probe's closed form can make f at the exact
+     saturation breakpoint evaluate a few ulp short of w; a strict >= w
+     search would then skip past it onto the plateau, where interpolation
+     is meaningless.  Searching against w minus a whisker keeps the
+     bracketing segment at (or before) the true crossing. *)
+  let w_eff = w -. (1e-12 *. (1.0 +. w)) in
+  if f bps.(n - 1) < w_eff then (None, n)
+  else begin
+    (* smallest j with f bps.(j) >= w_eff; f is 0 at the first natural
+       breakpoint so the crossing segment has j >= 1 whenever one exists *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if f bps.(mid) >= w_eff then hi := mid else lo := mid + 1
+    done;
+    let j = !hi in
+    let sa, fa = if j = 0 then (0.0, 0.0) else (bps.(j - 1), f bps.(j - 1)) in
+    let sb = bps.(j) in
+    let fb = f sb in
+    let s_star =
+      if fb < w || fb -. fa <= 0.0 then
+        (* the segment tops out within tolerance of w: its right endpoint
+           is the crossing (either the saturation breakpoint under FP
+           jitter, or the value-speed cap of a job finishing exactly as
+           the price reaches its value) *)
+        sb
+      else begin
+        let s =
+          Feq.clamp ~lo:sa ~hi:sb
+            (sa +. ((w -. fa) *. (sb -. sa) /. (fb -. fa)))
         in
-        Bisect.grow_bracket ~f:assigned ~target:w ~lo:0.0
-          ~init:(Float.max init 1e-9) ()
+        if Float.abs (f s -. w) <= 1e-9 *. (1.0 +. w) then s
+        else Bisect.monotone_inverse ~f ~target:w ~lo:sa ~hi:sb ()
       end
     in
-    let mu_star =
-      Bisect.monotone_inverse ~f:assigned ~target:w ~lo:0.0 ~hi ()
-    in
-    finalize ~accepted:true ~lambda:mu_star ~assignment:(commit mu_star)
+    (Some s_star, n)
   end
+
+let arrive t (job : Job.t) =
+  let t0 = now t in
+  t.probes_now <- 0;
+  let probs = arrive_common t job in
+  let w = job.workload in
+  let intervals = Array.length probs in
+  let finite = Float.is_finite job.value in
+  let d, breakpoints =
+    if intervals = 0 then (degenerate_window t job, 0)
+    else begin
+      let s_v = if finite then speed_of_price t ~workload:w job.value else 0.0 in
+      let at_value = if finite then assigned_at_speed t ~w probs s_v else 0.0 in
+      if finite && at_value < w *. (1.0 -. 1e-9) then
+        (finalize t job ~accepted:false ~lambda:job.value ~assignment:[], 0)
+      else begin
+        let bound_s = if finite then Some s_v else None in
+        let s_star, breakpoints = solve_speed t ~w probs ~bound_s in
+        let lambda =
+          match s_star with
+          | Some s -> price_of_speed t ~workload:w s
+          | None ->
+            (* the assignment never reaches w strictly below the value
+               speed: the job finishes exactly as the price hits v_j *)
+            if finite then job.value
+            else
+              failwith
+                (Fmt.str
+                   "Pd.arrive: job %d: unbounded price search failed to \
+                    place the workload"
+                   job.id)
+        in
+        let assignment = commit t ~w probs lambda in
+        (finalize t job ~accepted:true ~lambda ~assignment, breakpoints)
+      end
+    end
+  in
+  emit_stats t d ~intervals ~breakpoints ~t0;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Reference arrival path (test oracle)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-optimization solver, kept verbatim in structure: one outer
+   bisection on the price with a full window sweep per probe.  Shares the
+   timeline, probe and bookkeeping code with {!arrive}, so any divergence
+   between the two paths isolates the breakpoint walk. *)
+let arrive_reference t (job : Job.t) =
+  let t0 = now t in
+  t.probes_now <- 0;
+  let probs = arrive_common t job in
+  let w = job.workload in
+  let intervals = Array.length probs in
+  let d =
+    if intervals = 0 then degenerate_window t job
+    else begin
+      let assigned mu = assigned_at_speed t ~w probs (speed_of_price t ~workload:w mu) in
+      let at_value =
+        if Float.is_finite job.value then assigned job.value else 0.0
+      in
+      if Float.is_finite job.value && at_value < w *. (1.0 -. 1e-9) then
+        finalize t job ~accepted:false ~lambda:job.value ~assignment:[]
+      else begin
+        let hi =
+          if Float.is_finite job.value then job.value
+          else begin
+            (* grow a bracket: the price at which even a single interval
+               could absorb the whole job is a safe upper bound *)
+            let init =
+              t.delta *. w
+              *. Power.deriv t.power
+                   ((w +. 1.0) /. Float.max 1e-9 (Job.span job))
+            in
+            Bisect.grow_bracket ~f:assigned ~target:w ~lo:0.0
+              ~init:(Float.max init 1e-9) ()
+          end
+        in
+        let mu_star =
+          (* [monotone_inverse] raises when f hi < target; a finite-value
+             job with at_value in [w(1-1e-9), w) legitimately saturates at
+             the value price — that clamp is a modelling decision made
+             here, not inside Bisect (DESIGN.md section 5) *)
+          if assigned hi < w then hi
+          else Bisect.monotone_inverse ~f:assigned ~target:w ~lo:0.0 ~hi ()
+        in
+        finalize t job ~accepted:true ~lambda:mu_star
+          ~assignment:(commit t ~w probs mu_star)
+      end
+    end
+  in
+  emit_stats t d ~intervals ~breakpoints:0 ~t0;
+  d
 
 (* ------------------------------------------------------------------ *)
 (* Results                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let boundaries t = Array.copy t.bounds
-let interval_loads t = Array.copy t.loads
+let boundaries t = Array.sub t.bounds 0 t.nb
+let interval_loads t = Array.sub t.loads 0 (n_intervals t)
 
 let schedule t =
   let slices = ref [] in
-  Array.iteri
-    (fun k loads ->
-      if loads <> [] then begin
-        let lo = t.bounds.(k) and hi = t.bounds.(k + 1) in
-        let p = Chen.build ~machines:t.machines ~length:(hi -. lo) loads in
-        slices := Chen.slices p ~t0:lo ~t1:hi @ !slices
-      end)
-    t.loads;
+  for k = 0 to n_intervals t - 1 do
+    if t.loads.(k) <> [] then begin
+      let lo = t.bounds.(k) and hi = t.bounds.(k + 1) in
+      slices := Chen.slices (chen_of t k) ~t0:lo ~t1:hi @ !slices
+    end
+  done;
   Schedule.make ~machines:t.machines ~rejected:(List.rev t.rejected_rev)
     !slices
 
@@ -223,21 +578,20 @@ let snapshot t =
   pf "delta %.17g\n" t.delta;
   pf "last_release %.17g\n" t.last_release;
   pf "bounds";
-  Array.iter (fun x -> pf " %.17g" x) t.bounds;
+  for i = 0 to t.nb - 1 do
+    pf " %.17g" t.bounds.(i)
+  done;
   pf "\n";
-  Array.iteri
-    (fun k loads ->
-      pf "interval %d" k;
-      List.iter (fun (id, load) -> pf " %d:%.17g" id load) loads;
-      pf "\n")
-    t.loads;
+  for k = 0 to n_intervals t - 1 do
+    pf "interval %d" k;
+    List.iter (fun (id, load) -> pf " %d:%.17g" id load) t.loads.(k);
+    pf "\n"
+  done;
   (* jobs in arrival order with their outcomes *)
   List.iter
     (fun (j : Job.t) ->
-      let lambda = List.assoc j.id t.lambda_rev in
-      let status =
-        if List.mem j.id t.accepted_rev then "accepted" else "rejected"
-      in
+      let lambda, accepted = Hashtbl.find t.outcomes j.id in
+      let status = if accepted then "accepted" else "rejected" in
       pf "job %d %.17g %.17g %.17g %s lambda %.17g %s\n" j.id j.release
         j.deadline j.workload
         (if Float.equal j.value Float.infinity then "inf"
@@ -324,20 +678,25 @@ let restore text =
   let machines = match !machines with Some m -> m | None -> failwith "Pd.restore: missing machines" in
   let delta = match !delta with Some d -> d | None -> failwith "Pd.restore: missing delta" in
   let t = create ~delta ~power:(Power.make alpha) ~machines () in
-  t.bounds <- !bounds;
-  let n_intervals = max 0 (Array.length !bounds - 1) in
-  let loads = Array.make n_intervals [] in
+  let bounds = !bounds in
+  let cap = Array.length bounds in
+  t.bounds <- bounds;
+  t.nb <- cap;
+  t.loads <- (if cap = 0 then [||] else Array.make cap []);
+  t.cache <- (if cap = 0 then [||] else Array.make cap None);
+  let n_intervals = max 0 (cap - 1) in
   List.iter
     (fun (k, l) ->
       if k < 0 || k >= n_intervals then failwith "Pd.restore: interval index out of range";
-      loads.(k) <- l)
+      t.loads.(k) <- l)
     !intervals;
-  t.loads <- loads;
   t.last_release <- !last_release;
   List.iter
-    (fun (job, lambda, accepted) ->
+    (fun ((job : Job.t), lambda, accepted) ->
       (* !jobs is already reversed arrival order, matching the fields *)
       t.seen <- t.seen @ [ job ];
+      Hashtbl.replace t.seen_ids job.id ();
+      Hashtbl.replace t.outcomes job.id (lambda, accepted);
       t.lambda_rev <- t.lambda_rev @ [ (job.id, lambda) ];
       if accepted then t.accepted_rev <- t.accepted_rev @ [ job.id ]
       else t.rejected_rev <- t.rejected_rev @ [ job.id ])
@@ -356,8 +715,8 @@ let certificate t =
       Array.of_list
         (List.map
            (fun (j : Job.t) ->
-             match List.assoc_opt j.id t.lambda_rev with
-             | Some l -> l
+             match Hashtbl.find_opt t.outcomes j.id with
+             | Some (l, _) -> l
              | None -> 0.0)
            sorted)
     in

@@ -20,10 +20,15 @@
     invert it.  A price level [μ] corresponds to the speed
     [s(μ) = P'^{-1}(μ / (δ w_j))]; the load interval [T_k] absorbs at that
     price is [Chen.probe_load_for_speed] — a closed form — so the final
-    common price is found by one outer bisection on [μ], which is exactly
-    the water-filling fixed point.  Prices never decrease as load is
-    added, so the assignment function is monotone and the bisection is
-    sound.
+    common price is the water-filling fixed point of a monotone assignment
+    function.  {!arrive} resolves it by merging each window interval's
+    {!Chen.probe_breakpoints} (the assignment is affine between adjacent
+    merged breakpoints) and interpolating inside the bracketing segment —
+    O(log breakpoints) window sweeps instead of the ~200 a blind bisection
+    needs.  {!arrive_reference} keeps the pre-optimization outer bisection
+    as a test oracle; both paths share the timeline, probe and bookkeeping
+    code, so any divergence isolates the breakpoint walk.  See
+    doc/PERF.md.
 
     With [δ = α^(1-α)] (the default), PD is [α^α]-competitive (Theorem 3),
     and the certificate [g(λ̃)] returned in {!result} proves the bound {e
@@ -34,9 +39,46 @@ open Speedscale_model
 type t
 (** Mutable online state. *)
 
-val create : ?delta:float -> power:Power.t -> machines:int -> unit -> t
+val create :
+  ?clock:(unit -> float) ->
+  ?delta:float ->
+  power:Power.t ->
+  machines:int ->
+  unit ->
+  t
 (** [delta] defaults to [Power.delta_star], the optimal [α^(1-α)].
-    Raises [Invalid_argument] for [delta <= 0] or [machines < 1]. *)
+    [clock] (e.g. [Unix.gettimeofday]) enables per-arrival wall-clock
+    measurement in {!arrival_stats}; without it [wall_s] is reported as
+    [0].  Raises [Invalid_argument] for [delta <= 0] or [machines < 1]. *)
+
+type arrival_stats = {
+  job_id : int;
+  accepted : bool;
+  probes : int;
+      (** [Chen.probe_load_for_speed] evaluations spent on this arrival *)
+  intervals : int;  (** atomic intervals in the job's window *)
+  breakpoints : int;
+      (** merged breakpoint count ([0] on the reference path) *)
+  wall_s : float;  (** wall-clock seconds ([0] without [create ~clock]) *)
+}
+(** Per-arrival instrumentation, delivered to the {!set_observer} hook
+    after each decision.  All fields except [wall_s] are deterministic
+    functions of the instance, so they are safe in observability record
+    payloads; [wall_s] belongs in a record's timing slot only. *)
+
+val set_observer : t -> (arrival_stats -> unit) option -> unit
+(** Install (or clear) the per-arrival hook.  Called synchronously at the
+    end of every {!arrive} / {!arrive_reference}. *)
+
+type stats = {
+  arrivals : int;
+  probes : int;  (** cumulative probe evaluations *)
+  intervals : int;  (** cumulative window sizes *)
+  breakpoints : int;  (** cumulative merged breakpoint counts *)
+}
+
+val stats : t -> stats
+(** Cumulative counters since {!create} (both arrival paths count). *)
 
 type decision = {
   job : Job.t;
@@ -53,7 +95,23 @@ type decision = {
 
 val arrive : t -> Job.t -> decision
 (** Process one arrival.  Jobs must arrive in non-decreasing release order
-    with distinct ids; raises [Invalid_argument] otherwise. *)
+    with distinct ids; raises [Invalid_argument] otherwise.
+
+    Numerical edges (DESIGN.md section 5): a release or deadline within
+    the boundary tolerance of an existing boundary snaps to it instead of
+    splitting off a near-zero interval.  A job whose whole window
+    collapses this way is rejected when its value is finite and raises
+    [Failure] when it must finish; an accepted job whose assignment total
+    is degenerate (≈ 0) also raises [Failure] rather than recording an
+    acceptance backed by a garbage schedule. *)
+
+val arrive_reference : t -> Job.t -> decision
+(** The pre-optimization solver (outer bisection on the price with a full
+    window sweep per probe), kept as a test oracle.  Interchangeable with
+    {!arrive} call-for-call: identical admission checks, timeline updates
+    and bookkeeping; accept/reject decisions are identical and multipliers
+    agree to solver tolerance.  Quadratic-and-worse in the number of
+    intervals — do not use outside tests. *)
 
 val boundaries : t -> float array
 (** Current atomic-interval boundaries (for inspection/tests). *)

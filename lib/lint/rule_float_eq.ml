@@ -62,17 +62,75 @@ let float_compare_app e =
     Some (Astq.strip e).pexp_loc
   | _ -> None
 
+(* ---- equality hidden inside container scans ------------------------- *)
+(* [Array.exists (fun x -> x = b) floats] compares floats through the
+   polymorphic [=] even though neither operand is syntactically float-ish;
+   the container argument gives it away. *)
+
+let hidden_doc =
+  "polymorphic equality on float elements hidden inside an \
+   exists/for_all/mem scan; compare with Float.equal or Util.Feq in the \
+   predicate instead (DESIGN.md section 5)"
+
+let scan_fns =
+  [
+    [ "Array"; "exists" ]; [ "Array"; "for_all" ];
+    [ "List"; "exists" ]; [ "List"; "for_all" ];
+  ]
+
+let mem_fns = [ [ "Array"; "mem" ]; [ "List"; "mem" ] ]
+
+(* Syntactic approximation of "this container holds floats". *)
+let rec float_container e =
+  match (Astq.strip e).pexp_desc with
+  | Pexp_array elems -> List.exists floatish elems
+  | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some arg) -> (
+    (* list literals: walk the cons spine *)
+    match (Astq.strip arg).pexp_desc with
+    | Pexp_tuple [ hd; tl ] -> floatish hd || float_container tl
+    | _ -> false)
+  | _ -> (
+    match Astq.apply_parts e with
+    | Some (f, args) when Astq.path_is f [ [ "Array"; "make" ] ] ->
+      List.exists floatish args
+    | Some (f, args) when Astq.path_is f [ [ "Array"; "init" ] ] ->
+      List.exists
+        (fun a ->
+          match (Astq.strip a).pexp_desc with
+          | Pexp_fun (_, _, _, body) -> floatish body
+          | _ -> Astq.path_is a float_fun_paths)
+        args
+    | Some (f, _) -> Astq.path_is f [ [ "Array"; "create_float" ] ]
+    | None -> false)
+
+(* [fun x -> x = e] (either operand order, [=] or [<>]): the location of
+   the equality when the predicate compares its own parameter. *)
+let pred_poly_eq pred =
+  match (Astq.strip pred).pexp_desc with
+  | Pexp_fun (Nolabel, None, pat, body) -> (
+    let vars = Astq.pat_vars pat in
+    let body = Astq.strip body in
+    match Astq.apply_parts body with
+    | Some (f, [ a; b ]) when Astq.path_is f eq_paths ->
+      let is_param e =
+        match Astq.path e with Some [ v ] -> List.mem v vars | _ -> false
+      in
+      if is_param a || is_param b then Some body.pexp_loc else None
+    | _ -> None)
+  | _ -> None
+
 let check _ctx str =
   let acc = ref [] in
-  (* inner [compare a b] applications already reported as part of a
-     [compare a b = 0] idiom — the outer form carries the finding *)
+  (* inner applications already reported as part of an enclosing idiom
+     ([compare a b = 0], a scan predicate) — the outer form carries the
+     finding *)
   let skip = Hashtbl.create 4 in
-  let flag (e : expression) =
+  let flag_at ~message (loc : Location.t) =
     acc :=
-      Finding.of_location ~rule:name ~severity:Finding.Error ~message:doc
-        e.pexp_loc
+      Finding.of_location ~rule:name ~severity:Finding.Error ~message loc
       :: !acc
   in
+  let flag (e : expression) = flag_at ~message:doc e.pexp_loc in
   Astq.iter_expressions str (fun e ->
       if not (Hashtbl.mem skip (Astq.strip e).pexp_loc.loc_start.pos_cnum) then
         match Astq.apply_parts e with
@@ -87,6 +145,15 @@ let check _ctx str =
             Hashtbl.replace skip inner_loc.Location.loc_start.pos_cnum ();
             flag e
           | None -> if floatish a || floatish b then flag e)
+        | Some (f, [ pred; container ]) when Astq.path_is f scan_fns -> (
+          match pred_poly_eq pred with
+          | Some eq_loc when float_container container ->
+            Hashtbl.replace skip eq_loc.Location.loc_start.pos_cnum ();
+            flag_at ~message:hidden_doc eq_loc
+          | _ -> ())
+        | Some (f, [ x; container ]) when Astq.path_is f mem_fns ->
+          if floatish x || float_container container then
+            flag_at ~message:hidden_doc (Astq.strip e).pexp_loc
         | _ -> ());
   List.rev !acc
 

@@ -28,19 +28,25 @@ let root ?(iterations = default_iterations) ?(tol = 1e-13) ~f ~lo ~hi () =
 let monotone_inverse ?(iterations = default_iterations) ?(tol = 1e-13) ~f
     ~target ~lo ~hi () =
   if f lo >= target then lo
-  else if f hi < target then hi
   else
-    let rec loop lo hi k =
-      if k = 0 || bracket_done ~tol lo hi then 0.5 *. (lo +. hi)
-      else
-        let mid = 0.5 *. (lo +. hi) in
-        if f mid < target then loop mid hi (k - 1) else loop lo mid (k - 1)
-    in
-    loop lo hi iterations
+    let fhi = f hi in
+    if fhi < target then
+      invalid_arg
+        (Fmt.str
+           "Bisect.monotone_inverse: target %g out of bracket [%g, %g] (f hi \
+            = %g)"
+           target lo hi fhi)
+    else
+      let rec loop lo hi k =
+        if k = 0 || bracket_done ~tol lo hi then 0.5 *. (lo +. hi)
+        else
+          let mid = 0.5 *. (lo +. hi) in
+          if f mid < target then loop mid hi (k - 1) else loop lo mid (k - 1)
+      in
+      loop lo hi iterations
 
 let grow_bracket ?(factor = 2.0) ?(max_doublings = 200) ~f ~target ~lo ~init
     () =
-  ignore lo;
   let rec loop hi k =
     if f hi >= target then hi
     else if k = 0 then
@@ -49,4 +55,4 @@ let grow_bracket ?(factor = 2.0) ?(max_doublings = 200) ~f ~target ~lo ~init
            target hi)
     else loop (hi *. factor) (k - 1)
   in
-  loop (Float.max init 1e-12) max_doublings
+  loop (Float.max (Float.max init lo) 1e-12) max_doublings

@@ -38,9 +38,13 @@ val monotone_inverse :
 (** [monotone_inverse ~f ~target ~lo ~hi ()] finds the {e smallest} [x]
     with [f x = target] for a nondecreasing continuous [f] (important when
     [f] plateaus at the target, as PD's saturating assignment function
-    does).  If [f lo >= target] returns [lo]; if [f hi < target] returns
-    [hi] (saturating semantics: callers clamp to the bracket, which is what
-    water-filling needs). *)
+    does).  If [f lo >= target] returns [lo].  If [f hi < target] the
+    target is {e not} in the bracket and the function raises
+    [Invalid_argument] — callers that want saturating semantics must test
+    [f hi] themselves and decide what a clamp means at their level (PD,
+    for instance, clamps the price to the job's value, which is a
+    modelling decision, not a numerical one).  Silent clamping hid a real
+    bug in PD's arrival path; see DESIGN.md section 5. *)
 
 val grow_bracket :
   ?factor:float ->
@@ -51,7 +55,10 @@ val grow_bracket :
   init:float ->
   unit ->
   float
-(** [grow_bracket ~f ~target ~lo ~init ()] returns a value [hi >= init] such
-    that [f hi >= target], doubling geometrically from [init].  Raises
-    [Failure] if the budget of doublings is exhausted — which for our
-    monotone unbounded functions indicates a programming error upstream. *)
+(** [grow_bracket ~f ~target ~lo ~init ()] returns a value
+    [hi >= max lo init] such that [f hi >= target], doubling geometrically
+    from [max lo init].  [lo] is the bracket floor: the search never probes
+    below it, so a caller who already knows the answer exceeds [lo] starts
+    there even when its [init] estimate is smaller.  Raises [Failure] if
+    the budget of doublings is exhausted — which for our monotone unbounded
+    functions indicates a programming error upstream. *)

@@ -288,6 +288,88 @@ let prop_marginal_power_is_min_gradient =
         (Power.deriv p3 slowest))
 
 (* ------------------------------------------------------------------ *)
+(* Breakpoints and incremental updates                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The contract PD's fast water-filling relies on: the capped response
+   g s = min (probe_load_for_speed s) cap is affine between adjacent
+   breakpoints, zero at the first and cap at the last.  Affinity is
+   checked by midpoint interpolation on every segment. *)
+let prop_breakpoints_piecewise_affine =
+  QCheck.Test.make
+    ~name:"probe_breakpoints: g affine per segment, 0 at first, cap at last"
+    ~count:500
+    QCheck.(pair arb_loads (float_range 0.05 8.0))
+    (fun ((m, l, loads), cap) ->
+      let t = build ~m ~l loads in
+      let bps = Chen.probe_breakpoints t ~cap in
+      let g s = Float.min (Chen.probe_load_for_speed t s) cap in
+      let n = Array.length bps in
+      if n < 2 then QCheck.Test.fail_reportf "only %d breakpoints" n;
+      for i = 1 to n - 1 do
+        if not (bps.(i) > bps.(i - 1)) then
+          QCheck.Test.fail_reportf "not strictly sorted at %d" i
+      done;
+      if not (Feq.approx ~atol:1e-9 ~rtol:1e-9 (g bps.(0)) 0.0) then
+        QCheck.Test.fail_reportf "g at first = %g, expected 0" (g bps.(0));
+      if not (Feq.approx ~rtol:1e-9 (g bps.(n - 1)) cap) then
+        QCheck.Test.fail_reportf "g at last = %g, expected cap %g"
+          (g bps.(n - 1))
+          cap;
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        let a = bps.(i) and b = bps.(i + 1) in
+        let mid = 0.5 *. (a +. b) in
+        let interp = 0.5 *. (g a +. g b) in
+        if Float.abs (g mid -. interp) > 1e-7 *. (1.0 +. Float.abs interp)
+        then ok := false
+      done;
+      !ok)
+
+let test_breakpoints_empty_interval () =
+  (* a fresh interval with no committed load: the response is s*l capped *)
+  let t = build ~m:2 ~l:2.0 [] in
+  let bps = Chen.probe_breakpoints t ~cap:3.0 in
+  let g s = Float.min (Chen.probe_load_for_speed t s) 3.0 in
+  check_float "zero at first" 0.0 (g bps.(0));
+  check_float "cap at last" 3.0 (g bps.(Array.length bps - 1))
+
+let close_12 a b = Feq.approx ~atol:1e-12 ~rtol:1e-12 a b
+
+let same_problem a b =
+  let la = Chen.processor_loads a and lb = Chen.processor_loads b in
+  close_12 (Chen.total_load a) (Chen.total_load b)
+  && close_12 (Chen.energy p3 a) (Chen.energy p3 b)
+  && Array.length la = Array.length lb
+  && Array.for_all2 close_12 la lb
+  &&
+  let s = (1.5 *. Chen.probe_speed a 0.0) +. 0.5 in
+  close_12 (Chen.probe_load_for_speed a s) (Chen.probe_load_for_speed b s)
+
+let prop_add_load_matches_build =
+  QCheck.Test.make ~name:"add_load = build on the extended load list"
+    ~count:500
+    QCheck.(pair arb_loads (float_range 0.01 10.0))
+    (fun ((m, l, loads), z) ->
+      let incr = Chen.add_load (build ~m ~l loads) (List.length loads, z) in
+      let full =
+        Chen.build ~machines:m ~length:l
+          ((List.length loads, z) :: List.mapi (fun i w -> (i, w)) loads)
+      in
+      same_problem incr full)
+
+let prop_rescale_matches_build =
+  QCheck.Test.make ~name:"rescale = build on the scaled loads" ~count:500
+    QCheck.(triple arb_loads (float_range 0.1 3.0) (float_range 0.1 3.0))
+    (fun ((m, l, loads), factor, l') ->
+      let scaled = Chen.rescale (build ~m ~l loads) ~length:l' ~factor in
+      let full =
+        Chen.build ~machines:m ~length:l'
+          (List.mapi (fun i w -> (i, w *. factor)) loads)
+      in
+      same_problem scaled full)
+
+(* ------------------------------------------------------------------ *)
 (* Slices (McNaughton realization)                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -425,6 +507,14 @@ let () =
           q prop_probe_roundtrip;
           q prop_probe_speed_monotone;
           q prop_marginal_power_is_min_gradient;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "breakpoints on empty interval" `Quick
+            test_breakpoints_empty_interval;
+          q prop_breakpoints_piecewise_affine;
+          q prop_add_load_matches_build;
+          q prop_rescale_matches_build;
         ] );
       ( "slices",
         [

@@ -164,13 +164,14 @@ let gen_setup =
     in
     return (alpha, machines, jobs))
 
-let arb_setup =
-  QCheck.make gen_setup ~print:(fun (alpha, m, jobs) ->
-      Printf.sprintf "alpha=%g m=%d jobs=[%s]" alpha m
-        (String.concat ";"
-           (List.map
-              (fun (r, d, w, v) -> Printf.sprintf "(%g,%g,%g,%g)" r d w v)
-              jobs)))
+let print_setup (alpha, m, jobs) =
+  Printf.sprintf "alpha=%g m=%d jobs=[%s]" alpha m
+    (String.concat ";"
+       (List.map
+          (fun (r, d, w, v) -> Printf.sprintf "(%g,%g,%g,%g)" r d w v)
+          jobs))
+
+let arb_setup = QCheck.make gen_setup ~print:print_setup
 
 let instance_of ?(must_finish = false) (alpha, machines, jobs) =
   Instance.make ~power:(Power.make alpha) ~machines
@@ -275,6 +276,133 @@ let prop_pd_total_work_conserved =
       && List.for_all
            (fun id -> Float.equal (Schedule.work_of_job r.schedule id) 0.0)
            r.rejected)
+
+(* ------------------------------------------------------------------ *)
+(* Optimized vs reference arrival path                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The breakpoint-walk solver in Pd.arrive must be a pure speedup: on the
+   alpha/machine grid the issue singles out, every decision, multiplier
+   and resulting schedule has to match the retained bisection oracle. *)
+let gen_equiv_setup =
+  QCheck.Gen.(
+    let* alpha = oneofl [ 1.5; 2.0; 3.0 ] in
+    let* machines = oneofl [ 1; 4 ] in
+    let* n = 1 -- 12 in
+    let* jobs =
+      list_size (return n)
+        (let* r = float_range 0.0 8.0 in
+         let* span = float_range 0.3 4.0 in
+         let* w = float_range 0.2 3.0 in
+         let* v = float_range 0.05 25.0 in
+         return (r, r +. span, w, v))
+    in
+    return (alpha, machines, jobs))
+
+let arb_equiv_setup = QCheck.make gen_equiv_setup ~print:print_setup
+
+let prop_pd_paths_equivalent =
+  QCheck.Test.make
+    ~name:
+      "breakpoint walk = reference bisection (decisions, multipliers, cost)"
+    ~count:200 arb_equiv_setup (fun setup ->
+      let inst = instance_of setup in
+      let fast = Pd.create ~power:inst.power ~machines:inst.machines () in
+      let slow = Pd.create ~power:inst.power ~machines:inst.machines () in
+      Array.iter
+        (fun (j : Job.t) ->
+          let df = Pd.arrive fast j in
+          let ds = Pd.arrive_reference slow j in
+          if df.accepted <> ds.accepted then
+            QCheck.Test.fail_reportf
+              "job %d: accepted %b (walk) vs %b (reference)" j.id
+              df.accepted ds.accepted;
+          if
+            Float.abs (df.lambda -. ds.lambda)
+            > 1e-9 *. (1.0 +. Float.abs ds.lambda)
+          then
+            QCheck.Test.fail_reportf "job %d: lambda %.17g vs %.17g" j.id
+              df.lambda ds.lambda)
+        inst.jobs;
+      let cost_of t = Cost.total (Schedule.cost inst (Pd.schedule t)) in
+      let cf = cost_of fast and cs = cost_of slow in
+      if Float.abs (cf -. cs) > 1e-6 *. (1.0 +. Float.abs cs) then
+        QCheck.Test.fail_reportf "cost %.12g (walk) vs %.12g (reference)" cf
+          cs
+      else begin
+        (* Theorem 3's certificate, re-checked on the optimized path *)
+        let rhs = Power.competitive_bound inst.power *. Pd.certificate fast in
+        if cf > rhs +. (1e-6 *. (1.0 +. Float.abs rhs)) then
+          QCheck.Test.fail_reportf "cost %.9g > %.9g = alpha^alpha * g" cf rhs
+        else true
+      end)
+
+let test_near_duplicate_boundary () =
+  let pd = Pd.create ~power:p2 ~machines:1 () in
+  let d0 = Pd.arrive pd (mk_job ~id:0 ~r:1.0 ~d:3.0 ~w:1.0 ~v:100.0 ()) in
+  Alcotest.(check bool) "j0 accepted" true d0.accepted;
+  (* a deadline within the boundary tolerance of an existing boundary
+     snaps to it instead of splitting off a sliver interval *)
+  let d1 =
+    Pd.arrive pd (mk_job ~id:1 ~r:1.0 ~d:(3.0 +. 1e-13) ~w:0.5 ~v:100.0 ())
+  in
+  Alcotest.(check bool) "j1 accepted" true d1.accepted;
+  let b = Pd.boundaries pd in
+  Alcotest.(check int) "no sliver interval" 2 (Array.length b);
+  Array.iteri
+    (fun i bi ->
+      if i > 0 then
+        Alcotest.(check bool) "boundaries well separated" true
+          (bi -. b.(i - 1) > 1e-9 *. (1.0 +. Float.abs bi)))
+    b;
+  (* a window that collapses entirely: finite value -> clean rejection
+     at lambda = v instead of water-filling a zero-length interval *)
+  let d2 =
+    Pd.arrive pd (mk_job ~id:2 ~r:3.0 ~d:(3.0 +. 1e-13) ~w:1.0 ~v:5.0 ())
+  in
+  Alcotest.(check bool) "degenerate window rejected" false d2.accepted;
+  check_float "lambda = value" 5.0 d2.lambda;
+  (* ... but a job that must finish cannot be silently dropped *)
+  match Pd.arrive pd (mk_job ~id:3 ~r:3.0 ~d:(3.0 +. 1e-13) ~w:1.0 ()) with
+  | exception Failure _ -> ()
+  | d -> Alcotest.failf "expected Failure, got accepted=%b" d.accepted
+
+let test_arrival_stats_observer () =
+  let tick = ref 0.0 in
+  let clock () =
+    tick := !tick +. 1.0;
+    !tick
+  in
+  let pd = Pd.create ~clock ~power:p2 ~machines:2 () in
+  let seen = ref [] in
+  Pd.set_observer pd (Some (fun s -> seen := s :: !seen));
+  ignore (Pd.arrive pd (mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 ~v:100.0 ()));
+  ignore (Pd.arrive pd (mk_job ~id:1 ~r:0.5 ~d:1.5 ~w:1.0 ~v:100.0 ()));
+  Alcotest.(check int) "observer fired per arrival" 2 (List.length !seen);
+  List.iter
+    (fun (s : Pd.arrival_stats) ->
+      Alcotest.(check bool) "probes counted" true (s.probes > 0);
+      Alcotest.(check bool) "intervals counted" true (s.intervals >= 1);
+      Alcotest.(check bool) "breakpoints counted" true (s.breakpoints > 0);
+      Alcotest.(check bool) "clocked wall time" true (s.wall_s > 0.0))
+    !seen;
+  let st = Pd.stats pd in
+  Alcotest.(check int) "arrivals counted" 2 st.arrivals;
+  Alcotest.(check int) "probe totals add up" st.probes
+    (List.fold_left (fun acc (s : Pd.arrival_stats) -> acc + s.probes) 0 !seen);
+  (* the reference path reports probes but no breakpoints, and without a
+     clock the wall time stays at zero *)
+  let refpd = Pd.create ~power:p2 ~machines:1 () in
+  let last = ref None in
+  Pd.set_observer refpd (Some (fun s -> last := Some s));
+  ignore
+    (Pd.arrive_reference refpd (mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 ~v:100.0 ()));
+  match !last with
+  | Some (s : Pd.arrival_stats) ->
+    Alcotest.(check int) "reference breakpoints" 0 s.breakpoints;
+    Alcotest.(check bool) "reference probes counted" true (s.probes > 0);
+    Alcotest.(check bool) "no clock, no wall" true (Float.equal s.wall_s 0.0)
+  | None -> Alcotest.fail "observer not called on reference path"
 
 (* ------------------------------------------------------------------ *)
 (* Section 4 analysis machinery                                         *)
@@ -502,6 +630,14 @@ let () =
           Alcotest.test_case "refinement proportional" `Quick
             test_refinement_splits_proportionally;
           Alcotest.test_case "arrival order" `Quick test_arrival_order_enforced;
+        ] );
+      ( "arrival-path",
+        [
+          Alcotest.test_case "near-duplicate boundary snaps" `Quick
+            test_near_duplicate_boundary;
+          Alcotest.test_case "stats observer" `Quick
+            test_arrival_stats_observer;
+          q prop_pd_paths_equivalent;
         ] );
       ( "theorem3",
         [

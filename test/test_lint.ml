@@ -43,7 +43,31 @@ let test_float_eq () =
   (* the idiom is one finding, not one for the inner compare too *)
   Alcotest.(check int)
     "compare = 0 reported once" 1
-    (List.length (findings ~rule "let f x = compare x 1.0 = 0"))
+    (List.length (findings ~rule "let f x = compare x 1.0 = 0"));
+  (* equality hidden inside a container scan: the operands of [=] look
+     type-neutral but the scanned container holds floats *)
+  check_fires "exists over float array" ~rule
+    "let f b = Array.exists (fun x -> x = b) [| 1.0; 2.0 |]";
+  check_fires "for_all flipped operands" ~rule
+    "let f b = Array.for_all (fun x -> b <> x) [| 0.5 |]";
+  check_fires "exists over Array.make" ~rule
+    "let f b n = Array.exists (fun x -> x = b) (Array.make n 0.0)";
+  check_fires "exists over Array.init" ~rule
+    "let f b n = Array.exists (fun x -> x = b) (Array.init n float_of_int)";
+  check_fires "mem with float needle" ~rule "let f a = Array.mem 1.0 a";
+  check_fires "mem over float list" ~rule
+    "let f b = List.mem b [ 1.0; 2.0 ]";
+  check_quiet "exists over int array" ~rule
+    "let f b = Array.exists (fun x -> x = b) [| 1; 2 |]";
+  check_quiet "predicate without the param" ~rule
+    "let f b c = Array.exists (fun _ -> b = c) [| 1.0 |]";
+  check_quiet "Float.equal predicate" ~rule
+    "let f b = Array.exists (fun x -> Float.equal x b) [| 1.0 |]";
+  (* the hidden form is one finding, not one for the inner [=] too *)
+  Alcotest.(check int)
+    "scan reported once" 1
+    (List.length
+       (findings ~rule "let f b = Array.exists (fun x -> x = 1.0) [| 2.0 |]"))
 
 (* ---------------- naive-sum ---------------- *)
 

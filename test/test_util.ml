@@ -51,16 +51,21 @@ let test_monotone_inverse () =
   let f x = x ** 2.0 in
   let x = Bisect.monotone_inverse ~f ~target:9.0 ~lo:0.0 ~hi:10.0 () in
   check_float "sqrt via inverse" 3.0 x;
-  (* saturation below and above *)
+  (* saturation below returns lo; a target above f hi is out of bracket
+     and must raise, never silently clamp to hi *)
   check_float "saturate lo" 2.0
     (Bisect.monotone_inverse ~f ~target:1.0 ~lo:2.0 ~hi:10.0 ());
-  check_float "saturate hi" 10.0
-    (Bisect.monotone_inverse ~f ~target:1e6 ~lo:2.0 ~hi:10.0 ())
+  match Bisect.monotone_inverse ~f ~target:1e6 ~lo:2.0 ~hi:10.0 () with
+  | exception Invalid_argument _ -> ()
+  | x -> Alcotest.failf "out-of-bracket target returned %g instead of raising" x
 
 let test_grow_bracket () =
   let f x = x in
   let hi = Bisect.grow_bracket ~f ~target:37.0 ~lo:0.0 ~init:1.0 () in
-  Alcotest.(check bool) "covers target" true (f hi >= 37.0)
+  Alcotest.(check bool) "covers target" true (f hi >= 37.0);
+  (* lo is the bracket floor: the search starts at max lo init *)
+  let hi = Bisect.grow_bracket ~f ~target:5.0 ~lo:64.0 ~init:1.0 () in
+  check_float "floor respected" 64.0 hi
 
 let prop_monotone_inverse_roundtrip =
   QCheck.Test.make ~name:"monotone_inverse inverts strictly monotone f"
