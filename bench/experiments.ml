@@ -994,11 +994,11 @@ let e20 () =
              if not s.accepted then incr rejected;
              if s.probes > !max_probes then max_probes := s.probes;
              if s.breakpoints > !max_bps then max_bps := s.breakpoints));
-      let t0 = Unix.gettimeofday () in
+      let t0 = Harness.now () in
       Array.iter
         (fun j -> ignore (Speedscale_core.Pd.arrive pd j))
         inst.jobs;
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Harness.now () -. t0 in
       let cost =
         Cost.total (Schedule.cost inst (Speedscale_core.Pd.schedule pd))
       in

@@ -3,6 +3,7 @@
 
      psched generate --preset datacenter -n 40 -m 4 -o inst.txt
      psched run inst.txt --algorithm pd --show-schedule
+     psched stream inst.txt --algorithm pd
      psched compare inst.txt
      psched certify inst.txt
 
@@ -12,6 +13,8 @@
 open Cmdliner
 open Speedscale_model
 open Speedscale_sim
+module Online = Speedscale_engine.Online
+module Json = Speedscale_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -40,6 +43,71 @@ let algorithm_conv =
   in
   let print ppf a = Format.pp_print_string ppf a.Driver.name in
   Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+(* Decision records (shared by `run --decisions-only` and `stream`)     *)
+(* ------------------------------------------------------------------ *)
+
+(* One canonical-JSON record per arrival.  The batch `run` fold and the
+   line-by-line `stream` front end both emit through here, so diffing
+   their outputs (the @stream-smoke alias) certifies that streaming an
+   instance reproduces the batch decisions byte for byte. *)
+let decision_record ~seq ~plan_before (d : Online.decision)
+    (plan : Schedule.t) =
+  let opt_float = function None -> Json.Null | Some f -> Json.Float f in
+  let n_slices = List.length plan.slices in
+  Json.Obj
+    [
+      ("seq", Json.Int seq);
+      ("job", Json.Int d.job_id);
+      ("accepted", Json.Bool d.accepted);
+      ("lambda", opt_float d.lambda);
+      ("planned_speed", opt_float d.planned_speed);
+      ("plan_slices", Json.Int n_slices);
+      ("plan_delta", Json.Int (n_slices - plan_before));
+      ("rejected", Json.Int (List.length plan.rejected));
+    ]
+
+let summary_record ~algorithm ~power (decisions : Online.decision list)
+    (plan : Schedule.t) =
+  let accepted, rejected =
+    List.partition (fun (d : Online.decision) -> d.accepted) decisions
+  in
+  Json.Obj
+    [
+      ("summary", Json.Str algorithm);
+      ("jobs", Json.Int (List.length decisions));
+      ("accepted", Json.Int (List.length accepted));
+      ("rejected", Json.Int (List.length rejected));
+      ("plan_slices", Json.Int (List.length plan.slices));
+      ("energy", Json.Float (Schedule.energy power plan));
+    ]
+
+(* Fold an online engine over arrivals, printing one record per arrival. *)
+let print_decision_fold t ~emit jobs =
+  let seq = ref 0 and plan_before = ref 0 in
+  let decisions_rev = ref [] in
+  List.iter
+    (fun j ->
+      let d = Online.arrive t j in
+      let plan = Online.current_plan t in
+      emit (decision_record ~seq:!seq ~plan_before:!plan_before d plan);
+      plan_before := List.length plan.Schedule.slices;
+      incr seq;
+      decisions_rev := d :: !decisions_rev)
+    jobs;
+  List.rev !decisions_rev
+
+let online_engine_of (alg : Driver.algorithm) =
+  match alg.engine with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf
+         "%s is an offline algorithm; only online engines can stream \
+          (known: %s)"
+         alg.Driver.name
+         (String.concat ", " (List.map Online.name Online.all)))
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                             *)
@@ -111,19 +179,235 @@ let run_cmd =
   let show_schedule =
     Arg.(value & flag & info [ "show-schedule" ] ~doc:"Print the slices.")
   in
-  let run file algorithm show_schedule =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Replay the resulting schedule through the discrete-event \
+             engine and print the event trace.")
+  in
+  let decisions_only =
+    Arg.(
+      value & flag
+      & info [ "decisions-only" ]
+          ~doc:
+            "Print one canonical JSON record per arrival (the online \
+             decision fold) and nothing else; requires an online \
+             algorithm.  Byte-compatible with `psched stream`.")
+  in
+  let run file algorithm show_schedule trace decisions_only =
     let inst = Io.load file in
     if not (algorithm.Driver.applicable inst) then
       failwith
         (Printf.sprintf "%s is not applicable to this instance"
            algorithm.Driver.name);
-    let r = Driver.evaluate algorithm inst in
-    print_report r;
-    if show_schedule then
-      print_string (Format.asprintf "%a" Schedule.pp r.schedule)
+    if decisions_only then begin
+      let e = online_engine_of algorithm in
+      let t = Online.start e (Online.params_of_instance inst) in
+      let decisions =
+        print_decision_fold t
+          ~emit:(fun r -> print_endline (Json.to_string r))
+          (Array.to_list inst.jobs)
+      in
+      print_endline
+        (Json.to_string
+           (summary_record ~algorithm:(Online.name e) ~power:inst.power
+              decisions (Online.finalize t)))
+    end
+    else begin
+      let r = Driver.evaluate ~clock:Unix.gettimeofday algorithm inst in
+      print_report r;
+      if show_schedule then
+        print_string (Format.asprintf "%a" Schedule.pp r.schedule);
+      if trace then begin
+        let replay = Speedscale_engine.Executor.replay inst r.schedule in
+        List.iter
+          (fun e ->
+            print_endline
+              (Format.asprintf "%a" Speedscale_engine.Executor.pp_event e))
+          replay.events;
+        Printf.printf "\nenergy %.6f, makespan %.6f, %d events\n"
+          replay.total_energy replay.makespan
+          (List.length replay.events)
+      end
+    end
   in
   let info = Cmd.info "run" ~doc:"Run one algorithm on an instance." in
-  Cmd.v info Term.(const run $ instance_arg $ algorithm $ show_schedule)
+  Cmd.v info
+    Term.(
+      const run $ instance_arg $ algorithm $ show_schedule $ trace
+      $ decisions_only)
+
+(* ------------------------------------------------------------------ *)
+(* stream                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stream_cmd =
+  let input =
+    let doc = "Arrival stream (instance text format); '-' reads stdin." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STREAM" ~doc)
+  in
+  let engine_conv =
+    let parse s =
+      match Online.find s with
+      | Some e -> Ok e
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown online engine %S (known: %s)" s
+               (String.concat ", " (List.map Online.name Online.all))))
+    in
+    let print ppf e = Format.pp_print_string ppf (Online.name e) in
+    Arg.conv (parse, print)
+  in
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Online.pd
+      & info [ "a"; "algorithm" ] ~doc:"Online engine (default pd).")
+  in
+  let delta =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "delta" ] ~doc:"PD rejection parameter (default alpha^(1-alpha)).")
+  in
+  let snapshot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ]
+          ~doc:"Write the final engine snapshot to this file.")
+  in
+  let run input engine delta snapshot_out =
+    let ic = if input = "-" then stdin else open_in input in
+    Fun.protect
+      ~finally:(fun () -> if input <> "-" then close_in ic)
+      (fun () ->
+        (* The whole point of this front end: arrivals are consumed line
+           by line, so the engine demonstrably never sees a job before
+           its line is read.  Header lines (alpha, machines) must precede
+           the first job line. *)
+        let alpha = ref None and machines = ref None in
+        let state = ref None in
+        let seq = ref 0 and plan_before = ref 0 in
+        let decisions_rev = ref [] in
+        let parse_float what lineno v =
+          match float_of_string_opt v with
+          | Some f -> f
+          | None ->
+            failwith (Printf.sprintf "line %d: bad %s %S" lineno what v)
+        in
+        let on_job lineno r d w v =
+          let t =
+            match !state with
+            | Some t -> t
+            | None ->
+              let power =
+                match !alpha with
+                | Some a -> Power.make a
+                | None ->
+                  failwith
+                    (Printf.sprintf
+                       "line %d: job before the 'alpha' header line" lineno)
+              in
+              let m =
+                match !machines with
+                | Some m -> m
+                | None ->
+                  failwith
+                    (Printf.sprintf
+                       "line %d: job before the 'machines' header line"
+                       lineno)
+              in
+              let t =
+                Online.start engine
+                  (Online.params ?delta ~power ~machines:m ())
+              in
+              state := Some t;
+              t
+          in
+          let j = Job.make ~id:!seq ~release:r ~deadline:d ~workload:w ~value:v in
+          let dec = Online.arrive t j in
+          let plan = Online.current_plan t in
+          print_endline
+            (Json.to_string
+               (decision_record ~seq:!seq ~plan_before:!plan_before dec plan));
+          plan_before := List.length plan.Schedule.slices;
+          incr seq;
+          decisions_rev := dec :: !decisions_rev
+        in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             let line = String.trim line in
+             if line = "" || line.[0] = '#' then ()
+             else
+               match
+                 String.split_on_char ' ' line |> List.filter (( <> ) "")
+               with
+               | [ "alpha"; v ] -> alpha := Some (parse_float "alpha" !lineno v)
+               | [ "machines"; v ] -> (
+                 match int_of_string_opt v with
+                 | Some m -> machines := Some m
+                 | None ->
+                   failwith
+                     (Printf.sprintf "line %d: bad machines %S" !lineno v))
+               | [ "job"; r; d; w; v ] ->
+                 let value =
+                   if v = "inf" then Float.infinity
+                   else parse_float "value" !lineno v
+                 in
+                 on_job !lineno
+                   (parse_float "release" !lineno r)
+                   (parse_float "deadline" !lineno d)
+                   (parse_float "workload" !lineno w)
+                   value
+               | _ ->
+                 failwith
+                   (Printf.sprintf "line %d: unrecognized %S" !lineno line)
+           done
+         with End_of_file -> ());
+        match !state with
+        | None -> failwith "no jobs in the stream"
+        | Some t ->
+          let power = Power.make (Option.get !alpha) in
+          print_endline
+            (Json.to_string
+               (summary_record ~algorithm:(Online.name engine) ~power
+                  (List.rev !decisions_rev)
+                  (Online.finalize t)));
+          (match snapshot_out with
+          | None -> ()
+          | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Online.snapshot t))))
+  in
+  let info =
+    Cmd.info "stream"
+      ~doc:
+        "Feed arrival events line by line through an online engine, \
+         emitting one decision record per arrival."
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Reads the instance text format as an event stream: header \
+             lines fix the model (alpha, machines), then every 'job' line \
+             is an arrival handed to the engine immediately.  Output is \
+             one canonical JSON record per arrival (accept/reject, \
+             multiplier, planned speed, plan delta) plus a final summary \
+             record — byte-identical to `psched run --decisions-only` on \
+             the same instance, which is the online=batch equivalence the \
+             @stream-smoke alias checks.";
+        ]
+  in
+  Cmd.v info Term.(const run $ input $ engine $ delta $ snapshot_out)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                              *)
@@ -135,7 +419,8 @@ let compare_cmd =
     Printf.printf "instance: %s\n\n" (Format.asprintf "%a" Instance.pp inst);
     List.iter
       (fun alg ->
-        if alg.Driver.applicable inst then print_report (Driver.evaluate alg inst))
+        if alg.Driver.applicable inst then
+          print_report (Driver.evaluate ~clock:Unix.gettimeofday alg inst))
       Driver.all
   in
   let info =
@@ -329,7 +614,7 @@ let gantt_cmd =
       failwith
         (Printf.sprintf "%s is not applicable to this instance"
            algorithm.Driver.name);
-    let r = Driver.evaluate algorithm inst in
+    let r = Driver.evaluate ~clock:Unix.gettimeofday algorithm inst in
     Printf.printf "%s on %s\n\n" r.algorithm
       (Format.asprintf "%a" Instance.pp inst);
     print_string (Speedscale_metrics.Gantt.render ~width r.schedule);
@@ -349,6 +634,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; run_cmd; compare_cmd; certify_cmd; analyze_cmd;
-            provision_cmd; replay_cmd; gantt_cmd; bench_diff_cmd;
+            generate_cmd; run_cmd; stream_cmd; compare_cmd; certify_cmd;
+            analyze_cmd; provision_cmd; replay_cmd; gantt_cmd;
+            bench_diff_cmd;
           ]))

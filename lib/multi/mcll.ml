@@ -1,30 +1,4 @@
 open Speedscale_model
-open Speedscale_solver
-
-let work_eps = 1e-9
-
-let clip_slices ~until slices =
-  List.filter_map
-    (fun (s : Schedule.slice) ->
-      if s.t0 >= until then None
-      else if s.t1 <= until then Some s
-      else Some { s with t1 = until })
-    slices
-
-(* Energy-optimal plan for a job list (ids preserved via remapping). *)
-let plan_schedule (inst : Instance.t) plan =
-  let rank_to_orig = Array.of_list (List.map (fun (j : Job.t) -> j.id) plan) in
-  let sub = Instance.make ~power:inst.power ~machines:inst.machines plan in
-  let planned =
-    if inst.machines = 1 then Speedscale_single.Yds.schedule sub
-    else
-      let cp = Cp.make sub in
-      let sol = Cp.solve ~max_iters:800 cp Must_finish in
-      Cp.to_schedule cp sol.x
-  in
-  List.map
-    (fun (s : Schedule.slice) -> { s with job = rank_to_orig.(s.job) })
-    planned.slices
 
 let max_speed_of slices id =
   List.fold_left
@@ -32,66 +6,27 @@ let max_speed_of slices id =
       if s.job = id then Float.max acc s.speed else acc)
     0.0 slices
 
+let admission ~power ~machines : Speedscale_single.Oa_engine.admission_sp =
+ fun ~now ~plan ~candidate ->
+  let planned =
+    max_speed_of (Moa.plan_slices ~power ~machines ~now plan) candidate.Job.id
+  in
+  {
+    Speedscale_single.Oa_engine.admitted =
+      planned <= Speedscale_single.Cll.threshold_speed power candidate +. 1e-12;
+    planned_speed = Some planned;
+  }
+
+let start ~power ~machines () =
+  Speedscale_single.Oa_engine.start ~machines
+    ~plan:(Moa.plan_slices ~power ~machines)
+    ~admit:(admission ~power ~machines) ()
+
 let schedule (inst : Instance.t) =
-  let n = Instance.n_jobs inst in
-  let remaining = Hashtbl.create 16 in
-  let rejected = ref [] in
-  let slices = ref [] in
-  let arrival_times =
-    List.init n (fun i -> (Instance.job inst i).release)
-    |> List.sort_uniq Float.compare
-  in
-  let plan_jobs ~now =
-    Hashtbl.fold
-      (fun id rem acc ->
-        if rem > work_eps *. (1.0 +. (Instance.job inst id).workload) then
-          let j = Instance.job inst id in
-          Job.make ~id ~release:now ~deadline:j.deadline ~workload:rem
-            ~value:j.value
-          :: acc
-        else acc)
-      remaining []
-    |> List.stable_sort Job.compare_release
-  in
-  let rec go = function
-    | [] -> ()
-    | t :: rest ->
-      (* admission, one candidate at a time in id order *)
-      Array.iter
-        (fun (j : Job.t) ->
-          if j.release = t then begin
-            let candidate =
-              Job.make ~id:j.id ~release:t ~deadline:j.deadline
-                ~workload:j.workload ~value:j.value
-            in
-            let plan = plan_jobs ~now:t @ [ candidate ] in
-            let planned_speed = max_speed_of (plan_schedule inst plan) j.id in
-            if
-              planned_speed
-              <= Speedscale_single.Cll.threshold_speed inst.power j +. 1e-12
-            then Hashtbl.replace remaining j.id j.workload
-            else rejected := j.id :: !rejected
-          end)
-        inst.jobs;
-      (match plan_jobs ~now:t with
-      | [] -> ()
-      | plan ->
-        let planned = plan_schedule inst plan in
-        let executed =
-          match rest with
-          | [] -> planned
-          | t' :: _ -> clip_slices ~until:t' planned
-        in
-        List.iter
-          (fun (s : Schedule.slice) ->
-            let work = (s.t1 -. s.t0) *. s.speed in
-            let prev = Hashtbl.find remaining s.job in
-            Hashtbl.replace remaining s.job (Float.max 0.0 (prev -. work)))
-          executed;
-        slices := executed @ !slices);
-      go rest
-  in
-  go arrival_times;
-  Schedule.make ~machines:inst.machines ~rejected:!rejected !slices
+  let t = start ~power:inst.power ~machines:inst.machines () in
+  Array.iter
+    (fun j -> ignore (Speedscale_single.Oa_engine.step t j))
+    inst.jobs;
+  Speedscale_single.Oa_engine.current_plan t
 
 let cost (inst : Instance.t) = Schedule.cost inst (schedule inst)

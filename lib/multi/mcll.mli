@@ -13,7 +13,19 @@
 
 open Speedscale_model
 
+val admission :
+  power:Power.t -> machines:int -> Speedscale_single.Oa_engine.admission_sp
+(** The CLL threshold test against the multiprocessor plan: plans the
+    remaining work plus the candidate via {!Moa.plan_slices}, reads off
+    the candidate's maximum planned speed, admits iff it is below the
+    threshold. *)
+
+val start : power:Power.t -> machines:int -> unit -> Speedscale_single.Oa_engine.t
+(** Fresh incremental mCLL state (replan-execute core + {!admission}). *)
+
 val schedule : Instance.t -> Schedule.t
-(** Works for any [machines]; reduces to CLL-like behaviour at [m = 1]. *)
+(** Batch wrapper: folds the incremental state over the release-ordered
+    jobs.  Works for any [machines]; reduces to CLL-like behaviour at
+    [m = 1]. *)
 
 val cost : Instance.t -> Cost.t

@@ -1,79 +1,34 @@
 open Speedscale_model
 open Speedscale_solver
 
-let work_eps = 1e-9
+(* Energy-optimal plan for a remaining-work job list (original ids are
+   preserved through the rank remapping; all releases equal [now], so
+   Instance.make's release-rank renumbering is the list order). *)
+let plan_slices ~power ~machines : Speedscale_single.Oa_engine.plan_fn =
+ fun ~now:_ jobs ->
+  let rank_to_orig = Array.of_list (List.map (fun (j : Job.t) -> j.id) jobs) in
+  let sub = Instance.make ~power ~machines jobs in
+  let planned =
+    if machines = 1 then Speedscale_single.Yds.schedule sub
+    else
+      let cp = Cp.make sub in
+      let sol = Cp.solve ~max_iters:800 cp Must_finish in
+      Cp.to_schedule cp sol.x
+  in
+  List.map
+    (fun (s : Schedule.slice) -> { s with job = rank_to_orig.(s.job) })
+    planned.slices
 
-let clip_slices ~until slices =
-  List.filter_map
-    (fun (s : Schedule.slice) ->
-      if s.t0 >= until then None
-      else if s.t1 <= until then Some s
-      else Some { s with t1 = until })
-    slices
+let start ~power ~machines () =
+  Speedscale_single.Oa_engine.start ~machines
+    ~plan:(plan_slices ~power ~machines)
+    ~must_finish:true ()
 
 let schedule (inst : Instance.t) =
-  let n = Instance.n_jobs inst in
-  let remaining = Hashtbl.create 16 in
-  let slices = ref [] in
-  let arrival_times =
-    List.init n (fun i -> (Instance.job inst i).release)
-    |> List.sort_uniq Float.compare
-  in
-  let plan_jobs ~now =
-    Hashtbl.fold
-      (fun id rem acc ->
-        if rem > work_eps *. (1.0 +. (Instance.job inst id).workload) then
-          let j = Instance.job inst id in
-          Job.make ~id ~release:now ~deadline:j.deadline ~workload:rem
-            ~value:Float.infinity
-          :: acc
-        else acc)
-      remaining []
-    |> List.stable_sort Job.compare_release
-  in
-  let execute ~from ~until =
-    match plan_jobs ~now:from with
-    | [] -> ()
-    | plan ->
-      let rank_to_orig = Array.of_list (List.map (fun (j : Job.t) -> j.id) plan) in
-      let sub = Instance.make ~power:inst.power ~machines:inst.machines plan in
-      let planned =
-        if inst.machines = 1 then Speedscale_single.Yds.schedule sub
-        else
-          let cp = Cp.make sub in
-          let sol = Cp.solve ~max_iters:800 cp Must_finish in
-          Cp.to_schedule cp sol.x
-      in
-      let remapped =
-        List.map
-          (fun (s : Schedule.slice) -> { s with job = rank_to_orig.(s.job) })
-          planned.slices
-      in
-      let executed =
-        match until with
-        | None -> remapped
-        | Some te -> clip_slices ~until:te remapped
-      in
-      List.iter
-        (fun (s : Schedule.slice) ->
-          let work = (s.t1 -. s.t0) *. s.speed in
-          let prev = Hashtbl.find remaining s.job in
-          Hashtbl.replace remaining s.job (Float.max 0.0 (prev -. work)))
-        executed;
-      slices := executed @ !slices
-  in
-  let rec go = function
-    | [] -> ()
-    | t :: rest ->
-      Array.iter
-        (fun (j : Job.t) ->
-          if j.release = t then Hashtbl.replace remaining j.id j.workload)
-        inst.jobs;
-      let until = match rest with [] -> None | t' :: _ -> Some t' in
-      execute ~from:t ~until;
-      go rest
-  in
-  go arrival_times;
-  Schedule.make ~machines:inst.machines ~rejected:[] !slices
+  let t = start ~power:inst.power ~machines:inst.machines () in
+  Array.iter
+    (fun j -> ignore (Speedscale_single.Oa_engine.step t j))
+    inst.jobs;
+  Speedscale_single.Oa_engine.current_plan t
 
 let energy (inst : Instance.t) = Schedule.energy inst.power (schedule inst)

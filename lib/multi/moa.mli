@@ -10,7 +10,19 @@
 
 open Speedscale_model
 
+val plan_slices :
+  power:Power.t -> machines:int -> Speedscale_single.Oa_engine.plan_fn
+(** The multiprocessor replan step: energy-optimal plan (convex program +
+    Chen realization; plain YDS at [m = 1]) for a remaining-work job list,
+    original ids preserved.  Shared with mCLL, whose admission test plans
+    the candidate the same way. *)
+
+val start : power:Power.t -> machines:int -> unit -> Speedscale_single.Oa_engine.t
+(** Fresh incremental mOA state: the replan-execute core armed with
+    {!plan_slices}, admit-everything, values forced to [infinity]. *)
+
 val schedule : Instance.t -> Schedule.t
-(** Values are ignored: every job is finished. *)
+(** Batch wrapper: folds the incremental state over the release-ordered
+    jobs.  Values are ignored: every job is finished. *)
 
 val energy : Instance.t -> float

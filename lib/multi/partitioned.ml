@@ -2,35 +2,91 @@ open Speedscale_model
 
 type heuristic = Least_work | Least_energy_increase
 
+(* ------------------------------------------------------------------ *)
+(* Incremental assignment state                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  power : Power.t;
+  machines : int;
+  heuristic : heuristic;
+  jobs_of : Job.t list array;  (* per processor, newest first *)
+  work_of : float array;
+  energy_of : float array;
+  mutable seen_rev : Job.t list;
+  mutable assignment_rev : (int * int) list;  (* (job id, processor) *)
+}
+
+let create ?(heuristic = Least_energy_increase) ~power ~machines () =
+  if machines < 1 then invalid_arg "Partitioned.create: machines must be >= 1";
+  {
+    power;
+    machines;
+    heuristic;
+    jobs_of = Array.make machines [];
+    work_of = Array.make machines 0.0;
+    energy_of = Array.make machines 0.0;
+    seen_rev = [];
+    assignment_rev = [];
+  }
+
+let arrive t (j : Job.t) =
+  let best = ref 0 and best_score = ref Float.infinity in
+  for p = 0 to t.machines - 1 do
+    let score =
+      match t.heuristic with
+      | Least_work -> t.work_of.(p)
+      | Least_energy_increase ->
+        Speedscale_single.Yds.energy t.power (j :: t.jobs_of.(p))
+        -. t.energy_of.(p)
+    in
+    if score < !best_score then begin
+      best_score := score;
+      best := p
+    end
+  done;
+  let p = !best in
+  t.jobs_of.(p) <- j :: t.jobs_of.(p);
+  t.work_of.(p) <- t.work_of.(p) +. j.workload;
+  if t.heuristic = Least_energy_increase then
+    t.energy_of.(p) <- Speedscale_single.Yds.energy t.power t.jobs_of.(p);
+  t.seen_rev <- j :: t.seen_rev;
+  t.assignment_rev <- (j.id, p) :: t.assignment_rev;
+  p
+
+let assignment t = List.rev t.assignment_rev
+
+let plan_of_assignment ~power:_ ~machines jobs assignment_of =
+  let slices = ref [] in
+  for p = 0 to machines - 1 do
+    let mine = List.filter (fun (j : Job.t) -> assignment_of j.id = p) jobs in
+    if mine <> [] then begin
+      let local = Speedscale_single.Yds.schedule_slices mine in
+      slices :=
+        List.map (fun (s : Schedule.slice) -> { s with proc = p }) local
+        @ !slices
+    end
+  done;
+  !slices
+
+let current_plan t =
+  let jobs =
+    List.sort (fun (a : Job.t) b -> Int.compare a.id b.id) t.seen_rev
+  in
+  let table = Hashtbl.create 16 in
+  List.iter (fun (id, p) -> Hashtbl.replace table id p) t.assignment_rev;
+  Schedule.make ~machines:t.machines ~rejected:[]
+    (plan_of_assignment ~power:t.power ~machines:t.machines jobs
+       (Hashtbl.find table))
+
+(* ------------------------------------------------------------------ *)
+(* Batch entry points                                                   *)
+(* ------------------------------------------------------------------ *)
+
 let assign heuristic (inst : Instance.t) =
-  let m = inst.machines in
+  let t = create ~heuristic ~power:inst.power ~machines:inst.machines () in
   let assignment = Array.make (Instance.n_jobs inst) 0 in
-  let jobs_of = Array.make m [] in
-  let work_of = Array.make m 0.0 in
-  let energy_of = Array.make m 0.0 in
-  Array.iter
-    (fun (j : Job.t) ->
-      let best = ref 0 and best_score = ref Float.infinity in
-      for p = 0 to m - 1 do
-        let score =
-          match heuristic with
-          | Least_work -> work_of.(p)
-          | Least_energy_increase ->
-            Speedscale_single.Yds.energy inst.power (j :: jobs_of.(p))
-            -. energy_of.(p)
-        in
-        if score < !best_score then begin
-          best_score := score;
-          best := p
-        end
-      done;
-      let p = !best in
-      assignment.(j.id) <- p;
-      jobs_of.(p) <- j :: jobs_of.(p);
-      work_of.(p) <- work_of.(p) +. j.workload;
-      if heuristic = Least_energy_increase then
-        energy_of.(p) <- Speedscale_single.Yds.energy inst.power jobs_of.(p))
-    inst.jobs;
+  Array.iter (fun (j : Job.t) -> assignment.(j.id) <- arrive t j) inst.jobs;
   assignment
 
 let improve (inst : Instance.t) assignment =
@@ -80,20 +136,10 @@ let schedule ?(heuristic = Least_energy_increase) ?(local_search = false)
     (inst : Instance.t) =
   let assignment = assign heuristic inst in
   let assignment = if local_search then improve inst assignment else assignment in
-  let slices = ref [] in
-  for p = 0 to inst.machines - 1 do
-    let mine =
-      Array.to_list inst.jobs
-      |> List.filter (fun (j : Job.t) -> assignment.(j.id) = p)
-    in
-    if mine <> [] then begin
-      let local = Speedscale_single.Yds.schedule_slices mine in
-      slices :=
-        List.map (fun (s : Schedule.slice) -> { s with proc = p }) local
-        @ !slices
-    end
-  done;
-  Schedule.make ~machines:inst.machines ~rejected:[] !slices
+  Schedule.make ~machines:inst.machines ~rejected:[]
+    (plan_of_assignment ~power:inst.power ~machines:inst.machines
+       (Array.to_list inst.jobs)
+       (fun id -> assignment.(id)))
 
 let energy ?heuristic ?local_search (inst : Instance.t) =
   Schedule.energy inst.power (schedule ?heuristic ?local_search inst)

@@ -18,9 +18,29 @@ type heuristic =
   | Least_energy_increase
       (** assign where the per-processor YDS energy grows the least *)
 
+type t
+(** Incremental assignment state: per-processor job sets and their YDS
+    energies, updated one arrival at a time. *)
+
+val create : ?heuristic:heuristic -> power:Power.t -> machines:int -> unit -> t
+(** Default heuristic: [Least_energy_increase].
+    Raises [Invalid_argument] if [machines < 1]. *)
+
+val arrive : t -> Job.t -> int
+(** Pin one arriving job to a processor (the online decision — it depends
+    only on the jobs seen so far) and return the processor index. *)
+
+val assignment : t -> (int * int) list
+(** [(job id, processor)] pairs in arrival order. *)
+
+val current_plan : t -> Schedule.t
+(** Per-processor YDS over the jobs seen so far under the committed
+    pinning — the plan the engine re-derives after each arrival. *)
+
 val assign : heuristic -> Instance.t -> int array
 (** Processor index per job (jobs considered in release order — the
-    assignment is online-compatible). *)
+    assignment is online-compatible; this is {!create} + {!arrive} folded
+    over the instance). *)
 
 val improve : Instance.t -> int array -> int array
 (** Offline local search on an assignment: repeatedly move a single job to

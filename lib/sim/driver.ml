@@ -1,10 +1,12 @@
 open Speedscale_model
+module Online = Speedscale_engine.Online
 
 type algorithm = {
   name : string;
   description : string;
   applicable : Instance.t -> bool;
   run : Instance.t -> Schedule.t;
+  engine : Online.engine option;
 }
 
 type report = {
@@ -15,13 +17,14 @@ type report = {
   elapsed_s : float;
 }
 
-let evaluate alg inst =
+let evaluate ?clock alg inst =
   if not (alg.applicable inst) then
     invalid_arg
       (Fmt.str "Driver.evaluate: %s is not applicable here" alg.name);
-  let t0 = Unix.gettimeofday () in
+  let now = match clock with Some c -> c | None -> fun () -> 0.0 in
+  let t0 = now () in
   let schedule = alg.run inst in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s = now () -. t0 in
   {
     algorithm = alg.name;
     cost = Schedule.cost inst schedule;
@@ -30,16 +33,27 @@ let evaluate alg inst =
     elapsed_s;
   }
 
-let single_only (inst : Instance.t) = inst.machines = 1
 let always _ = true
 let must_finish_view inst = Instance.with_values inst (fun _ -> Float.infinity)
 
+(* Online algorithms are the registry engines folded over the instance's
+   release-ordered jobs — batch simulation is a projection of the online
+   interface, not a separate code path. *)
+let of_engine ~name (e : Online.engine) =
+  {
+    name;
+    description = Online.description e;
+    applicable =
+      (fun (inst : Instance.t) ->
+        Online.applicable e (Online.params_of_instance inst));
+    run = (fun inst -> (Online.run e inst).schedule);
+    engine = Some e;
+  }
+
 let pd =
   {
-    name = "PD";
+    (of_engine ~name:"PD" Online.pd) with
     description = "primal-dual online (this paper), delta = alpha^(1-alpha)";
-    applicable = always;
-    run = (fun inst -> (Speedscale_core.Pd.run inst).schedule);
   }
 
 let pd_with_delta delta =
@@ -47,80 +61,28 @@ let pd_with_delta delta =
     name = Fmt.str "PD(delta=%.4g)" delta;
     description = "primal-dual online with explicit delta";
     applicable = always;
-    run = (fun inst -> (Speedscale_core.Pd.run ~delta inst).schedule);
+    run = (fun inst -> (Online.run ~delta Online.pd inst).schedule);
+    engine = Some Online.pd;
   }
 
-let oa =
-  {
-    name = "OA";
-    description = "Optimal Available (single processor, must-finish)";
-    applicable = single_only;
-    run = (fun inst -> Speedscale_single.Oa.schedule (must_finish_view inst));
-  }
+let oa = of_engine ~name:"OA" Online.oa
+let avr = of_engine ~name:"AVR" Online.avr
+let bkp = of_engine ~name:"BKP" Online.bkp
+let cll = of_engine ~name:"CLL" Online.cll
+let moa = of_engine ~name:"mOA" Online.moa
+let mavr = of_engine ~name:"mAVR" Online.mavr
+let mcll = of_engine ~name:"mCLL" Online.mcll
+let partitioned = of_engine ~name:"partitioned" Online.partitioned
 
-let avr =
-  {
-    name = "AVR";
-    description = "Average Rate (single processor, must-finish)";
-    applicable = single_only;
-    run = (fun inst -> Speedscale_single.Avr.schedule (must_finish_view inst));
-  }
-
-let bkp =
-  {
-    name = "BKP";
-    description = "Bansal-Kimbrel-Pruhs (single processor, must-finish)";
-    applicable = single_only;
-    run = (fun inst -> Speedscale_single.Bkp.schedule (must_finish_view inst));
-  }
-
-let cll =
-  {
-    name = "CLL";
-    description = "Chan-Lam-Li: OA + speed-threshold rejection";
-    applicable = single_only;
-    run = Speedscale_single.Cll.schedule;
-  }
-
-let moa =
-  {
-    name = "mOA";
-    description = "multiprocessor Optimal Available (must-finish)";
-    applicable = always;
-    run = (fun inst -> Speedscale_multi.Moa.schedule (must_finish_view inst));
-  }
-
+(* The offline references stay batch-only: they need the whole instance
+   up front, which is exactly why they are not in the online registry. *)
 let mopt =
   {
     name = "OPT-energy";
     description = "offline energy optimum, all jobs finished";
     applicable = always;
     run = (fun inst -> Speedscale_multi.Mopt.schedule (must_finish_view inst));
-  }
-
-let mavr =
-  {
-    name = "mAVR";
-    description = "multiprocessor Average Rate (must-finish)";
-    applicable = always;
-    run = (fun inst -> Speedscale_multi.Mavr.schedule (must_finish_view inst));
-  }
-
-let mcll =
-  {
-    name = "mCLL";
-    description = "naive multiprocessor CLL (mOA core + threshold admission)";
-    applicable = always;
-    run = Speedscale_multi.Mcll.schedule;
-  }
-
-let partitioned =
-  {
-    name = "partitioned";
-    description = "non-migratory: greedy job->processor pinning + per-CPU YDS";
-    applicable = always;
-    run =
-      (fun inst -> Speedscale_multi.Partitioned.schedule (must_finish_view inst));
+    engine = None;
   }
 
 let opt_small =
@@ -129,6 +91,7 @@ let opt_small =
     description = "exact profitable offline optimum (subset enumeration)";
     applicable = (fun inst -> Instance.n_jobs inst <= 14);
     run = (fun inst -> snd (Speedscale_multi.Opt.best_schedule inst));
+    engine = None;
   }
 
 let all = [ pd; oa; avr; bkp; cll; moa; mavr; mcll; partitioned; mopt; opt_small ]

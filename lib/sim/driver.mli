@@ -1,6 +1,13 @@
 (** A uniform way to run every scheduler in the repository on an instance
     and collect comparable, validated results.
 
+    The online algorithms are not implemented here: they live in the
+    [Speedscale_engine.Online] registry as incremental per-arrival
+    engines, and the driver's batch [run] is a thin fold of
+    [Online.arrive] over the release-ordered jobs.  The driver adds the
+    two offline references (OPT-energy, OPT-exact), which need the whole
+    instance up front and therefore cannot be online engines.
+
     Each algorithm is wrapped as a {!algorithm} record with an
     applicability predicate (single- vs multi-processor, profitable vs
     must-finish), so benchmark sweeps can ask "everyone who can handle this
@@ -15,6 +22,9 @@ type algorithm = {
   description : string;
   applicable : Instance.t -> bool;
   run : Instance.t -> Schedule.t;
+  engine : Speedscale_engine.Online.engine option;
+      (** the registry engine the batch [run] folds, when the algorithm is
+          online; [None] for the offline references *)
 }
 
 type report = {
@@ -22,11 +32,20 @@ type report = {
   cost : Cost.t;
   schedule : Schedule.t;
   validation : (unit, string) result;
-  elapsed_s : float;
+  elapsed_s : float;  (** [0] unless {!evaluate} was given a clock *)
 }
 
-val evaluate : algorithm -> Instance.t -> report
-(** Run, time, cost and validate. *)
+val evaluate : ?clock:(unit -> float) -> algorithm -> Instance.t -> report
+(** Run, cost and validate.  [clock] (e.g. [Unix.gettimeofday]) enables
+    the [elapsed_s] timing; without it the report is a deterministic
+    function of the instance, which is what tests and observability
+    records want. *)
+
+val of_engine :
+  name:string -> Speedscale_engine.Online.engine -> algorithm
+(** Wrap a registry engine as a batch algorithm (fold + finalize), keeping
+    the engine reachable through the [engine] field for streaming/replay
+    consumers. *)
 
 val pd : algorithm
 (** The paper's algorithm with the optimal [δ = α^(1-α)]. *)

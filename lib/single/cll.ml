@@ -8,10 +8,17 @@ let threshold_speed power (j : Job.t) =
     (* slint: allow unsafe-pow -- value >= 0 and workload > 0 are Job.make invariants *)
     *. ((j.value /. j.workload) ** (1.0 /. (alpha -. 1.0)))
 
+let admission power : Oa_engine.admission_sp =
+ fun ~now:_ ~plan ~candidate ->
+  let planned = Yds.speed_of_job plan (candidate : Job.t).id in
+  {
+    Oa_engine.admitted = planned <= threshold_speed power candidate +. 1e-12;
+    planned_speed = Some planned;
+  }
+
 let schedule (inst : Instance.t) =
-  let admit ~now:_ ~plan ~candidate =
-    let planned = Yds.speed_of_job plan (candidate : Job.t).id in
-    planned <= threshold_speed inst.power candidate +. 1e-12
+  let admit ~now ~plan ~candidate =
+    (admission inst.power ~now ~plan ~candidate).Oa_engine.admitted
   in
   Oa_engine.run ~admit inst
 

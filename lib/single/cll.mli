@@ -17,6 +17,12 @@ open Speedscale_model
 val threshold_speed : Power.t -> Job.t -> float
 (** The admission threshold above. *)
 
+val admission : Power.t -> Oa_engine.admission_sp
+(** The threshold test as an {!Oa_engine} admission hook: plans the
+    candidate with YDS, reports the planned speed, admits iff it is under
+    {!threshold_speed}.  This is what the online-engine registry folds
+    with. *)
+
 val schedule : Instance.t -> Schedule.t
 (** Requires [machines = 1].  The rejected ids are recorded in the
     schedule. *)

@@ -1,6 +1,13 @@
+open Speedscale_util
 open Speedscale_model
 
 type admission = now:float -> plan:Job.t list -> candidate:Job.t -> bool
+
+type verdict = { admitted : bool; planned_speed : float option }
+
+type admission_sp = now:float -> plan:Job.t list -> candidate:Job.t -> verdict
+
+type plan_fn = now:float -> Job.t list -> Schedule.slice list
 
 let work_eps = 1e-9
 
@@ -13,68 +20,133 @@ let clip_slices ~until slices =
   List.filter_map
     (fun (s : Schedule.slice) ->
       if s.t0 >= until then None
-      else if s.t1 <= until then Some s
-      else Some { s with t1 = until })
+      else
+        (* A slice ending within tolerance of the cut would survive as a
+           zero-width sliver (its work is float dust); drop it and leave
+           the dust in the remaining-work table for the next plan. *)
+        let t1 = Float.min s.t1 until in
+        if Feq.approx s.t0 t1 then None
+        else if s.t1 <= until then Some s
+        else Some { s with t1 = until })
     slices
+
+type t = {
+  machines : int;
+  plan : plan_fn;
+  admit : admission_sp;
+  must_finish : bool;
+  mutable now : float;
+  mutable started : bool;
+  remaining : (int, float) Hashtbl.t;  (* accepted unfinished id -> work *)
+  accepted : (int, Job.t) Hashtbl.t;  (* id -> stored (possibly viewed) job *)
+  seen_ids : (int, unit) Hashtbl.t;
+  mutable seen_rev : Job.t list;  (* stored arrivals, newest first *)
+  mutable rejected_rev : int list;
+  mutable executed : Schedule.slice list;  (* committed, newest batch first *)
+}
+
+let admit_all ~now:_ ~plan:_ ~candidate:_ = { admitted = true; planned_speed = None }
+
+let start ~machines ~plan ?(admit = admit_all) ?(must_finish = false) () =
+  if machines < 1 then invalid_arg "Oa_engine.start: machines must be >= 1";
+  {
+    machines;
+    plan;
+    admit;
+    must_finish;
+    now = Float.neg_infinity;
+    started = false;
+    remaining = Hashtbl.create 16;
+    accepted = Hashtbl.create 16;
+    seen_ids = Hashtbl.create 16;
+    seen_rev = [];
+    rejected_rev = [];
+    executed = [];
+  }
+
+let plan_jobs t ~now =
+  Hashtbl.fold
+    (fun id rem acc ->
+      let j = Hashtbl.find t.accepted id in
+      if rem > work_eps *. (1.0 +. j.workload) then
+        adjusted ~now j ~remaining:rem :: acc
+      else acc)
+    t.remaining []
+  |> List.stable_sort Job.compare_release
+
+(* Execute the standing plan on [from, until); [None] means to the end. *)
+let execute t ~from ~until =
+  match plan_jobs t ~now:from with
+  | [] -> ()
+  | plan ->
+    let planned = t.plan ~now:from plan in
+    let executed =
+      match until with
+      | None -> planned
+      | Some te -> clip_slices ~until:te planned
+    in
+    List.iter
+      (fun (s : Schedule.slice) ->
+        let work = (s.t1 -. s.t0) *. s.speed in
+        let prev = Hashtbl.find t.remaining s.job in
+        Hashtbl.replace t.remaining s.job (Float.max 0.0 (prev -. work)))
+      executed;
+    t.executed <- executed @ t.executed
+
+let step t (j : Job.t) =
+  if Hashtbl.mem t.seen_ids j.id then
+    invalid_arg (Fmt.str "Oa_engine.step: duplicate job id %d" j.id);
+  if t.started && j.release < t.now then
+    invalid_arg
+      (Fmt.str "Oa_engine.step: job %d released at %g before current time %g"
+         j.id j.release t.now);
+  if t.started && j.release > t.now then
+    execute t ~from:t.now ~until:(Some j.release);
+  t.now <- j.release;
+  t.started <- true;
+  let stored =
+    if t.must_finish then
+      Job.make ~id:j.id ~release:j.release ~deadline:j.deadline
+        ~workload:j.workload ~value:Float.infinity
+    else j
+  in
+  Hashtbl.replace t.seen_ids j.id ();
+  t.seen_rev <- stored :: t.seen_rev;
+  let candidate = adjusted ~now:t.now stored ~remaining:stored.workload in
+  let plan = plan_jobs t ~now:t.now @ [ candidate ] in
+  let verdict = t.admit ~now:t.now ~plan ~candidate in
+  if verdict.admitted then begin
+    Hashtbl.replace t.accepted stored.id stored;
+    Hashtbl.replace t.remaining stored.id stored.workload
+  end
+  else t.rejected_rev <- stored.id :: t.rejected_rev;
+  verdict
+
+let now t = t.now
+let seen t = List.rev t.seen_rev
+let rejected t = t.rejected_rev
+
+let current_plan t =
+  let tail =
+    if t.started then
+      match plan_jobs t ~now:t.now with
+      | [] -> []
+      | plan -> t.plan ~now:t.now plan
+    else []
+  in
+  Schedule.make ~machines:t.machines ~rejected:t.rejected_rev
+    (tail @ t.executed)
 
 let run ?(admit = fun ~now:_ ~plan:_ ~candidate:_ -> true) (inst : Instance.t)
     =
   if inst.machines <> 1 then
     invalid_arg "Oa_engine.run: single-processor algorithm (machines = 1)";
-  let n = Instance.n_jobs inst in
-  let remaining = Hashtbl.create 16 in
-  (* accepted unfinished job id -> remaining work *)
-  let rejected = ref [] in
-  let slices = ref [] in
-  let arrival_times =
-    List.init n (fun i -> (Instance.job inst i).release)
-    |> List.sort_uniq Float.compare
+  let t =
+    start ~machines:1
+      ~plan:(fun ~now:_ jobs -> Yds.schedule_slices jobs)
+      ~admit:(fun ~now ~plan ~candidate ->
+        { admitted = admit ~now ~plan ~candidate; planned_speed = None })
+      ()
   in
-  let plan_jobs ~now =
-    Hashtbl.fold
-      (fun id rem acc ->
-        if rem > work_eps *. (1.0 +. (Instance.job inst id).workload) then
-          adjusted ~now (Instance.job inst id) ~remaining:rem :: acc
-        else acc)
-      remaining []
-    |> List.sort (fun (a : Job.t) b -> Int.compare a.id b.id)
-  in
-  let execute ~from ~until =
-    match plan_jobs ~now:from with
-    | [] -> ()
-    | plan ->
-      let planned = Yds.schedule_slices plan in
-      let executed =
-        match until with
-        | None -> planned
-        | Some te -> clip_slices ~until:te planned
-      in
-      List.iter
-        (fun (s : Schedule.slice) ->
-          let work = (s.t1 -. s.t0) *. s.speed in
-          let prev = Hashtbl.find remaining s.job in
-          Hashtbl.replace remaining s.job (prev -. work))
-        executed;
-      slices := executed @ !slices
-  in
-  let rec go = function
-    | [] -> ()
-    | t :: rest ->
-      (* admit / reject the jobs arriving now, one by one in id order *)
-      List.iter
-        (fun i ->
-          let j = Instance.job inst i in
-          if j.release = t then begin
-            let candidate = adjusted ~now:t j ~remaining:j.workload in
-            let plan = plan_jobs ~now:t @ [ candidate ] in
-            if admit ~now:t ~plan ~candidate then
-              Hashtbl.replace remaining j.id j.workload
-            else rejected := j.id :: !rejected
-          end)
-        (List.init n Fun.id);
-      let until = match rest with [] -> None | t' :: _ -> Some t' in
-      execute ~from:t ~until;
-      go rest
-  in
-  go arrival_times;
-  Schedule.make ~machines:1 ~rejected:!rejected !slices
+  Array.iter (fun j -> ignore (step t j)) inst.jobs;
+  current_plan t

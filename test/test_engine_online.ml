@@ -1,0 +1,337 @@
+(* Tests for the online-engine registry: golden costs pinned per engine,
+   online = batch (Driver) agreement, prefix stability (a decision on a
+   prefix is byte-identical whether or not a suffix exists), and
+   snapshot/restore round-trips. *)
+
+open Speedscale_model
+module Online = Speedscale_engine.Online
+module Driver = Speedscale_sim.Driver
+module Oa_engine = Speedscale_single.Oa_engine
+
+let p3 = Power.make 3.0
+
+(* The two E-series presets every engine is pinned on (seed and sizes
+   match the values captured from the pre-refactor batch paths). *)
+let golden_single =
+  Speedscale_workload.Generate.datacenter ~power:p3 ~machines:1 ~seed:11
+    ~n:12
+
+let golden_multi =
+  Speedscale_workload.Generate.datacenter ~power:p3 ~machines:3 ~seed:11
+    ~n:14
+
+(* ------------------------------------------------------------------ *)
+(* Registry shape                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry () =
+  Alcotest.(check int) "nine engines" 9 (List.length Online.all);
+  let names = List.map Online.name Online.all in
+  Alcotest.(check (list string))
+    "names"
+    [ "pd"; "oa"; "avr"; "bkp"; "cll"; "moa"; "mavr"; "mcll"; "partitioned" ]
+    names;
+  Alcotest.(check bool) "find pd" true (Online.find "PD" <> None);
+  Alcotest.(check bool) "find unknown" true (Online.find "yds" = None);
+  (* single-processor classics refuse multiprocessor params *)
+  Alcotest.check_raises "oa on m=2"
+    (Invalid_argument "Online: engine oa is not applicable (machines = 2)")
+    (fun () ->
+      ignore (Online.start Online.oa (Online.params ~power:p3 ~machines:2 ())))
+
+(* ------------------------------------------------------------------ *)
+(* Golden costs + online = batch agreement                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Costs captured from the legacy batch code paths before they were
+   rebuilt on the incremental engines; any drift here means an engine no
+   longer reproduces its batch counterpart. *)
+let pinned =
+  [
+    ("single", "pd", 17.3655266437);
+    ("single", "oa", 72.6165338428);
+    ("single", "avr", 95.370113241);
+    ("single", "bkp", 240.802924214);
+    ("single", "cll", 13.1150728299);
+    ("single", "moa", 72.6165338428);
+    ("single", "mavr", 95.370113241);
+    ("single", "mcll", 13.1150728299);
+    ("single", "partitioned", 70.9525809571);
+    ("multi", "pd", 15.3490173698);
+    ("multi", "moa", 48.4978634059);
+    ("multi", "mavr", 75.2535631956);
+    ("multi", "mcll", 14.0404649068);
+    ("multi", "partitioned", 53.3789806859);
+  ]
+
+let driver_of_engine e =
+  List.find
+    (fun (a : Driver.algorithm) ->
+      String.lowercase_ascii a.name = Online.name e)
+    Driver.all
+
+let test_golden_costs () =
+  List.iter
+    (fun (tag, inst) ->
+      List.iter
+        (fun e ->
+          if Online.applicable e (Online.params_of_instance inst) then begin
+            let name = Online.name e in
+            let r = Online.run e inst in
+            (match Schedule.validate inst r.schedule with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "%s/%s invalid: %s" tag name msg);
+            let cost = Cost.total (Schedule.cost inst r.schedule) in
+            (match
+               List.assoc_opt (tag, name)
+                 (List.map (fun (t, n, c) -> ((t, n), c)) pinned)
+             with
+            | Some expected ->
+              Alcotest.(check (float 1e-5))
+                (Printf.sprintf "%s/%s pinned cost" tag name)
+                expected cost
+            | None -> Alcotest.failf "no pinned cost for %s/%s" tag name);
+            (* one decision per arrival, plan matches the decisions *)
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%s decision count" tag name)
+              (Instance.n_jobs inst)
+              (List.length r.decisions);
+            let rejected_by_decision =
+              List.filter_map
+                (fun (d : Online.decision) ->
+                  if d.accepted then None else Some d.job_id)
+                r.decisions
+              |> List.sort Int.compare
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s/%s rejected set" tag name)
+              rejected_by_decision
+              (List.sort Int.compare r.schedule.rejected);
+            (* batch Driver counterpart runs the same fold *)
+            let dr = Driver.evaluate (driver_of_engine e) inst in
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "%s/%s online = Driver" tag name)
+              (Cost.total dr.cost) cost
+          end)
+        Online.all)
+    [ ("single", golden_single); ("multi", golden_multi) ]
+
+(* ------------------------------------------------------------------ *)
+(* Observer and params plumbing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_observer_and_clock () =
+  let events = ref 0 in
+  let r =
+    Online.run Online.pd golden_single ~observer:(fun ev ->
+        incr events;
+        Alcotest.(check (float 0.0)) "wall_s is 0 without clock" 0.0 ev.wall_s)
+  in
+  Alcotest.(check int)
+    "observer fired per arrival"
+    (Instance.n_jobs golden_single)
+    !events;
+  ignore r;
+  (* a fake injected clock is read twice per arrival *)
+  let ticks = ref 0.0 in
+  let clock () =
+    ticks := !ticks +. 0.5;
+    !ticks
+  in
+  let wall = ref 0.0 in
+  ignore
+    (Online.run Online.cll golden_single ~clock ~observer:(fun ev ->
+         wall := !wall +. ev.wall_s));
+  Alcotest.(check (float 1e-9))
+    "fake clock accumulates 0.5 per arrival"
+    (0.5 *. float_of_int (Instance.n_jobs golden_single))
+    !wall
+
+let test_driver_clock_injection () =
+  let r = Driver.evaluate Driver.pd golden_single in
+  Alcotest.(check (float 0.0)) "deterministic elapsed_s" 0.0 r.elapsed_s;
+  let ticks = ref 0.0 in
+  let clock () =
+    ticks := !ticks +. 2.5;
+    !ticks
+  in
+  let r = Driver.evaluate ~clock Driver.pd golden_single in
+  Alcotest.(check (float 1e-9)) "injected elapsed_s" 2.5 r.elapsed_s
+
+(* ------------------------------------------------------------------ *)
+(* Prefix stability (qcheck, every engine)                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_job ~id ~r ~d ~w ~v =
+  Job.make ~id ~release:r ~deadline:d ~workload:w ~value:v
+
+let gen_setup =
+  QCheck.Gen.(
+    let* machines = 1 -- 3 in
+    let* n = 2 -- 5 in
+    let* jobs =
+      list_size (return n)
+        (let* r = float_range 0.0 5.0 in
+         let* span = float_range 0.4 3.0 in
+         let* w = float_range 0.2 2.0 in
+         let* v = float_range 0.5 20.0 in
+         return (r, r +. span, w, v))
+    in
+    return (machines, jobs))
+
+let arb_setup =
+  QCheck.make gen_setup ~print:(fun (m, jobs) ->
+      Printf.sprintf "m=%d jobs=[%s]" m
+        (String.concat ";"
+           (List.map
+              (fun (r, d, w, v) -> Printf.sprintf "(%g,%g,%g,%g)" r d w v)
+              jobs)))
+
+let instance_of (machines, jobs) =
+  Instance.make ~power:p3 ~machines
+    (List.mapi (fun i (r, d, w, v) -> mk_job ~id:i ~r ~d ~w ~v) jobs)
+
+let decision_eq (a : Online.decision) (b : Online.decision) =
+  a.job_id = b.job_id && a.accepted = b.accepted
+  && Option.equal Float.equal a.lambda b.lambda
+  && Option.equal Float.equal a.planned_speed b.planned_speed
+
+let prop_prefix_stability =
+  QCheck.Test.make
+    ~name:
+      "prefix stability: every engine's decisions on a k-prefix are \
+       byte-identical with and without the suffix"
+    ~count:15 arb_setup (fun setup ->
+      let inst = instance_of setup in
+      let jobs = Array.to_list inst.jobs in
+      let n = List.length jobs in
+      let k = max 1 (n / 2) in
+      let prefix = List.filteri (fun i _ -> i < k) jobs in
+      List.for_all
+        (fun e ->
+          let p = Online.params_of_instance inst in
+          (not (Online.applicable e p))
+          ||
+          let full = Online.start e p in
+          let full_decisions = List.map (Online.arrive full) jobs in
+          let pre = Online.start e p in
+          let pre_decisions = List.map (Online.arrive pre) prefix in
+          let stable =
+            List.for_all2 decision_eq pre_decisions
+              (List.filteri (fun i _ -> i < k) full_decisions)
+          in
+          if not stable then
+            QCheck.Test.fail_reportf "engine %s: prefix decisions diverge"
+              (Online.name e);
+          (* the prefix state's snapshot is the canonical replay record:
+             independent of anything after the prefix *)
+          let resumed = Online.restore (Online.snapshot pre) in
+          let suffix = List.filteri (fun i _ -> i >= k) jobs in
+          let resumed_decisions = List.map (Online.arrive resumed) suffix in
+          List.for_all2 decision_eq resumed_decisions
+            (List.filteri (fun i _ -> i >= k) full_decisions))
+        Online.all)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun e ->
+      let name = Online.name e in
+      let inst = golden_multi in
+      let p = Online.params_of_instance inst in
+      if Online.applicable e p then begin
+        let jobs = Array.to_list inst.jobs in
+        let k = List.length jobs / 2 in
+        let t1 = Online.start e p in
+        List.iteri
+          (fun i j -> if i < k then ignore (Online.arrive t1 j))
+          jobs;
+        let snap = Online.snapshot t1 in
+        let t2 = Online.restore snap in
+        Alcotest.(check string)
+          (name ^ ": snapshot of restored state is byte-identical")
+          snap (Online.snapshot t2);
+        (* both halves continue identically *)
+        List.iteri
+          (fun i j ->
+            if i >= k then begin
+              let d1 = Online.arrive t1 j and d2 = Online.arrive t2 j in
+              Alcotest.(check bool)
+                (name ^ ": post-restore decision agrees")
+                true
+                (d1.accepted = d2.accepted
+                && Option.equal Float.equal d1.lambda d2.lambda)
+            end)
+          jobs;
+        Alcotest.(check (float 1e-9))
+          (name ^ ": post-restore final cost agrees")
+          (Cost.total (Schedule.cost inst (Online.finalize t1)))
+          (Cost.total (Schedule.cost inst (Online.finalize t2)))
+      end)
+    Online.all
+
+let test_restore_errors () =
+  Alcotest.check_raises "not a snapshot"
+    (Failure "Online.restore: not an online-snapshot v1") (fun () ->
+      ignore (Online.restore "pd-snapshot v1\n"));
+  Alcotest.check_raises "unknown engine"
+    (Failure "Online.restore: unknown engine \"yds\"") (fun () ->
+      ignore
+        (Online.restore
+           "online-snapshot v1\nengine yds\nalpha 3\nmachines 1\n"))
+
+(* ------------------------------------------------------------------ *)
+(* clip_slices sliver regression                                        *)
+(* ------------------------------------------------------------------ *)
+
+let slice ~t0 ~t1 ~job : Schedule.slice =
+  { proc = 0; t0; t1; job; speed = 1.0 }
+
+let test_clip_slivers () =
+  let slices = [ slice ~t0:0.0 ~t1:1.0 ~job:0; slice ~t0:1.0 ~t1:2.0 ~job:1 ] in
+  (* a cut within float-dust of a boundary must not leave a zero-width
+     sliver of the next slice behind *)
+  let clipped = Oa_engine.clip_slices ~until:(1.0 +. 1e-12) slices in
+  Alcotest.(check int) "sliver dropped" 1 (List.length clipped);
+  Alcotest.(check int) "survivor is the first slice" 0
+    (List.hd clipped).job;
+  (* an interior cut keeps both parts, truncating the second *)
+  let clipped = Oa_engine.clip_slices ~until:1.5 slices in
+  Alcotest.(check int) "two slices" 2 (List.length clipped);
+  let second = List.nth clipped 1 in
+  Alcotest.(check (float 0.0)) "second truncated" 1.5 second.t1;
+  (* a cut exactly at a boundary keeps only the first *)
+  let clipped = Oa_engine.clip_slices ~until:1.0 slices in
+  Alcotest.(check int) "boundary cut" 1 (List.length clipped)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine_online"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "shape and lookup" `Quick test_registry;
+          Alcotest.test_case "golden costs, online = batch" `Slow
+            test_golden_costs;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "observer + engine clock" `Quick
+            test_observer_and_clock;
+          Alcotest.test_case "driver clock injection" `Quick
+            test_driver_clock_injection;
+        ] );
+      ( "stability",
+        [
+          QCheck_alcotest.to_alcotest prop_prefix_stability;
+          Alcotest.test_case "snapshot roundtrip" `Slow
+            test_snapshot_roundtrip;
+          Alcotest.test_case "restore errors" `Quick test_restore_errors;
+        ] );
+      ( "clipping",
+        [ Alcotest.test_case "sliver regression" `Quick test_clip_slivers ] );
+    ]
