@@ -1049,6 +1049,134 @@ let e20 () =
     !ok
 
 (* ================================================================== *)
+(* E24 — the E20 scaling series continued under GC, two more decades    *)
+(* ================================================================== *)
+
+(* The tree timeline + GC arrival path at sizes the flat timeline could
+   not reach (doc/PERF.md).  Verdict inputs are deterministic counters
+   only; the resident_* counters are memory gauges that `psched
+   bench-diff` fails on growth, like a timing regression.  For the two
+   smaller rungs the whole stream is replayed through the reference
+   bisection solver (same gc state) and decisions must agree: acceptance
+   bit for bit, multipliers to solver tolerance. *)
+let e24 () =
+  section "E24" "gc soak ladder: bounded-memory PD from n = 10^3 to 10^5";
+  let ok = ref true in
+  let tab2 =
+    Tab.create ~title:"gc-on ladder: bounded-memory arrival path"
+      ~header:
+        [ "n"; "wall (ms)"; "per arrival (us)"; "probes/arr";
+          "max live ivls"; "max tbl"; "flushed"; "rejected"; "oracle" ]
+  in
+  let probes_per_arrival = Hashtbl.create 8 in
+  let live_at = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let inst =
+        Speedscale_workload.Generate.diurnal ~power:(Power.make 3.0)
+          ~machines:8 ~seed:13 ~n ()
+      in
+      let pd =
+        Speedscale_core.Pd.create ~gc:true ~power:inst.power
+          ~machines:inst.machines ()
+      in
+      let rejected = ref 0 in
+      Speedscale_core.Pd.set_observer pd
+        (Some
+           (fun (s : Speedscale_core.Pd.arrival_stats) ->
+             if not s.accepted then incr rejected));
+      let decisions_rev = ref [] in
+      let keep_decisions = n <= 10_000 in
+      let t0 = Harness.now () in
+      Array.iter
+        (fun j ->
+          let d = Speedscale_core.Pd.arrive pd j in
+          if keep_decisions then decisions_rev := d :: !decisions_rev)
+        inst.jobs;
+      let dt = Harness.now () -. t0 in
+      let st = Speedscale_core.Pd.stats pd in
+      let m = Speedscale_core.Pd.mem pd in
+      if m.flushed_intervals = 0 then ok := false;
+      Hashtbl.replace probes_per_arrival n
+        (float_of_int st.probes /. float_of_int n);
+      Hashtbl.replace live_at n m.max_live_intervals;
+      let oracle_cell =
+        if not keep_decisions then "-"
+        else begin
+          let orc =
+            Speedscale_core.Pd.create ~gc:true ~power:inst.power
+              ~machines:inst.machines ()
+          in
+          let agree = ref true in
+          List.iter2
+            (fun j (d : Speedscale_core.Pd.decision) ->
+              let r = Speedscale_core.Pd.arrive_reference orc j in
+              let tol = 1e-9 *. (1.0 +. Float.abs d.lambda) in
+              if
+                (not (Bool.equal r.accepted d.accepted))
+                || Float.abs (r.lambda -. d.lambda) > tol
+              then agree := false)
+            (Array.to_list inst.jobs)
+            (List.rev !decisions_rev);
+          if not !agree then ok := false;
+          if !agree then "agree" else "DIVERGED"
+        end
+      in
+      add_record
+        (Speedscale_obs.Record.with_wall ~wall_s:dt
+           (Speedscale_obs.Record.make
+              ~id:(Printf.sprintf "E24/ladder-n%d" n)
+              ~params:
+                [
+                  ("n", Speedscale_obs.Record.P_int n);
+                  ("machines", Speedscale_obs.Record.P_int 8);
+                  ("gc", Speedscale_obs.Record.P_bool true);
+                ]
+              ~counters:
+                [
+                  ("probes", st.probes);
+                  ("intervals", st.intervals);
+                  ("breakpoints", st.breakpoints);
+                  ("rejected", !rejected);
+                  ("flushed_intervals", m.flushed_intervals);
+                  ("evicted_jobs", m.evicted_jobs);
+                  ("finished_slices", m.finished_slices);
+                  ("resident_live_intervals", m.max_live_intervals);
+                  ("resident_table_entries", m.max_table_entries);
+                ]
+              Speedscale_obs.Record.Timing));
+      Tab.add_row tab2
+        [
+          string_of_int n;
+          Tab.cell_f (dt *. 1000.0);
+          Tab.cell_f (dt *. 1e6 /. float_of_int n);
+          Tab.cell_f (float_of_int st.probes /. float_of_int n);
+          string_of_int m.max_live_intervals;
+          string_of_int m.max_table_entries;
+          string_of_int m.flushed_intervals;
+          Printf.sprintf "%d/%d" !rejected n;
+          oracle_cell;
+        ])
+    [ 1_000; 3_162; 10_000; 31_623; 100_000 ];
+  Tab.print tab2;
+  (* sub-linearity / flat residency across two decades: per-arrival work
+     and the live high-water marks at n = 10^5 must stay within 2x of
+     n = 10^3 — linear growth would put them ~100x apart *)
+  let ppa n = Hashtbl.find probes_per_arrival n in
+  if ppa 100_000 > 2.0 *. ppa 1_000 then ok := false;
+  if
+    float_of_int (Hashtbl.find live_at 100_000)
+    > 2.0 *. float_of_int (Hashtbl.find live_at 1_000)
+  then ok := false;
+  metric "ladder_probes_per_arrival_growth" (ppa 100_000 /. ppa 1_000);
+  counter "ladder_max_live_n100000" (Hashtbl.find live_at 100_000);
+  verdict
+    ~expected:
+      "the gc-on ladder holds per-arrival work and residency flat over two \
+       decades and matches the reference oracle at every cross-checked rung"
+    !ok
+
+(* ================================================================== *)
 (* E21 — how tight is the dual certificate itself?                      *)
 (* ================================================================== *)
 
@@ -1163,4 +1291,5 @@ let all =
     ("E20", e20);
     ("E21", e21);
     ("E22", e22);
+    ("E24", e24);
   ]

@@ -27,19 +27,155 @@ type stats = {
   breakpoints : int;
 }
 
+type mem_stats = {
+  live_intervals : int;
+  max_live_intervals : int;
+  table_entries : int;
+  max_table_entries : int;
+  flushed_intervals : int;
+  evicted_jobs : int;
+  finished_slices : int;
+}
+
+(* One atomic interval [lo, hi) of the live timeline.  The payload is
+   mutable so splits and load commits touch the record in place; only the
+   tree structure (keyed by [lo]) is rebuilt, at O(log live) per insert. *)
+type ivl = {
+  mutable lo : float;
+  mutable hi : float;
+  mutable loads : (int * float) list;
+  mutable cache : Chen.t option;
+}
+
+(* Binary min-heap of (deadline, job id): the eviction order for the
+   dup-id/outcome tables under GC.  Only ever holds live-window jobs. *)
+module Expiry = struct
+  type t = { mutable a : (float * int) array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+  let key h i = fst h.a.(i)
+
+  let swap h i j =
+    let x = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- x
+
+  let push h d id =
+    if h.n = Array.length h.a then begin
+      let cap = Stdlib.max 8 (2 * Array.length h.a) in
+      let a = Array.make cap (0.0, 0) in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    h.a.(h.n) <- (d, id);
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && key h ((!i - 1) / 2) > key h !i do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    h.n <- h.n - 1;
+    swap h 0 h.n;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && key h l < key h !m then m := l;
+      if r < h.n && key h r < key h !m then m := r;
+      if !m <> !i then begin
+        swap h !i !m;
+        i := !m
+      end
+      else continue := false
+    done
+end
+
+(* Flushed slices parked as a flat float array (stride 5: proc, t0, t1,
+   job, speed).  A soak-length stream retains millions of slices; kept as
+   a list of boxed records they dominate the major collector's marking
+   work and per-arrival wall time degrades with the length of the history
+   — a float array's contents are never scanned, so the accumulator is
+   GC-inert no matter how large it grows.  Ids round-trip exactly through
+   the float encoding (|id| < 2^53). *)
+module Slab = struct
+  (* Fixed-size chunks, newest first, rather than a growable array: a
+     doubling realloc would copy the whole history (a multi-hundred-MB
+     pause at soak sizes) and leave the old array as major-heap garbage. *)
+  let stride = 5
+  let chunk_slices = 1 lsl 16
+  let chunk_words = stride * chunk_slices
+
+  type t = { mutable chunks_rev : float array list; mutable n : int }
+
+  let create () = { chunks_rev = []; n = 0 }
+  let length s = s.n
+
+  let push s (sl : Schedule.slice) =
+    let i = s.n mod chunk_slices in
+    if i = 0 then s.chunks_rev <- Array.make chunk_words 0.0 :: s.chunks_rev;
+    let a = List.hd s.chunks_rev in
+    let o = stride * i in
+    a.(o) <- float_of_int sl.Schedule.proc;
+    a.(o + 1) <- sl.t0;
+    a.(o + 2) <- sl.t1;
+    a.(o + 3) <- float_of_int sl.job;
+    a.(o + 4) <- sl.speed;
+    s.n <- s.n + 1
+
+  (* In-order traversal; O(chunks) to find the start, so iterate chunk by
+     chunk when reading everything back. *)
+  let get_in a i : Schedule.slice =
+    let o = stride * i in
+    {
+      proc = int_of_float a.(o);
+      t0 = a.(o + 1);
+      t1 = a.(o + 2);
+      job = int_of_float a.(o + 3);
+      speed = a.(o + 4);
+    }
+
+  (* [fold f acc s] folds over the slices in push order. *)
+  let fold f acc s =
+    let chunks = List.rev s.chunks_rev in
+    let acc = ref acc in
+    List.iteri
+      (fun c a ->
+        let first = c * chunk_slices in
+        let limit = Stdlib.min chunk_slices (s.n - first) in
+        for i = 0 to limit - 1 do
+          acc := f !acc (get_in a i)
+        done)
+      chunks;
+    !acc
+end
+
 type t = {
   power : Power.t;
   machines : int;
   delta : float;
-  (* Timeline: [bounds.(0 .. nb-1)] is strictly increasing; interval [k]
-     is [bounds.(k), bounds.(k+1)).  The arrays are capacity buffers
-     ([loads] and [cache] always have the same length as [bounds]) so an
-     insert is a blit, not a reallocation. *)
-  mutable nb : int;
-  mutable bounds : float array;
-  mutable loads : (int * float) list array;
-  mutable cache : Chen.t option array;
-  mutable seen : Job.t list;  (* reversed arrival order *)
+  gc : bool;
+  (* Timeline: the live atomic intervals as a balanced order-statistics
+     tree keyed by interval start; [lone] carries the single-boundary
+     state (one boundary seen, no interval yet).  Invariant: [lone] is
+     [None] whenever the tree is non-empty, and the live intervals are
+     contiguous ([hi] of one is [lo] of the next). *)
+  mutable live : ivl Tline.t;
+  mutable lone : float option;
+  (* GC state: slices of flushed (wholly-past) intervals.  Each flush
+     pushes its slices in reverse, so reading the slab back to front
+     yields newest flush first with batch-internal order restored —
+     [schedule] appends that after the live slices, reproducing the
+     slice order of a never-flushed timeline. *)
+  finished : Slab.t;
+  mutable flushed_intervals : int;
+  mutable evicted_jobs : int;
+  expiry : Expiry.t;
+  mutable seen : Job.t list;  (* reversed arrival order; empty under GC *)
   seen_ids : (int, unit) Hashtbl.t;
   outcomes : (int, float * bool) Hashtbl.t;  (* id -> lambda, accepted *)
   mutable lambda_rev : (int * float) list;
@@ -54,9 +190,11 @@ type t = {
   mutable probes_total : int;
   mutable intervals_total : int;
   mutable breakpoints_total : int;
+  mutable max_live : int;
+  mutable max_table : int;
 }
 
-let create ?clock ?delta ~power ~machines () =
+let create ?clock ?delta ?(gc = false) ~power ~machines () =
   if machines < 1 then invalid_arg "Pd.create: machines < 1";
   let delta = Option.value delta ~default:(Power.delta_star power) in
   if not (Float.is_finite delta) || delta <= 0.0 then
@@ -65,10 +203,13 @@ let create ?clock ?delta ~power ~machines () =
     power;
     machines;
     delta;
-    nb = 0;
-    bounds = [||];
-    loads = [||];
-    cache = [||];
+    gc;
+    live = Tline.empty;
+    lone = None;
+    finished = Slab.create ();
+    flushed_intervals = 0;
+    evicted_jobs = 0;
+    expiry = Expiry.create ();
     seen = [];
     seen_ids = Hashtbl.create 64;
     outcomes = Hashtbl.create 64;
@@ -83,6 +224,8 @@ let create ?clock ?delta ~power ~machines () =
     probes_total = 0;
     intervals_total = 0;
     breakpoints_total = 0;
+    max_live = 0;
+    max_table = 0;
   }
 
 let set_observer t obs = t.observer <- obs
@@ -95,35 +238,20 @@ let stats t =
     breakpoints = t.breakpoints_total;
   }
 
+let mem t =
+  {
+    live_intervals = Tline.cardinal t.live;
+    max_live_intervals = t.max_live;
+    table_entries = Hashtbl.length t.seen_ids + Hashtbl.length t.outcomes;
+    max_table_entries = t.max_table;
+    flushed_intervals = t.flushed_intervals;
+    evicted_jobs = t.evicted_jobs;
+    finished_slices = Slab.length t.finished;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Timeline maintenance                                                 *)
 (* ------------------------------------------------------------------ *)
-
-let n_intervals t = if t.nb >= 2 then t.nb - 1 else 0
-
-let ensure_slot t =
-  let cap = Array.length t.bounds in
-  if t.nb >= cap then begin
-    let ncap = if cap = 0 then 8 else 2 * cap in
-    let nb = Array.make ncap 0.0 in
-    Array.blit t.bounds 0 nb 0 t.nb;
-    t.bounds <- nb;
-    let nl = Array.make ncap [] in
-    Array.blit t.loads 0 nl 0 (n_intervals t);
-    t.loads <- nl;
-    let nc = Array.make ncap None in
-    Array.blit t.cache 0 nc 0 (n_intervals t);
-    t.cache <- nc
-  end
-
-(* First index in [0, nb) with bounds.(i) >= b. *)
-let lower_bound t b =
-  let lo = ref 0 and hi = ref t.nb in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if t.bounds.(mid) < b then lo := mid + 1 else hi := mid
-  done;
-  !lo
 
 (* Insert [b] as a boundary unless an existing boundary lies within the
    dedup tolerance (then [b] snaps to it).  Inside an interval: split it,
@@ -131,84 +259,130 @@ let lower_bound t b =
    keeps every job's speed unchanged, which is why the reformulated online
    algorithm computes the same schedule as one knowing the partition a
    priori).  Outside the current horizon: append an empty edge interval.
-   Amortized O(log nb + nb/insert) via binary search + blit into slack
-   capacity.  The tolerance guarantees both sub-lengths of a split exceed
-   boundary_tol * scale, so the proportional split never divides by a
-   near-zero length. *)
+   O(log live) via the tree.  The tolerance guarantees both sub-lengths of
+   a split exceed boundary_tol * scale, so the proportional split never
+   divides by a near-zero length. *)
 let insert_boundary t b =
-  let pos = lower_bound t b in
-  let dup =
-    (pos < t.nb && same_boundary t.bounds.(pos) b)
-    || (pos > 0 && same_boundary t.bounds.(pos - 1) b)
-  in
-  if not dup then begin
-    ensure_slot t;
-    let n = t.nb and ni = n_intervals t in
-    Array.blit t.bounds pos t.bounds (pos + 1) (n - pos);
-    t.bounds.(pos) <- b;
-    t.nb <- n + 1;
-    if n >= 2 then begin
-      if pos = 0 then begin
-        (* new empty edge interval [b, old first) *)
-        Array.blit t.loads 0 t.loads 1 ni;
-        Array.blit t.cache 0 t.cache 1 ni;
-        t.loads.(0) <- [];
-        t.cache.(0) <- None
+  match Tline.find_last_leq b t.live with
+  | None -> (
+    match (Tline.min_binding_opt t.live, t.lone) with
+    | Some (glo, _), _ ->
+      (* before the current horizon *)
+      if not (same_boundary glo b) then
+        t.live <-
+          Tline.add b { lo = b; hi = glo; loads = []; cache = None } t.live
+    | None, Some x ->
+      if not (same_boundary x b) then begin
+        let lo = Float.min x b and hi = Float.max x b in
+        t.live <- Tline.add lo { lo; hi; loads = []; cache = None } t.live;
+        t.lone <- None
       end
-      else if pos = n then begin
-        (* new empty edge interval [old last, b) *)
-        t.loads.(ni) <- [];
-        t.cache.(ni) <- None
+    | None, None -> t.lone <- Some b)
+  | Some (lo_k, iv) ->
+    if not (same_boundary lo_k b) then
+      if b < iv.hi then begin
+        if not (same_boundary iv.hi b) then begin
+          (* split [lo, hi) at b *)
+          let lo = iv.lo and hi = iv.hi in
+          let frac_left = (b -. lo) /. (hi -. lo) in
+          let half len factor =
+            match iv.cache with
+            | None -> None
+            | Some c -> Some (Chen.rescale c ~length:len ~factor)
+          in
+          let right =
+            {
+              lo = b;
+              hi;
+              loads =
+                List.map (fun (id, w) -> (id, w *. (1.0 -. frac_left))) iv.loads;
+              cache = half (hi -. b) (1.0 -. frac_left);
+            }
+          in
+          iv.hi <- b;
+          iv.loads <- List.map (fun (id, w) -> (id, w *. frac_left)) iv.loads;
+          iv.cache <- half (b -. lo) frac_left;
+          t.live <- Tline.add b right t.live
+        end
       end
-      else begin
-        (* split interval pos-1 = [lo, hi) at b *)
-        let lo = t.bounds.(pos - 1) and hi = t.bounds.(pos + 1) in
-        let frac_left = (b -. lo) /. (hi -. lo) in
-        let old = t.loads.(pos - 1) in
-        let old_cache = t.cache.(pos - 1) in
-        Array.blit t.loads (pos - 1) t.loads pos (ni - (pos - 1));
-        Array.blit t.cache (pos - 1) t.cache pos (ni - (pos - 1));
-        t.loads.(pos - 1) <-
-          List.map (fun (id, w) -> (id, w *. frac_left)) old;
-        t.loads.(pos) <-
-          List.map (fun (id, w) -> (id, w *. (1.0 -. frac_left))) old;
-        let half len factor =
-          match old_cache with
-          | None -> None
-          | Some c -> Some (Chen.rescale c ~length:len ~factor)
-        in
-        t.cache.(pos - 1) <- half (b -. lo) frac_left;
-        t.cache.(pos) <- half (hi -. b) (1.0 -. frac_left)
-      end
-    end
-    else if t.nb = 2 then begin
-      (* transition from "single boundary" to "first real interval" *)
-      t.loads.(0) <- [];
-      t.cache.(0) <- None
-    end
-  end
+      else if not (same_boundary iv.hi b) then
+        (* [iv] is the last interval (contiguity): append an empty edge
+           interval [old horizon, b) *)
+        t.live <-
+          Tline.add iv.hi { lo = iv.hi; hi = b; loads = []; cache = None }
+            t.live
 
-(* Index of the boundary representing [x]: exact, or the neighbour [x]
+(* The boundary value representing [x]: exact, or the neighbour [x]
    snapped to during [insert_boundary]. *)
-let boundary_index t x =
-  let pos = lower_bound t x in
-  if pos < t.nb && same_boundary t.bounds.(pos) x then pos
-  else if pos > 0 && same_boundary t.bounds.(pos - 1) x then pos - 1
-  else invalid_arg (Fmt.str "Pd.boundary_index: %g is not a boundary" x)
+let boundary_key t x =
+  let of_lone () =
+    match t.lone with
+    | Some l when same_boundary l x -> Some l
+    | _ -> None
+  in
+  let cand =
+    match Tline.find_last_leq x t.live with
+    | Some (lo_k, iv) ->
+      if same_boundary lo_k x then Some lo_k
+      else if same_boundary iv.hi x then Some iv.hi
+      else None
+    | None -> (
+      match Tline.min_binding_opt t.live with
+      | Some (glo, _) when same_boundary glo x -> Some glo
+      | _ -> of_lone ())
+  in
+  match cand with
+  | Some b -> b
+  | None -> invalid_arg (Fmt.str "Pd.boundary_key: %g is not a boundary" x)
 
-(* The committed-load Chen problem of interval [k], built lazily and
-   invalidated whenever the interval is split or receives new load. *)
-let chen_of t k =
-  match t.cache.(k) with
-  | Some c -> c
-  | None ->
-    let c =
-      Chen.build ~machines:t.machines
-        ~length:(t.bounds.(k + 1) -. t.bounds.(k))
-        t.loads.(k)
-    in
-    t.cache.(k) <- Some c;
-    c
+(* ------------------------------------------------------------------ *)
+(* Garbage collection of the wholly-past prefix                         *)
+(* ------------------------------------------------------------------ *)
+
+(* "Wholly in the past", robustly: an interval [lo, hi) may be flushed
+   only when [hi] trails [last_release] by a 4x boundary-tolerance margin
+   (plus the 1e-12 arrival-order slack).  A future release can undershoot
+   [last_release] by at most 1e-12, and a future boundary within the snap
+   tolerance of a retained boundary must still find it — the margin makes
+   it impossible for any future boundary to land at, below, or within
+   snapping distance of a flushed boundary, so flushing can never change
+   a decision.  See DESIGN.md section 5. *)
+let safely_past t hi =
+  let scale = 1.0 +. Float.max (Float.abs hi) (Float.abs t.last_release) in
+  t.last_release -. hi > (4.0 *. boundary_tol *. scale) +. 1e-12
+
+let flush_slices t iv ~chen =
+  match iv.loads with
+  | [] -> ()
+  | _ ->
+    let slices = Chen.slices (chen iv) ~t0:iv.lo ~t1:iv.hi in
+    List.iter (Slab.push t.finished) (List.rev slices)
+
+let gc_pass t ~chen =
+  if t.gc then begin
+    let continue = ref true in
+    while !continue do
+      match Tline.min_binding_opt t.live with
+      | Some (k, iv) when safely_past t iv.hi ->
+        flush_slices t iv ~chen;
+        t.live <- Tline.remove k t.live;
+        t.flushed_intervals <- t.flushed_intervals + 1
+      | _ -> continue := false
+    done;
+    (match t.lone with
+    | Some x when safely_past t x -> t.lone <- None
+    | _ -> ());
+    let evicting = ref true in
+    while !evicting do
+      match Expiry.peek t.expiry with
+      | Some (d, id) when safely_past t d ->
+        Expiry.pop t.expiry;
+        Hashtbl.remove t.seen_ids id;
+        Hashtbl.remove t.outcomes id;
+        t.evicted_jobs <- t.evicted_jobs + 1
+      | _ -> evicting := false
+    done
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Arrival processing                                                   *)
@@ -236,7 +410,8 @@ let assigned_at_speed t ~w probs s =
   t.probes_now <- t.probes_now + Array.length probs;
   let acc = Ksum.create () in
   Array.iter
-    (fun (_, p) -> Ksum.add acc (Float.min (Chen.probe_load_for_speed p s) w))
+    (fun (_, _, p) ->
+      Ksum.add acc (Float.min (Chen.probe_load_for_speed p s) w))
     probs;
   Ksum.total acc
 
@@ -244,38 +419,50 @@ let commit t ~w probs lambda =
   let s = speed_of_price t ~workload:w lambda in
   t.probes_now <- t.probes_now + Array.length probs;
   List.filter_map
-    (fun (k, p) ->
+    (fun (k, iv, p) ->
       let z = Float.min (Chen.probe_load_for_speed p s) w in
-      if z > 0.0 then Some (k, z) else None)
+      if z > 0.0 then Some (k, iv, z) else None)
     (Array.to_list probs)
 
-(* Admission checks, timeline refinement and window extraction shared by
-   both arrival paths. *)
-let arrive_common t (job : Job.t) =
+(* Admission checks, GC, timeline refinement and window extraction shared
+   by both arrival paths. *)
+let arrive_common t ~chen (job : Job.t) =
   if Hashtbl.mem t.seen_ids job.id then
     invalid_arg "Pd.arrive: duplicate job id";
   if job.release < t.last_release -. 1e-12 then
     invalid_arg "Pd.arrive: jobs must arrive in release order";
   t.last_release <- Float.max t.last_release job.release;
   Hashtbl.add t.seen_ids job.id ();
-  t.seen <- job :: t.seen;
+  if t.gc then Expiry.push t.expiry job.deadline job.id
+  else t.seen <- job :: t.seen;
+  gc_pass t ~chen;
   insert_boundary t job.release;
   insert_boundary t job.deadline;
-  let k_lo = boundary_index t job.release
-  and k_hi = boundary_index t job.deadline in
-  Array.init (max 0 (k_hi - k_lo)) (fun i -> (k_lo + i, chen_of t (k_lo + i)))
+  let live = Tline.cardinal t.live in
+  if live > t.max_live then t.max_live <- live;
+  let k_lo = boundary_key t job.release
+  and k_hi = boundary_key t job.deadline in
+  if k_lo >= k_hi then [||]
+  else begin
+    let base = Tline.rank k_lo t.live in
+    let window = Tline.bindings_range ~lo:k_lo ~hi:k_hi t.live in
+    Array.of_list
+      (List.mapi (fun i (_, iv) -> (base + i, iv, chen iv)) window)
+  end
 
 let finalize t (job : Job.t) ~accepted ~lambda ~assignment =
   let w = job.workload in
   let planned_speed = speed_of_price t ~workload:w lambda in
   t.lambda_rev <- (job.id, lambda) :: t.lambda_rev;
   Hashtbl.replace t.outcomes job.id (lambda, accepted);
+  let tables = Hashtbl.length t.seen_ids + Hashtbl.length t.outcomes in
+  if tables > t.max_table then t.max_table <- tables;
   if accepted then begin
     t.accepted_rev <- job.id :: t.accepted_rev;
     (* rescale so the job is finished exactly despite solver dust; a
        near-zero total cannot be rescued by rescaling — fail loudly
        instead of recording an acceptance backed by a garbage schedule *)
-    let total = Ksum.sum_by snd assignment in
+    let total = Ksum.sum_by (fun (_, _, z) -> z) assignment in
     if not (total > 1e-9 *. w) then
       failwith
         (Fmt.str
@@ -283,16 +470,19 @@ let finalize t (job : Job.t) ~accepted ~lambda ~assignment =
             assigned"
            job.id total w);
     let scale = w /. total in
-    let assignment = List.map (fun (k, z) -> (k, z *. scale)) assignment in
+    let assignment =
+      List.map (fun (k, iv, z) -> (k, iv, z *. scale)) assignment
+    in
     List.iter
-      (fun (k, z) ->
-        t.loads.(k) <- (job.id, z) :: t.loads.(k);
-        t.cache.(k) <-
-          (match t.cache.(k) with
+      (fun (_, iv, z) ->
+        iv.loads <- (job.id, z) :: iv.loads;
+        iv.cache <-
+          (match iv.cache with
           | Some c -> Some (Chen.add_load c (job.id, z))
           | None -> None))
       assignment;
-    { job; accepted = true; lambda; planned_speed; assignment }
+    let public = List.map (fun (k, _, z) -> (k, z)) assignment in
+    { job; accepted = true; lambda; planned_speed; assignment = public }
   end
   else begin
     t.rejected_rev <- job.id :: t.rejected_rev;
@@ -368,7 +558,7 @@ let merge_sorted a b =
    which is measurable at one merge per arrival. *)
 let merged_breakpoints ~w probs =
   let parts =
-    Array.map (fun (_, p) -> Chen.probe_breakpoints p ~cap:w) probs
+    Array.map (fun (_, _, p) -> Chen.probe_breakpoints p ~cap:w) probs
   in
   let rec reduce lo hi =
     if hi - lo = 1 then parts.(lo)
@@ -452,10 +642,22 @@ let solve_speed t ~w probs ~bound_s =
     (Some s_star, n)
   end
 
+(* The committed-load Chen problem of an interval, built lazily and
+   invalidated whenever the interval is split or receives new load. *)
+let chen t iv =
+  match iv.cache with
+  | Some c -> c
+  | None ->
+    let c =
+      Chen.build ~machines:t.machines ~length:(iv.hi -. iv.lo) iv.loads
+    in
+    iv.cache <- Some c;
+    c
+
 let arrive t (job : Job.t) =
   let t0 = now t in
   t.probes_now <- 0;
-  let probs = arrive_common t job in
+  let probs = arrive_common t ~chen:(chen t) job in
   let w = job.workload in
   let intervals = Array.length probs in
   let finite = Float.is_finite job.value in
@@ -502,7 +704,7 @@ let arrive t (job : Job.t) =
 let arrive_reference t (job : Job.t) =
   let t0 = now t in
   t.probes_now <- 0;
-  let probs = arrive_common t job in
+  let probs = arrive_common t ~chen:(chen t) job in
   let w = job.workload in
   let intervals = Array.length probs in
   let d =
@@ -549,27 +751,50 @@ let arrive_reference t (job : Job.t) =
 (* Results                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let boundaries t = Array.sub t.bounds 0 t.nb
-let interval_loads t = Array.sub t.loads 0 (n_intervals t)
+let boundaries t =
+  match Tline.max_binding_opt t.live with
+  | None -> (
+    match t.lone with None -> [||] | Some x -> [| x |])
+  | Some (_, last) ->
+    let keys = Tline.fold (fun k _ acc -> k :: acc) t.live [] in
+    Array.of_list (List.rev (last.hi :: keys))
+
+let interval_loads t =
+  let loads = Tline.fold (fun _ iv acc -> iv.loads :: acc) t.live [] in
+  Array.of_list (List.rev loads)
 
 let schedule t =
-  let slices = ref [] in
-  for k = 0 to n_intervals t - 1 do
-    if t.loads.(k) <> [] then begin
-      let lo = t.bounds.(k) and hi = t.bounds.(k + 1) in
-      slices := Chen.slices (chen_of t k) ~t0:lo ~t1:hi @ !slices
-    end
-  done;
+  (* prepending in push order reverses the slab; each flush pushed its
+     batch reversed, so this restores newest flush first with
+     batch-internal order intact — the never-flushed slice order *)
+  let finished = Slab.fold (fun acc sl -> sl :: acc) [] t.finished in
+  let slices =
+    Tline.fold
+      (fun _ iv acc ->
+        match iv.loads with
+        | [] -> acc
+        | _ -> Chen.slices (chen t iv) ~t0:iv.lo ~t1:iv.hi @ acc)
+      t.live finished
+  in
   Schedule.make ~machines:t.machines ~rejected:(List.rev t.rejected_rev)
-    !slices
+    slices
 
 let lambdas t = List.rev t.lambda_rev
+
+let require_full_history t what =
+  if t.gc then
+    invalid_arg
+      (Fmt.str
+         "Pd.%s: needs the full history; this state was created with \
+          ~gc:true (bounded memory)"
+         what)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let snapshot t =
+  require_full_history t "snapshot";
   let b = Buffer.create 1024 in
   let pf fmt = Fmt.kstr (Buffer.add_string b) fmt in
   pf "pd-snapshot v1\n";
@@ -578,15 +803,16 @@ let snapshot t =
   pf "delta %.17g\n" t.delta;
   pf "last_release %.17g\n" t.last_release;
   pf "bounds";
-  for i = 0 to t.nb - 1 do
-    pf " %.17g" t.bounds.(i)
-  done;
+  Array.iter (fun x -> pf " %.17g" x) (boundaries t);
   pf "\n";
-  for k = 0 to n_intervals t - 1 do
-    pf "interval %d" k;
-    List.iter (fun (id, load) -> pf " %d:%.17g" id load) t.loads.(k);
-    pf "\n"
-  done;
+  let k = ref 0 in
+  Tline.iter
+    (fun _ iv ->
+      pf "interval %d" !k;
+      List.iter (fun (id, load) -> pf " %d:%.17g" id load) iv.loads;
+      pf "\n";
+      incr k)
+    t.live;
   (* jobs in arrival order with their outcomes *)
   List.iter
     (fun (j : Job.t) ->
@@ -679,16 +905,18 @@ let restore text =
   let delta = match !delta with Some d -> d | None -> failwith "Pd.restore: missing delta" in
   let t = create ~delta ~power:(Power.make alpha) ~machines () in
   let bounds = !bounds in
-  let cap = Array.length bounds in
-  t.bounds <- bounds;
-  t.nb <- cap;
-  t.loads <- (if cap = 0 then [||] else Array.make cap []);
-  t.cache <- (if cap = 0 then [||] else Array.make cap None);
-  let n_intervals = max 0 (cap - 1) in
+  let nb = Array.length bounds in
+  let n_intervals = max 0 (nb - 1) in
+  if nb = 1 then t.lone <- Some bounds.(0);
+  let ivls =
+    Array.init n_intervals (fun k ->
+        { lo = bounds.(k); hi = bounds.(k + 1); loads = []; cache = None })
+  in
+  Array.iter (fun iv -> t.live <- Tline.add iv.lo iv t.live) ivls;
   List.iter
     (fun (k, l) ->
       if k < 0 || k >= n_intervals then failwith "Pd.restore: interval index out of range";
-      t.loads.(k) <- l)
+      ivls.(k).loads <- l)
     !intervals;
   t.last_release <- !last_release;
   List.iter
@@ -704,6 +932,7 @@ let restore text =
   t
 
 let certificate t =
+  require_full_history t "certificate";
   match t.seen with
   | [] -> 0.0
   | seen ->

@@ -42,6 +42,7 @@ type t
 val create :
   ?clock:(unit -> float) ->
   ?delta:float ->
+  ?gc:bool ->
   power:Power.t ->
   machines:int ->
   unit ->
@@ -49,7 +50,22 @@ val create :
 (** [delta] defaults to [Power.delta_star], the optimal [α^(1-α)].
     [clock] (e.g. [Unix.gettimeofday]) enables per-arrival wall-clock
     measurement in {!arrival_stats}; without it [wall_s] is reported as
-    [0].  Raises [Invalid_argument] for [delta <= 0] or [machines < 1]. *)
+    [0].  Raises [Invalid_argument] for [delta <= 0] or [machines < 1].
+
+    [gc] (default [false]) bounds resident memory to the live window:
+    before each arrival, every atomic interval lying wholly in the past
+    of the current release (by a safety margin of several boundary
+    tolerances, DESIGN.md section 5) has its realized slices flushed
+    into a finished-schedule accumulator and its committed-load state
+    dropped, and the dup-id/outcome table entries of jobs whose
+    deadlines are equally past are evicted.  Decisions, multipliers and
+    the final {!schedule} are identical to a [~gc:false] state fed the
+    same stream; what changes is visibility: {!boundaries},
+    {!interval_loads} and {!decision.assignment} indices cover only the
+    {e live} intervals, duplicate-id detection only covers jobs whose
+    windows are still live, and {!snapshot} / {!certificate} (which need
+    the full history) raise [Invalid_argument].  Use {!mem} to observe
+    residency. *)
 
 type arrival_stats = {
   job_id : int;
@@ -79,6 +95,23 @@ type stats = {
 
 val stats : t -> stats
 (** Cumulative counters since {!create} (both arrival paths count). *)
+
+type mem_stats = {
+  live_intervals : int;  (** atomic intervals currently resident *)
+  max_live_intervals : int;  (** high-water mark of [live_intervals] *)
+  table_entries : int;  (** dup-id + outcome hash-table entries resident *)
+  max_table_entries : int;  (** high-water mark of [table_entries] *)
+  flushed_intervals : int;  (** intervals GC has flushed, cumulative *)
+  evicted_jobs : int;  (** table entries GC has evicted, cumulative *)
+  finished_slices : int;
+      (** schedule slices parked in the finished accumulator *)
+}
+
+val mem : t -> mem_stats
+(** Residency gauges.  With [~gc:false] the flushed/evicted counters stay
+    [0] and the live counts grow with the instance; with [~gc:true] the
+    live counts are proportional to the live window — the property the
+    @bench-gate memory check gates on (doc/BENCHMARKING.md). *)
 
 type decision = {
   job : Job.t;
@@ -114,14 +147,18 @@ val arrive_reference : t -> Job.t -> decision
     intervals — do not use outside tests. *)
 
 val boundaries : t -> float array
-(** Current atomic-interval boundaries (for inspection/tests). *)
+(** Current {e live} atomic-interval boundaries (for inspection/tests).
+    With [~gc:true], flushed intervals no longer appear. *)
 
 val interval_loads : t -> (int * float) list array
-(** Current committed loads per atomic interval. *)
+(** Current committed loads per live atomic interval. *)
 
 val schedule : t -> Schedule.t
 (** The concrete schedule realized by Chen et al.'s algorithm in every
-    atomic interval of the {e final} partition. *)
+    atomic interval of the {e final} partition.  With [~gc:true] this is
+    the finished accumulator (flushed intervals' slices) followed by the
+    live intervals' slices — the same slices, interval for interval, as a
+    [~gc:false] state would realize. *)
 
 val lambdas : t -> (int * float) list
 (** [(job id, λ̃_j)] in arrival order. *)
@@ -130,7 +167,10 @@ val snapshot : t -> string
 (** Serialize the full online state (boundaries, committed loads,
     multipliers, decisions, seen jobs) as plain text.  A scheduler process
     can persist this after each arrival and {!restore} after a restart,
-    continuing exactly where it left off. *)
+    continuing exactly where it left off.  Raises [Invalid_argument] on a
+    [~gc:true] state (the flushed history is gone); GC'd deployments
+    snapshot at the engine layer instead, whose `online-snapshot v1`
+    replay format never needs the internal timeline (doc/ENGINE.md). *)
 
 val restore : string -> t
 (** Inverse of {!snapshot}.  Raises [Failure] with a line-numbered message
@@ -142,7 +182,8 @@ val certificate : t -> float
     lower bound on the optimal cost of the prefix instance at any moment
     of the online execution (weak duality needs no future knowledge).
     [0] before the first arrival.  Together with the running cost this
-    gives a live, certified bound on PD's regret. *)
+    gives a live, certified bound on PD's regret.  Raises
+    [Invalid_argument] on a [~gc:true] state (needs every multiplier). *)
 
 type result = {
   schedule : Schedule.t;

@@ -1,0 +1,149 @@
+(* AVL tree over float keys, augmented with subtree sizes for O(log n)
+   rank queries.  The balancing scheme is the stdlib Map's (rebuild
+   constant 2); the size field rides along every smart-constructor call. *)
+
+type 'a t =
+  | Empty
+  | Node of { l : 'a t; k : float; v : 'a; r : 'a t; h : int; n : int }
+
+let empty = Empty
+let is_empty = function Empty -> true | Node _ -> false
+let height = function Empty -> 0 | Node { h; _ } -> h
+let cardinal = function Empty -> 0 | Node { n; _ } -> n
+
+let mk l k v r =
+  Node
+    {
+      l;
+      k;
+      v;
+      r;
+      h = 1 + Stdlib.max (height l) (height r);
+      n = 1 + cardinal l + cardinal r;
+    }
+
+(* Precondition (as in stdlib Map): l and r are balanced, and their
+   heights differ by at most 3. *)
+let balance l k v r =
+  let hl = height l and hr = height r in
+  if hl > hr + 2 then
+    match l with
+    (* slint: allow obj-magic -- height l > height r + 2 >= 2 implies l is a Node *)
+    | Empty -> assert false
+    | Node { l = ll; k = lk; v = lv; r = lr; _ } ->
+      if height ll >= height lr then mk ll lk lv (mk lr k v r)
+      else (
+        match lr with
+        (* slint: allow obj-magic -- height lr > height ll >= 0 implies lr is a Node *)
+        | Empty -> assert false
+        | Node { l = lrl; k = lrk; v = lrv; r = lrr; _ } ->
+          mk (mk ll lk lv lrl) lrk lrv (mk lrr k v r))
+  else if hr > hl + 2 then
+    match r with
+    (* slint: allow obj-magic -- height r > height l + 2 >= 2 implies r is a Node *)
+    | Empty -> assert false
+    | Node { l = rl; k = rk; v = rv; r = rr; _ } ->
+      if height rr >= height rl then mk (mk l k v rl) rk rv rr
+      else (
+        match rl with
+        (* slint: allow obj-magic -- height rl > height rr >= 0 implies rl is a Node *)
+        | Empty -> assert false
+        | Node { l = rll; k = rlk; v = rlv; r = rlr; _ } ->
+          mk (mk l k v rll) rlk rlv (mk rlr rk rv rr))
+  else mk l k v r
+
+let rec add k v = function
+  | Empty ->
+    if Float.is_nan k then invalid_arg "Tline.add: NaN key";
+    mk Empty k v Empty
+  | Node { l; k = k'; v = v'; r; _ } ->
+    if Float.is_nan k then invalid_arg "Tline.add: NaN key";
+    if Float.equal k k' then mk l k v r
+    else if k < k' then balance (add k v l) k' v' r
+    else balance l k' v' (add k v r)
+
+let rec min_binding_opt = function
+  | Empty -> None
+  | Node { l = Empty; k; v; _ } -> Some (k, v)
+  | Node { l; _ } -> min_binding_opt l
+
+let rec max_binding_opt = function
+  | Empty -> None
+  | Node { r = Empty; k; v; _ } -> Some (k, v)
+  | Node { r; _ } -> max_binding_opt r
+
+let rec remove_min = function
+  (* slint: allow obj-magic -- only called on non-empty trees (merge) *)
+  | Empty -> assert false
+  | Node { l = Empty; r; _ } -> r
+  | Node { l; k; v; r; _ } -> balance (remove_min l) k v r
+
+(* Join two trees whose every key in [l] is below every key in [r]. *)
+let merge l r =
+  match (l, r) with
+  | Empty, t | t, Empty -> t
+  | _, _ ->
+    let k, v = Option.get (min_binding_opt r) in
+    balance l k v (remove_min r)
+
+let rec remove k = function
+  | Empty -> Empty
+  | Node { l; k = k'; v; r; _ } as t ->
+    if Float.equal k k' then merge l r
+    else if k < k' then
+      let l' = remove k l in
+      if l' == l then t else balance l' k' v r
+    else
+      let r' = remove k r in
+      if r' == r then t else balance l k' v r'
+
+let rec find_opt k = function
+  | Empty -> None
+  | Node { l; k = k'; v; r; _ } ->
+    if Float.equal k k' then Some v
+    else if k < k' then find_opt k l
+    else find_opt k r
+
+let rec rank k = function
+  | Empty -> 0
+  | Node { l; k = k'; r; _ } ->
+    if k <= k' then rank k l else cardinal l + 1 + rank k r
+
+let rec find_last_leq x = function
+  | Empty -> None
+  | Node { l; k; v; r; _ } ->
+    if k <= x then
+      match find_last_leq x r with Some _ as b -> b | None -> Some (k, v)
+    else find_last_leq x l
+
+let rec find_first_geq x = function
+  | Empty -> None
+  | Node { l; k; v; r; _ } ->
+    if k >= x then
+      match find_first_geq x l with Some _ as b -> b | None -> Some (k, v)
+    else find_first_geq x r
+
+let bindings_range ~lo ~hi t =
+  let rec go t acc =
+    match t with
+    | Empty -> acc
+    | Node { l; k; v; r; _ } ->
+      let acc = if k < hi then go r acc else acc in
+      let acc = if lo <= k && k < hi then (k, v) :: acc else acc in
+      if k >= lo then go l acc else acc
+  in
+  go t []
+
+let rec iter f = function
+  | Empty -> ()
+  | Node { l; k; v; r; _ } ->
+    iter f l;
+    f k v;
+    iter f r
+
+let rec fold f t acc =
+  match t with
+  | Empty -> acc
+  | Node { l; k; v; r; _ } -> fold f r (f k v (fold f l acc))
+
+let bindings t = fold (fun k v acc -> (k, v) :: acc) t [] |> List.rev

@@ -1,0 +1,53 @@
+(** Ordered float-keyed map with order statistics — the balanced tree
+    behind PD's timeline (doc/PERF.md).
+
+    Keys are atomic-interval start times; values are whatever payload the
+    caller attaches (PD stores a mutable interval record).  All structural
+    operations are O(log n); [rank] makes the public interval {e indices}
+    of [Pd.decision.assignment] computable without walking the tree.
+
+    The tree is immutable (the caller stores it in a mutable field);
+    payload mutation is the caller's business.  Keys are compared with
+    exact float equality — PD only ever queries keys it previously
+    inserted, after boundary snapping has already collapsed near-equal
+    instants, so no tolerance belongs at this layer.  NaN keys are
+    rejected. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+val add : float -> 'a -> 'a t -> 'a t
+(** Insert, replacing any existing binding of the key.  Raises
+    [Invalid_argument] on a NaN key. *)
+
+val remove : float -> 'a t -> 'a t
+(** The tree unchanged (physically) when the key is absent. *)
+
+val find_opt : float -> 'a t -> 'a option
+
+val rank : float -> 'a t -> int
+(** Number of keys strictly below the argument. *)
+
+val min_binding_opt : 'a t -> (float * 'a) option
+val max_binding_opt : 'a t -> (float * 'a) option
+
+val find_last_leq : float -> 'a t -> (float * 'a) option
+(** Greatest binding with key [<= x], if any. *)
+
+val find_first_geq : float -> 'a t -> (float * 'a) option
+(** Least binding with key [>= x], if any. *)
+
+val bindings_range : lo:float -> hi:float -> 'a t -> (float * 'a) list
+(** In-order bindings with [lo <= key < hi] — PD's window extraction.
+    O(log n + result). *)
+
+val iter : (float -> 'a -> unit) -> 'a t -> unit
+(** In-order. *)
+
+val fold : (float -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** In-order (leftmost binding first). *)
+
+val bindings : 'a t -> (float * 'a) list

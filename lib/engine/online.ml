@@ -250,7 +250,13 @@ let any_machines (_ : params) = true
 let single_only (p : params) = p.machines = 1
 
 (* PD: natively incremental — its state (atomic intervals, committed
-   loads, multipliers) is exactly the paper's. *)
+   loads, multipliers) is exactly the paper's.  The engine runs PD with
+   ~gc:true: unbounded streams (psched stream, @stream-soak) keep only
+   the live window resident, and decisions/schedules are provably
+   identical to the full-history state (Pd.create's contract; the
+   oracle suite in test_core.ml checks it).  Snapshots are unaffected —
+   the Make wrapper's replay format records arrivals, not the
+   timeline. *)
 let pd : engine =
   (module Make (struct
     let name = "pd"
@@ -260,7 +266,7 @@ let pd : engine =
     type core = Pd.t
 
     let create_core (p : params) =
-      Pd.create ?delta:p.delta ~power:p.power ~machines:p.machines ()
+      Pd.create ?delta:p.delta ~gc:true ~power:p.power ~machines:p.machines ()
 
     let arrive_core core j =
       let d = Pd.arrive core j in

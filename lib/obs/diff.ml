@@ -12,6 +12,7 @@ type entry = {
   payload_drifted : bool;
   old_measure : float option;
   new_measure : float option;
+  mem_broke : (string * float) option;
 }
 
 type report = {
@@ -21,6 +22,7 @@ type report = {
   regressions : int;
   improvements : int;
   verdict_breaks : int;
+  mem_breaks : int;
 }
 
 let default_threshold = 0.10
@@ -35,6 +37,26 @@ let measures (a : Record.t) (b : Record.t) =
     match (pick (fun t -> t.Record.wall_s) a, pick (fun t -> t.wall_s) b) with
     | Some x, Some y -> (Some x, Some y)
     | _ -> (None, None))
+
+(* Worst new/old growth across the resident-memory gauges both records
+   carry.  A gauge missing on either side — in particular an old baseline
+   recorded before the gauge existed — is not comparable and never fails:
+   the gate tightens as baselines are regenerated, it does not block the
+   first file that introduces a gauge. *)
+let worst_gauge_growth (old_r : Record.t) (new_r : Record.t) =
+  List.fold_left
+    (fun acc (name, ov) ->
+      if ov <= 0 then acc
+      else
+        match List.assoc_opt name new_r.Record.counters with
+        | None -> acc
+        | Some nv -> (
+          let ratio = float_of_int nv /. float_of_int ov in
+          match acc with
+          | Some (_, worst) when worst >= ratio -> acc
+          | _ -> Some (name, ratio)))
+    None
+    (Record.resident_gauges old_r)
 
 let classify ~threshold (old_r : Record.t) (new_r : Record.t) =
   let old_m, new_m = measures old_r new_r in
@@ -58,6 +80,11 @@ let classify ~threshold (old_r : Record.t) (new_r : Record.t) =
          { old_r with verdict = None }
          { new_r with verdict = None })
   in
+  let mem_broke =
+    match worst_gauge_growth old_r new_r with
+    | Some (name, ratio) when ratio > 1.0 +. threshold -> Some (name, ratio)
+    | _ -> None
+  in
   {
     id = old_r.id;
     status;
@@ -65,6 +92,7 @@ let classify ~threshold (old_r : Record.t) (new_r : Record.t) =
     payload_drifted;
     old_measure = old_m;
     new_measure = new_m;
+    mem_broke;
   }
 
 let compare_files ?(threshold = default_threshold) old_file new_file =
@@ -85,6 +113,7 @@ let compare_files ?(threshold = default_threshold) old_file new_file =
             payload_drifted = false;
             old_measure = None;
             new_measure = None;
+            mem_broke = None;
           })
       old_file.records
   in
@@ -101,6 +130,7 @@ let compare_files ?(threshold = default_threshold) old_file new_file =
               payload_drifted = false;
               old_measure = None;
               new_measure = None;
+              mem_broke = None;
             })
       new_file.records
   in
@@ -118,9 +148,10 @@ let compare_files ?(threshold = default_threshold) old_file new_file =
     improvements =
       count (fun e -> match e.status with Improvement _ -> true | _ -> false);
     verdict_breaks = count (fun e -> e.verdict_broke);
+    mem_breaks = count (fun e -> Option.is_some e.mem_broke);
   }
 
-let ok r = r.regressions = 0 && r.verdict_breaks = 0
+let ok r = r.regressions = 0 && r.verdict_breaks = 0 && r.mem_breaks = 0
 
 let to_string r =
   let buf = Buffer.create 1024 in
@@ -144,13 +175,20 @@ let to_string r =
         | Removed -> ("-", "removed")
       in
       let status = if e.verdict_broke then status ^ " VERDICT-BROKE" else status in
+      let status =
+        match e.mem_broke with
+        | Some (name, ratio) ->
+          status ^ Fmt.str " MEM-GROWTH(%s x%.3f)" name ratio
+        | None -> status
+      in
       let status = if e.payload_drifted then status ^ " (payload drifted)" else status in
       line "  %-36s %12s %12s %8s  %s" e.id (measure e.old_measure)
         (measure e.new_measure) ratio status)
     r.entries;
   line
-    "summary: %d compared, %d regressions, %d improvements, %d verdict breaks"
-    r.compared r.regressions r.improvements r.verdict_breaks;
+    "summary: %d compared, %d regressions, %d improvements, %d verdict \
+     breaks, %d memory breaks"
+    r.compared r.regressions r.improvements r.verdict_breaks r.mem_breaks;
   line "%s"
     (if ok r then "OK: no perf regressions"
      else "FAIL: perf or verdict regression detected");

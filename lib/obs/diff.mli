@@ -7,6 +7,11 @@
 
     - a verdict that flips CONFIRMED → NOT CONFIRMED (a correctness
       regression is never "just noise");
+    - a resident-memory gauge (a counter named [resident_*], see
+      {!Record.is_resident_gauge}) that grows past the same threshold —
+      space regressions are gated exactly like time regressions.  A gauge
+      present on only one side (e.g. an old baseline recorded before the
+      gauge existed) is not comparable and never fails;
     - nothing at all — added/removed benchmarks and drifted deterministic
       metrics are reported but do not fail, so growing the suite never
       blocks a PR.
@@ -28,6 +33,8 @@ type entry = {
       (** deterministic metrics/counters/params differ between the files *)
   old_measure : float option;  (** ns per run (or wall seconds) in old *)
   new_measure : float option;
+  mem_broke : (string * float) option;
+      (** worst resident gauge past the threshold: name and new/old ratio *)
 }
 
 type report = {
@@ -37,6 +44,7 @@ type report = {
   regressions : int;
   improvements : int;
   verdict_breaks : int;
+  mem_breaks : int;  (** entries whose [mem_broke] is set *)
 }
 
 val default_threshold : float
@@ -47,7 +55,7 @@ val compare_files : ?threshold:float -> Record.file -> Record.file -> report
     non-positive threshold. *)
 
 val ok : report -> bool
-(** No regressions and no verdict breaks. *)
+(** No regressions, no verdict breaks, no memory breaks. *)
 
 val to_string : report -> string
 (** Human-readable table plus a one-line summary, newline-terminated. *)

@@ -66,6 +66,20 @@ val with_wall : wall_s:float -> t -> t
 val strip_timing : t -> t
 (** Drop the machine-dependent part; what determinism tests compare. *)
 
+val resident_gauge_prefix : string
+(** ["resident_"].  A counter whose name carries this prefix is a {e
+    resident-memory gauge}: a deterministic high-water count of live
+    state (live intervals, table entries, ...) rather than of work done.
+    [psched bench-diff] gates gauges like timings — a gauge that grows
+    past the threshold between baseline and candidate fails the diff
+    (space regressions are as real as time regressions; see {!Diff}). *)
+
+val is_resident_gauge : string -> bool
+(** Whether a counter name carries {!resident_gauge_prefix}. *)
+
+val resident_gauges : t -> (string * int) list
+(** The record's resident-memory gauge counters, in record order. *)
+
 val equal : t -> t -> bool
 (** Full structural equality (floats via [Float.equal]). *)
 

@@ -110,10 +110,13 @@ let diurnal ~power ~machines ~seed ~n ?(period = 24.0) ?peak_rate ?trough_rate
   in
   let t = ref 0.0 in
   let arrivals = ref [] in
-  while List.length !arrivals < n do
+  let kept = ref 0 in
+  while !kept < n do
     t := !t +. Rand.exponential st ~rate:peak;
-    if Rand.uniform st ~lo:0.0 ~hi:1.0 <= rate !t /. peak then
-      arrivals := !t :: !arrivals
+    if Rand.uniform st ~lo:0.0 ~hi:1.0 <= rate !t /. peak then begin
+      arrivals := !t :: !arrivals;
+      incr kept
+    end
   done;
   let jobs =
     List.rev !arrivals

@@ -309,10 +309,14 @@ let prop_pd_paths_equivalent =
       let inst = instance_of setup in
       let fast = Pd.create ~power:inst.power ~machines:inst.machines () in
       let slow = Pd.create ~power:inst.power ~machines:inst.machines () in
+      let gcd =
+        Pd.create ~gc:true ~power:inst.power ~machines:inst.machines ()
+      in
       Array.iter
         (fun (j : Job.t) ->
           let df = Pd.arrive fast j in
           let ds = Pd.arrive_reference slow j in
+          let dg = Pd.arrive gcd j in
           if df.accepted <> ds.accepted then
             QCheck.Test.fail_reportf
               "job %d: accepted %b (walk) vs %b (reference)" j.id
@@ -322,13 +326,22 @@ let prop_pd_paths_equivalent =
             > 1e-9 *. (1.0 +. Float.abs ds.lambda)
           then
             QCheck.Test.fail_reportf "job %d: lambda %.17g vs %.17g" j.id
-              df.lambda ds.lambda)
+              df.lambda ds.lambda;
+          (* flushing wholly-past state must be invisible: the gc'd walk
+             makes bit-identical decisions, not merely close ones *)
+          if dg.accepted <> df.accepted || not (Float.equal dg.lambda df.lambda)
+          then
+            QCheck.Test.fail_reportf
+              "job %d: gc drifted (accepted %b/%b, lambda %.17g vs %.17g)"
+              j.id dg.accepted df.accepted dg.lambda df.lambda)
         inst.jobs;
       let cost_of t = Cost.total (Schedule.cost inst (Pd.schedule t)) in
-      let cf = cost_of fast and cs = cost_of slow in
+      let cf = cost_of fast and cs = cost_of slow and cg = cost_of gcd in
       if Float.abs (cf -. cs) > 1e-6 *. (1.0 +. Float.abs cs) then
         QCheck.Test.fail_reportf "cost %.12g (walk) vs %.12g (reference)" cf
           cs
+      else if not (Float.equal cg cf) then
+        QCheck.Test.fail_reportf "cost %.17g (gc) vs %.17g (no gc)" cg cf
       else begin
         (* Theorem 3's certificate, re-checked on the optimized path *)
         let rhs = Power.competitive_bound inst.power *. Pd.certificate fast in
@@ -336,6 +349,191 @@ let prop_pd_paths_equivalent =
           QCheck.Test.fail_reportf "cost %.9g > %.9g = alpha^alpha * g" cf rhs
         else true
       end)
+
+(* Long streams with mixed tight/loose deadlines: enough arrivals that GC
+   has flushed most of the timeline mid-property, on windows ragged
+   enough to exercise the frontier logic.  The gc'd breakpoint walk must
+   still match the reference bisection decision for decision, and the gc
+   and full states must realize equal-cost schedules. *)
+let prop_pd_gc_long_stream_oracle =
+  QCheck.Test.make ~name:"gc long stream: walk = reference, flush invisible"
+    ~count:3
+    QCheck.(
+      make
+        ~print:(fun (alpha, machines, seed) ->
+          Printf.sprintf "alpha=%g m=%d seed=%d" alpha machines seed)
+        Gen.(
+          tup3 (oneofl [ 1.5; 2.0; 3.0 ]) (oneofl [ 1; 4 ]) (int_range 0 1000)))
+    (fun (alpha, machines, seed) ->
+      let n = 5_000 in
+      let power = Power.make alpha in
+      let st = Random.State.make [| 0x5eed; seed |] in
+      let jobs =
+        let t = ref 0.0 in
+        List.init n (fun i ->
+            t := !t +. Random.State.float st 0.5;
+            let w = 0.2 +. Random.State.float st 2.0 in
+            let span =
+              if Random.State.bool st then 0.2 +. Random.State.float st 1.0
+              else 5.0 +. Random.State.float st 15.0
+            in
+            let v = 0.05 +. Random.State.float st 25.0 in
+            Job.make ~id:i ~release:!t ~deadline:(!t +. span) ~workload:w
+              ~value:v)
+      in
+      let inst = Instance.make ~power ~machines jobs in
+      let gc_fast = Pd.create ~gc:true ~power ~machines () in
+      let gc_ref = Pd.create ~gc:true ~power ~machines () in
+      let plain = Pd.create ~power ~machines () in
+      Array.iter
+        (fun (j : Job.t) ->
+          let df = Pd.arrive gc_fast j in
+          let dr = Pd.arrive_reference gc_ref j in
+          let dp = Pd.arrive plain j in
+          if df.accepted <> dr.accepted then
+            QCheck.Test.fail_reportf
+              "job %d: accepted %b (walk) vs %b (reference)" j.id df.accepted
+              dr.accepted;
+          if
+            Float.abs (df.lambda -. dr.lambda)
+            > 1e-9 *. (1.0 +. Float.abs dr.lambda)
+          then
+            QCheck.Test.fail_reportf "job %d: lambda %.17g vs %.17g" j.id
+              df.lambda dr.lambda;
+          if dp.accepted <> df.accepted || not (Float.equal dp.lambda df.lambda)
+          then
+            QCheck.Test.fail_reportf "job %d: gc drifted from full state" j.id)
+        inst.jobs;
+      let m = Pd.mem gc_fast in
+      if m.flushed_intervals = 0 then
+        QCheck.Test.fail_reportf "GC never fired on a %d-arrival stream" n;
+      if m.max_live_intervals >= m.flushed_intervals then
+        QCheck.Test.fail_reportf
+          "residency not bounded: %d live high-water vs %d flushed"
+          m.max_live_intervals m.flushed_intervals;
+      let cost_of t = Cost.total (Schedule.cost inst (Pd.schedule t)) in
+      let cg = cost_of gc_fast and cp = cost_of plain in
+      if not (Float.equal cg cp) then
+        QCheck.Test.fail_reportf "cost %.17g (gc) vs %.17g (full)" cg cp
+      else true)
+
+(* Satellite invariant for the dup-id/outcome tables: a stream of jobs
+   whose windows expire before the next arrival must keep every residency
+   gauge flat — O(1) live intervals and table entries across 10^4
+   arrivals, everything else flushed/evicted. *)
+let test_gc_flat_residency_on_expired_stream () =
+  let n = 10_000 in
+  let pd = Pd.create ~gc:true ~power:p2 ~machines:2 () in
+  for i = 0 to n - 1 do
+    let r = float_of_int i in
+    ignore
+      (Pd.arrive pd
+         (mk_job ~id:i ~r ~d:(r +. 0.5) ~w:1.0 ~v:50.0 ()))
+  done;
+  let m = Pd.mem pd in
+  Alcotest.(check bool) "live intervals flat" true (m.live_intervals <= 4);
+  Alcotest.(check bool) "live high-water flat" true (m.max_live_intervals <= 4);
+  Alcotest.(check bool) "table entries flat" true (m.table_entries <= 8);
+  Alcotest.(check bool) "table high-water flat" true (m.max_table_entries <= 8);
+  Alcotest.(check bool) "everything flushed" true
+    (m.flushed_intervals >= n - 4);
+  Alcotest.(check bool) "everything evicted" true (m.evicted_jobs >= n - 4);
+  (* flushing loses nothing: every accepted job still has its one slice
+     in the assembled schedule *)
+  Alcotest.(check int) "schedule covers the whole history" n
+    (List.length (Pd.schedule pd).Schedule.slices)
+
+(* ------------------------------------------------------------------ *)
+(* Tline — the order-statistics tree under the PD timeline               *)
+(* ------------------------------------------------------------------ *)
+
+(* Model-based check against a sorted association list.  Keys are drawn
+   from a small pool so adds collide and removes hit real keys. *)
+let prop_tline_matches_sorted_assoc_model =
+  let apply_model ops =
+    List.fold_left
+      (fun m op ->
+        match op with
+        | `Add (k, v) ->
+          List.sort compare ((k, v) :: List.remove_assoc k m)
+        | `Remove k -> List.remove_assoc k m)
+      [] ops
+  in
+  let apply_tline ops =
+    List.fold_left
+      (fun t op ->
+        match op with
+        | `Add (k, v) -> Speedscale_core.Tline.add k v t
+        | `Remove k -> Speedscale_core.Tline.remove k t)
+      Speedscale_core.Tline.empty ops
+  in
+  QCheck.Test.make ~name:"Tline = sorted assoc list (all queries)" ~count:300
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 60)
+        (make
+           ~print:(function
+             | `Add (k, v) -> Printf.sprintf "add %g %d" k v
+             | `Remove k -> Printf.sprintf "remove %g" k)
+           Gen.(
+             let key = map (fun i -> float_of_int i /. 4.0) (-8 -- 20) in
+             oneof
+               [
+                 map2 (fun k v -> `Add (k, v)) key (0 -- 99);
+                 map (fun k -> `Remove k) key;
+               ])))
+    (fun ops ->
+      let open Speedscale_core.Tline in
+      let m = apply_model ops in
+      let t = apply_tline ops in
+      let fail fmt = QCheck.Test.fail_reportf fmt in
+      if cardinal t <> List.length m then
+        fail "cardinal %d vs %d" (cardinal t) (List.length m);
+      if is_empty t <> (m = []) then fail "is_empty disagrees";
+      if bindings t <> m then fail "bindings disagree";
+      if fold (fun k v acc -> (k, v) :: acc) t [] <> List.rev m then
+        fail "fold order disagrees";
+      let probes =
+        List.sort_uniq compare
+          (List.concat_map
+             (function `Add (k, _) | `Remove k -> [ k; k +. 0.1; k -. 0.1 ])
+             ops)
+      in
+      List.iter
+        (fun q ->
+          if find_opt q t <> List.assoc_opt q m then fail "find_opt %g" q;
+          if rank q t <> List.length (List.filter (fun (k, _) -> k < q) m)
+          then fail "rank %g" q;
+          let last_leq =
+            List.fold_left
+              (fun acc (k, v) -> if k <= q then Some (k, v) else acc)
+              None m
+          in
+          if find_last_leq q t <> last_leq then fail "find_last_leq %g" q;
+          if
+            find_first_geq q t
+            <> List.find_opt (fun (k, _) -> k >= q) m
+          then fail "find_first_geq %g" q)
+        probes;
+      (match (min_binding_opt t, m) with
+      | None, [] -> ()
+      | Some b, first :: _ when b = first -> ()
+      | _ -> fail "min_binding disagrees");
+      (match (max_binding_opt t, List.rev m) with
+      | None, [] -> ()
+      | Some b, last :: _ when b = last -> ()
+      | _ -> fail "max_binding disagrees");
+      List.iter
+        (fun lo ->
+          List.iter
+            (fun hi ->
+              if
+                bindings_range ~lo ~hi t
+                <> List.filter (fun (k, _) -> k >= lo && k < hi) m
+              then fail "bindings_range %g %g" lo hi)
+            probes)
+        probes;
+      true)
 
 let test_near_duplicate_boundary () =
   let pd = Pd.create ~power:p2 ~machines:1 () in
@@ -638,6 +836,13 @@ let () =
           Alcotest.test_case "stats observer" `Quick
             test_arrival_stats_observer;
           q prop_pd_paths_equivalent;
+        ] );
+      ( "gc",
+        [
+          q prop_pd_gc_long_stream_oracle;
+          Alcotest.test_case "flat residency on expired stream" `Quick
+            test_gc_flat_residency_on_expired_stream;
+          q prop_tline_matches_sorted_assoc_model;
         ] );
       ( "theorem3",
         [

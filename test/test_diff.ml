@@ -128,6 +128,64 @@ let test_diff_threshold_configurable () =
     (Invalid_argument "Diff.compare_files: threshold must be positive")
     (fun () -> ignore (Diff.compare_files ~threshold:0.0 old_f new_f))
 
+let gauge_rec id ~ns gauges counters =
+  Record.make ~id
+    ~counters:
+      (List.map (fun (k, v) -> (Record.resident_gauge_prefix ^ k, v)) gauges
+      @ counters)
+    ~timing:{ Record.no_timing with ns_per_run = Some ns }
+    Record.Timing
+
+let test_diff_memory_growth_fails () =
+  (* timing stable, but the live-interval gauge triples: a space
+     regression must fail the gate exactly like a time regression *)
+  let old_f = mk_file [ gauge_rec "soak" ~ns:100.0 [ ("live", 40) ] [] ] in
+  let new_f = mk_file [ gauge_rec "soak" ~ns:100.0 [ ("live", 120) ] [] ] in
+  let r = Diff.compare_files old_f new_f in
+  Alcotest.(check bool) "not ok" false (Diff.ok r);
+  Alcotest.(check int) "mem breaks" 1 r.mem_breaks;
+  Alcotest.(check int) "no timing regression" 0 r.regressions;
+  (match (List.hd r.entries).mem_broke with
+  | Some (name, ratio) ->
+    Alcotest.(check string) "gauge named" "resident_live" name;
+    Alcotest.(check (float 1e-9)) "ratio" 3.0 ratio
+  | None -> Alcotest.fail "mem_broke must be set");
+  let text = Diff.to_string r in
+  Alcotest.(check bool) "rendered" true
+    (let sub = "MEM-GROWTH(resident_live" in
+     let n = String.length text and k = String.length sub in
+     let rec go i = i + k <= n && (String.sub text i k = sub || go (i + 1)) in
+     go 0)
+
+let test_diff_memory_within_threshold_ok () =
+  let old_f = mk_file [ gauge_rec "soak" ~ns:100.0 [ ("live", 100) ] [] ] in
+  let new_f = mk_file [ gauge_rec "soak" ~ns:100.0 [ ("live", 105) ] [] ] in
+  let r = Diff.compare_files old_f new_f in
+  Alcotest.(check bool) "ok" true (Diff.ok r);
+  Alcotest.(check int) "no mem breaks" 0 r.mem_breaks
+
+let test_diff_missing_gauge_tolerated () =
+  (* an old baseline recorded before the gauge existed must not block the
+     PR that introduces it, in either direction; and a non-gauge counter
+     exploding is payload drift, not a memory break *)
+  let old_f = mk_file [ timing_rec "soak" 100.0 ] in
+  let new_f =
+    mk_file [ gauge_rec "soak" ~ns:100.0 [ ("live", 1_000_000) ] [] ]
+  in
+  let r = Diff.compare_files old_f new_f in
+  Alcotest.(check bool) "new gauge tolerated" true (Diff.ok r);
+  Alcotest.(check int) "no mem breaks" 0 r.mem_breaks;
+  let r_rev = Diff.compare_files new_f old_f in
+  Alcotest.(check bool) "dropped gauge tolerated" true (Diff.ok r_rev);
+  let old_c = mk_file [ gauge_rec "soak" ~ns:100.0 [] [ ("probes", 10) ] ] in
+  let new_c =
+    mk_file [ gauge_rec "soak" ~ns:100.0 [] [ ("probes", 10_000) ] ]
+  in
+  let r_c = Diff.compare_files old_c new_c in
+  Alcotest.(check bool) "plain counter is not gated" true (Diff.ok r_c);
+  Alcotest.(check bool) "but reported as drift" true
+    (List.exists (fun (e : Diff.entry) -> e.payload_drifted) r_c.entries)
+
 let prop_diff_uniform_scaling =
   QCheck.Test.make
     ~name:"uniform slowdown beyond the threshold flags every record"
@@ -325,6 +383,12 @@ let () =
           Alcotest.test_case "added/removed tolerated" `Quick
             test_diff_added_removed_do_not_fail;
           Alcotest.test_case "threshold" `Quick test_diff_threshold_configurable;
+          Alcotest.test_case "memory growth fails" `Quick
+            test_diff_memory_growth_fails;
+          Alcotest.test_case "memory within threshold ok" `Quick
+            test_diff_memory_within_threshold_ok;
+          Alcotest.test_case "missing gauge tolerated" `Quick
+            test_diff_missing_gauge_tolerated;
           q prop_diff_uniform_scaling;
           q prop_diff_within_threshold_stable;
         ] );

@@ -273,6 +273,101 @@ let test_snapshot_roundtrip () =
       end)
     Online.all
 
+(* The pd engine runs its core with GC on (bounded memory), so the cut
+   may land long after the native timeline has flushed its past.  The
+   replay snapshot must still be an exact state transfer: decisions after
+   restore byte-identical to the uninterrupted stream. *)
+let gen_gc_stream =
+  QCheck.Gen.(
+    let* machines = oneofl [ 1; 3 ] in
+    let* seed = int_range 0 1000 in
+    return (machines, seed))
+
+let arb_gc_stream =
+  QCheck.make gen_gc_stream ~print:(fun (m, seed) ->
+      Printf.sprintf "m=%d seed=%d" m seed)
+
+let expiring_jobs ~seed ~n =
+  (* releases march forward fast against tight deadlines, so intervals
+     fall wholly into the past within a handful of arrivals *)
+  let st = Random.State.make [| 0x6c1; seed |] in
+  let t = ref 0.0 in
+  List.init n (fun i ->
+      t := !t +. 0.5 +. Random.State.float st 1.0;
+      let w = 0.2 +. Random.State.float st 1.5 in
+      let span = 0.3 +. Random.State.float st 1.2 in
+      let v = 0.5 +. Random.State.float st 20.0 in
+      mk_job ~id:i ~r:!t ~d:(!t +. span) ~w ~v)
+
+let prop_gc_snapshot_restore_continue =
+  QCheck.Test.make
+    ~name:
+      "pd engine: snapshot -> restore -> continue after GC fired is \
+       byte-identical to the uninterrupted stream"
+    ~count:20 arb_gc_stream (fun (machines, seed) ->
+      let n = 60 in
+      let jobs = expiring_jobs ~seed ~n in
+      let k = n / 2 in
+      (* the same prefix drives the raw core: GC must actually have fired
+         before the cut, otherwise this property tests nothing *)
+      let probe =
+        Speedscale_core.Pd.create ~gc:true ~power:p3 ~machines ()
+      in
+      List.iteri
+        (fun i j -> if i < k then ignore (Speedscale_core.Pd.arrive probe j))
+        jobs;
+      if (Speedscale_core.Pd.mem probe).flushed_intervals = 0 then
+        QCheck.Test.fail_reportf "GC never fired on the %d-arrival prefix" k;
+      let p = Online.params ~power:p3 ~machines () in
+      let full = Online.start Online.pd p in
+      let full_decisions = List.map (Online.arrive full) jobs in
+      let pre = Online.start Online.pd p in
+      List.iteri (fun i j -> if i < k then ignore (Online.arrive pre j)) jobs;
+      let resumed = Online.restore (Online.snapshot pre) in
+      let suffix = List.filteri (fun i _ -> i >= k) jobs in
+      let resumed_decisions = List.map (Online.arrive resumed) suffix in
+      List.for_all2 decision_eq resumed_decisions
+        (List.filteri (fun i _ -> i >= k) full_decisions))
+
+(* A snapshot file written before the tree-timeline/GC rework must still
+   restore: the `online-snapshot v1` wire format is replay-based and owes
+   nothing to the core's internal representation.  This fixture is a
+   verbatim pre-rework snapshot (two arrivals into the pd engine). *)
+let pre_rework_v1_fixture =
+  "online-snapshot v1\n\
+   engine pd\n\
+   alpha 3\n\
+   machines 2\n\
+   job 0 0 2 1 10\n\
+   job 1 0.5 1.5 1 inf\n"
+
+let test_pre_rework_snapshot_still_restores () =
+  let t = Online.restore pre_rework_v1_fixture in
+  (* continuing from the fixture equals running the whole stream fresh *)
+  let jobs =
+    [
+      mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:1.0 ~v:10.0;
+      mk_job ~id:1 ~r:0.5 ~d:1.5 ~w:1.0 ~v:Float.infinity;
+    ]
+  in
+  let later = mk_job ~id:2 ~r:1.0 ~d:3.0 ~w:0.8 ~v:5.0 in
+  let fresh = Online.start Online.pd (Online.params ~power:p3 ~machines:2 ()) in
+  let fresh_decisions = List.map (Online.arrive fresh) (jobs @ [ later ]) in
+  let d_restored = Online.arrive t later in
+  Alcotest.(check bool)
+    "decision after restoring the old snapshot matches a fresh run" true
+    (decision_eq d_restored (List.nth fresh_decisions 2));
+  Alcotest.(check (float 1e-9))
+    "final cost agrees"
+    (Cost.total
+       (Schedule.cost
+          (Instance.make ~power:p3 ~machines:2 (jobs @ [ later ]))
+          (Online.finalize fresh)))
+    (Cost.total
+       (Schedule.cost
+          (Instance.make ~power:p3 ~machines:2 (jobs @ [ later ]))
+          (Online.finalize t)))
+
 let test_restore_errors () =
   Alcotest.check_raises "not a snapshot"
     (Failure "Online.restore: not an online-snapshot v1") (fun () ->
@@ -328,8 +423,11 @@ let () =
       ( "stability",
         [
           QCheck_alcotest.to_alcotest prop_prefix_stability;
+          QCheck_alcotest.to_alcotest prop_gc_snapshot_restore_continue;
           Alcotest.test_case "snapshot roundtrip" `Slow
             test_snapshot_roundtrip;
+          Alcotest.test_case "pre-rework v1 snapshot restores" `Quick
+            test_pre_rework_snapshot_still_restores;
           Alcotest.test_case "restore errors" `Quick test_restore_errors;
         ] );
       ( "clipping",
