@@ -324,7 +324,7 @@ let slices t ~t0 ~t1 =
     let acc = ref dedicated in
     let proc = ref d and offset = ref 0.0 in
     let emit p lo hi id =
-      if hi -. lo > 1e-12 *. (1.0 +. l) then
+      if hi -. lo > Feq.tol_guard *. (1.0 +. l) then
         acc :=
           { Schedule.proc = p; t0 = t0 +. lo; t1 = t0 +. hi; job = id;
             speed = pool_speed }
@@ -335,14 +335,14 @@ let slices t ~t0 ~t1 =
       let dur = t.loads.(i) /. pool_speed in
       let cap = l -. !offset in
       let last_proc = !proc >= t.machines - 1 in
-      if dur <= cap +. (1e-9 *. l) || last_proc then begin
+      if dur <= cap +. (Feq.tol_snap *. l) || last_proc then begin
         (* fits (or this is the final processor: accumulated rounding can
            claim an overflow of order 1e-9*l — squeeze it in, the work
            tolerance absorbs it) *)
         let dur = Float.min dur cap in
         emit !proc !offset (!offset +. dur) id;
         offset := !offset +. dur;
-        if l -. !offset <= 1e-9 *. l && not last_proc then begin
+        if l -. !offset <= Feq.tol_snap *. l && not last_proc then begin
           incr proc;
           offset := 0.0
         end

@@ -102,7 +102,7 @@ let analyze (inst : Instance.t) (r : Pd.result) =
       l_hat.(j) <- l_hat.(j) +. lk;
       let speed = proc_speeds.(rank) in
       e_pd.(j) <- e_pd.(j) +. Power.energy power ~speed ~duration:lk;
-      if finished.(j) && speed < stilde.(j) -. (1e-6 *. (1.0 +. stilde.(j)))
+      if finished.(j) && speed < stilde.(j) -. (Feq.tol_loose *. (1.0 +. stilde.(j)))
       then prop7_ok := false
     in
     List.iteri assign fin;
@@ -114,7 +114,7 @@ let analyze (inst : Instance.t) (r : Pd.result) =
   in
   let category j =
     if finished.(j) then Finished
-    else if xhat.(j) <= low_yield_threshold +. 1e-12 then Low_yield
+    else if xhat.(j) <= low_yield_threshold +. Feq.tol_guard then Low_yield
     else High_yield
   in
   let e_lambda = Array.init n (fun j -> r.lambda.(j) *. xhat.(j) /. alpha) in
@@ -150,7 +150,7 @@ let analyze (inst : Instance.t) (r : Pd.result) =
   let e_pd_total = Schedule.energy power r.schedule in
   let cost_pd = Cost.total r.cost in
   (* lemma and proposition checks (small relative slack for float noise) *)
-  let slack = 1e-6 in
+  let slack = Feq.tol_loose in
   let sum_cat cat f =
     Ksum.sum_by f (Array.to_list jobs |> List.filter (fun ji -> ji.category = cat))
   in

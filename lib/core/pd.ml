@@ -8,7 +8,7 @@ open Speedscale_solver
    tolerance must share a boundary, or the proportional split of committed
    loads divides by a near-zero interval length and amplifies rounding
    noise into the schedule.  See DESIGN.md section 5. *)
-let boundary_tol = 1e-9
+let boundary_tol = Feq.tol_snap
 let same_boundary a b = Feq.approx ~atol:boundary_tol ~rtol:boundary_tol a b
 
 type arrival_stats = {
@@ -349,7 +349,7 @@ let boundary_key t x =
    a decision.  See DESIGN.md section 5. *)
 let safely_past t hi =
   let scale = 1.0 +. Float.max (Float.abs hi) (Float.abs t.last_release) in
-  t.last_release -. hi > (4.0 *. boundary_tol *. scale) +. 1e-12
+  t.last_release -. hi > (4.0 *. boundary_tol *. scale) +. Feq.tol_guard
 
 let flush_slices t iv ~chen =
   match iv.loads with
@@ -429,7 +429,7 @@ let commit t ~w probs lambda =
 let arrive_common t ~chen (job : Job.t) =
   if Hashtbl.mem t.seen_ids job.id then
     invalid_arg "Pd.arrive: duplicate job id";
-  if job.release < t.last_release -. 1e-12 then
+  if job.release < t.last_release -. Feq.tol_guard then
     invalid_arg "Pd.arrive: jobs must arrive in release order";
   t.last_release <- Float.max t.last_release job.release;
   Hashtbl.add t.seen_ids job.id ();
@@ -463,7 +463,7 @@ let finalize t (job : Job.t) ~accepted ~lambda ~assignment =
        near-zero total cannot be rescued by rescaling — fail loudly
        instead of recording an acceptance backed by a garbage schedule *)
     let total = Ksum.sum_by (fun (_, _, z) -> z) assignment in
-    if not (total > 1e-9 *. w) then
+    if not (total > Feq.tol_snap *. w) then
       failwith
         (Fmt.str
            "Pd.arrive: job %d accepted but only %g of workload %g was \
@@ -601,7 +601,7 @@ let solve_speed t ~w probs ~bound_s =
       Array.append below [| sv |]
     | None ->
       let last = nat.(Array.length nat - 1) in
-      Array.append nat [| last *. (1.0 +. 1e-6) |]
+      Array.append nat [| last *. (1.0 +. Feq.tol_loose) |]
   in
   let n = Array.length bps in
   (* Cancellation in the probe's closed form can make f at the exact
@@ -609,7 +609,7 @@ let solve_speed t ~w probs ~bound_s =
      search would then skip past it onto the plateau, where interpolation
      is meaningless.  Searching against w minus a whisker keeps the
      bracketing segment at (or before) the true crossing. *)
-  let w_eff = w -. (1e-12 *. (1.0 +. w)) in
+  let w_eff = w -. (Feq.tol_guard *. (1.0 +. w)) in
   if f bps.(n - 1) < w_eff then (None, n)
   else begin
     (* smallest j with f bps.(j) >= w_eff; f is 0 at the first natural
@@ -635,7 +635,7 @@ let solve_speed t ~w probs ~bound_s =
           Feq.clamp ~lo:sa ~hi:sb
             (sa +. ((w -. fa) *. (sb -. sa) /. (fb -. fa)))
         in
-        if Float.abs (f s -. w) <= 1e-9 *. (1.0 +. w) then s
+        if Float.abs (f s -. w) <= Feq.tol_snap *. (1.0 +. w) then s
         else Bisect.monotone_inverse ~f ~target:w ~lo:sa ~hi:sb ()
       end
     in
@@ -666,7 +666,7 @@ let arrive t (job : Job.t) =
     else begin
       let s_v = if finite then speed_of_price t ~workload:w job.value else 0.0 in
       let at_value = if finite then assigned_at_speed t ~w probs s_v else 0.0 in
-      if finite && at_value < w *. (1.0 -. 1e-9) then
+      if finite && at_value < w *. (1.0 -. Feq.tol_snap) then
         (finalize t job ~accepted:false ~lambda:job.value ~assignment:[], 0)
       else begin
         let bound_s = if finite then Some s_v else None in
@@ -714,7 +714,7 @@ let arrive_reference t (job : Job.t) =
       let at_value =
         if Float.is_finite job.value then assigned job.value else 0.0
       in
-      if Float.is_finite job.value && at_value < w *. (1.0 -. 1e-9) then
+      if Float.is_finite job.value && at_value < w *. (1.0 -. Feq.tol_snap) then
         finalize t job ~accepted:false ~lambda:job.value ~assignment:[]
       else begin
         let hi =
@@ -725,10 +725,10 @@ let arrive_reference t (job : Job.t) =
             let init =
               t.delta *. w
               *. Power.deriv t.power
-                   ((w +. 1.0) /. Float.max 1e-9 (Job.span job))
+                   ((w +. 1.0) /. Float.max Feq.tol_snap (Job.span job))
             in
             Bisect.grow_bracket ~f:assigned ~target:w ~lo:0.0
-              ~init:(Float.max init 1e-9) ()
+              ~init:(Float.max init Feq.tol_snap) ()
           end
         in
         let mu_star =

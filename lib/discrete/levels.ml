@@ -18,7 +18,7 @@ let geometric ~base ~ratio ~count =
   make (List.init count (fun i -> base *. (ratio ** float_of_int i)))
 
 let max_level t = t.levels.(Array.length t.levels - 1)
-let covering t s = s <= max_level t +. 1e-12
+let covering t s = s <= max_level t +. Speedscale_util.Feq.tol_guard
 let speeds t = Array.to_list t.levels
 
 (* Adjacent levels around s: (lo, hi) with lo <= s <= hi where possible.
@@ -46,7 +46,7 @@ let round_slice t (sl : Schedule.slice) =
          sl.speed (max_level t));
   let duration = sl.t1 -. sl.t0 in
   match bracket t sl.speed with
-  | Some lo, hi when lo = hi || Float.abs (sl.speed -. lo) <= 1e-12 *. lo ->
+  | Some lo, hi when lo = hi || Float.abs (sl.speed -. lo) <= Speedscale_util.Feq.tol_guard *. lo ->
     [ { sl with speed = lo } ]
   | None, lowest ->
     (* run at the lowest level just long enough, idle afterwards *)
@@ -57,7 +57,7 @@ let round_slice t (sl : Schedule.slice) =
     let t_mid = sl.t0 +. (phi *. duration) in
     let fast = { sl with t1 = t_mid; speed = hi } in
     let slow = { sl with t0 = t_mid; speed = lo } in
-    List.filter (fun (s : Schedule.slice) -> s.t1 -. s.t0 > 1e-15) [ fast; slow ]
+    List.filter (fun (s : Schedule.slice) -> s.t1 -. s.t0 > Speedscale_util.Feq.tol_dust) [ fast; slow ]
 
 let round_schedule t (s : Schedule.t) =
   Schedule.make ~machines:s.machines ~rejected:s.rejected

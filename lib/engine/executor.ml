@@ -59,7 +59,7 @@ let kind_rank = function
   | Migrate -> 7
   | Deadline_miss -> 8
 
-let gap_tol = 1e-9
+let gap_tol = Feq.tol_snap
 
 type job_state = {
   mutable work : float;
@@ -140,7 +140,7 @@ let replay (inst : Instance.t) (sched : Schedule.t) =
           (* work accounting; completion can land inside the slice *)
           let before = st.work in
           st.work <- st.work +. (dur *. sl.speed);
-          let target = job.workload *. (1.0 -. 1e-9) in
+          let target = job.workload *. (1.0 -. Feq.tol_snap) in
           if st.done_at = None && st.work >= target then begin
             let need = job.workload -. before in
             let t_done =

@@ -50,7 +50,7 @@ let add_edge t ~src ~dst ~capacity =
   t.adj.(src) <- fwd :: t.adj.(src);
   t.adj.(dst) <- (fwd + 1) :: t.adj.(dst)
 
-let eps = 1e-12
+let eps = Speedscale_util.Feq.tol_guard
 
 let bfs t =
   let level = Array.make t.n (-1) in

@@ -36,7 +36,7 @@ let feasible_with tl (inst : Instance.t) ~speed_cap =
   let net, _, _ = build_network inst tl ~speed_cap in
   let flow = Dinic.max_flow net in
   let needed = total_work inst in
-  flow >= needed -. (1e-9 *. (1.0 +. needed))
+  flow >= needed -. (Feq.tol_snap *. (1.0 +. needed))
 
 let timeline_of (inst : Instance.t) =
   Timeline.of_jobs (Array.to_list inst.jobs)
@@ -48,14 +48,14 @@ let work_assignment (inst : Instance.t) ~speed_cap =
   let net, job_node, interval_node = build_network inst tl ~speed_cap in
   let flow = Dinic.max_flow net in
   let needed = total_work inst in
-  if flow < needed -. (1e-9 *. (1.0 +. needed)) then None
+  if flow < needed -. (Feq.tol_snap *. (1.0 +. needed)) then None
   else begin
     let n = Instance.n_jobs inst in
     let loads = Array.make (Timeline.n_intervals tl) [] in
     for k = 0 to Timeline.n_intervals tl - 1 do
       for j = 0 to n - 1 do
         let f = Dinic.flow_on net ~src:(job_node j) ~dst:(interval_node k) in
-        if f > 1e-12 then loads.(k) <- (j, f) :: loads.(k)
+        if f > Feq.tol_guard then loads.(k) <- (j, f) :: loads.(k)
       done
     done;
     Some (loads, tl)
@@ -79,7 +79,7 @@ let schedule (inst : Instance.t) ~speed_cap =
       loads;
     Some (Schedule.make ~machines:inst.machines ~rejected:[] !slices)
 
-let min_speed_cap ?(tol = 1e-9) (inst : Instance.t) =
+let min_speed_cap ?(tol = Feq.tol_snap) (inst : Instance.t) =
   let tl = timeline_of inst in
   (* certified lower bounds: max single-job density; total work over the
      full m-machine capacity of the horizon *)
@@ -98,7 +98,7 @@ let min_speed_cap ?(tol = 1e-9) (inst : Instance.t) =
     let hi =
       Bisect.grow_bracket
         ~f:(fun s -> if feasible_with tl inst ~speed_cap:s then 1.0 else 0.0)
-        ~target:1.0 ~lo:0.0 ~init:(Float.max lo 1e-9) ()
+        ~target:1.0 ~lo:0.0 ~init:(Float.max lo Feq.tol_snap) ()
     in
     Bisect.monotone_inverse ~tol
       ~f:(fun s -> if feasible_with tl inst ~speed_cap:s then 1.0 else 0.0)

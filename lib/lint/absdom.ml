@@ -1,0 +1,289 @@
+(* A float abstract domain: closed intervals over the extended reals plus
+   a may-be-NaN bit.
+
+   An abstract value over-approximates the set of IEEE doubles an
+   expression can evaluate to: [V { lo; hi; nan }] stands for
+   "every double in [lo, hi], plus NaN when [nan]".  The numeric part may
+   be empty (a value that is NaN or nothing at all), encoded as
+   [lo = +inf, hi = -inf]; [Bot] is the empty set proper, the fact of an
+   unreachable or never-returning expression.  [lo] and [hi] are never
+   NaN themselves.
+
+   Every operation is sound: if [x ∈ γ a] and [y ∈ γ b] then
+   [x op y ∈ γ (op a b)] — including the IEEE corners where arithmetic
+   *creates* NaN from non-NaN inputs (inf - inf, 0 * inf, 0/0, inf/inf,
+   sqrt/log of a negative).  That soundness is what the qcheck property
+   in test/test_lint.ml pins against concrete evaluation, and it is why
+   [div top top] must admit NaN even though most divisions never trap.
+
+   The lattice has infinite ascending chains ([0,1] ⊑ [0,2] ⊑ ...), so
+   fixpoints over it go through {!widen}, which jumps an unstable bound
+   straight to ±inf: any widening sequence stabilises after at most two
+   numeric steps plus one NaN-bit step. *)
+
+type t = V of { lo : float; hi : float; nan : bool } | Bot
+
+let nan_only = V { lo = infinity; hi = neg_infinity; nan = true }
+
+(* Normalising constructor: empty numeric part collapses to the canonical
+   encoding, and an empty numeric part with no NaN is Bot. *)
+let v lo hi nan =
+  if lo <= hi then V { lo; hi; nan } else if nan then nan_only else Bot
+
+let bot = Bot
+let top = V { lo = neg_infinity; hi = infinity; nan = false }
+let top_nan = V { lo = neg_infinity; hi = infinity; nan = true }
+
+let const x =
+  if Float.is_nan x then nan_only else V { lo = x; hi = x; nan = false }
+
+let interval lo hi = v lo hi false
+let is_bot = function Bot -> true | _ -> false
+let empty_num lo hi = not (lo <= hi)
+let maybe_nan = function Bot -> false | V r -> r.nan
+
+(* "The numeric value cannot be negative."  Deliberately ignores the NaN
+   bit: ( ** ) on a NaN base propagates NaN but never manufactures the
+   negative-base NaN that unsafe-pow polices; NaN creation is nan-flow's
+   business. *)
+let nonneg = function
+  | Bot -> true
+  | V r -> empty_num r.lo r.hi || r.lo >= 0.0
+
+let mem x = function
+  | Bot -> false
+  | V r -> if Float.is_nan x then r.nan else r.lo <= x && x <= r.hi
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | V a, V b ->
+    Float.equal a.lo b.lo && Float.equal a.hi b.hi && Bool.equal a.nan b.nan
+  | _ -> false
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | V a, V b ->
+    ((not (a.nan && not b.nan))
+    && (empty_num a.lo a.hi || (b.lo <= a.lo && a.hi <= b.hi)))
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | V a, V b ->
+    let nan = a.nan || b.nan in
+    if empty_num a.lo a.hi then v b.lo b.hi nan
+    else if empty_num b.lo b.hi then v a.lo a.hi nan
+    else v (Float.min a.lo b.lo) (Float.max a.hi b.hi) nan
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b -> v (Float.max a.lo b.lo) (Float.min a.hi b.hi) (a.nan && b.nan)
+
+(* Refine [a] by the constraint [value ∈ [lo, hi]] (keeping NaN
+   admissible iff [nan]); the working half of comparison-as-refinement. *)
+let refine a ~lo ~hi ~nan = meet a (V { lo; hi; nan })
+
+let widen old next =
+  match (old, next) with
+  | Bot, x | x, Bot -> x
+  | V o, V n ->
+    let nan = o.nan || n.nan in
+    if empty_num n.lo n.hi then v o.lo o.hi nan
+    else if empty_num o.lo o.hi then v n.lo n.hi nan
+    else
+      v
+        (if n.lo < o.lo then neg_infinity else o.lo)
+        (if n.hi > o.hi then infinity else o.hi)
+        nan
+
+(* ---------------- arithmetic ---------------- *)
+
+let has0 lo hi = lo <= 0.0 && hi >= 0.0
+let unbnd lo hi = Float.equal lo neg_infinity || Float.equal hi infinity
+
+let neg = function
+  | Bot -> Bot
+  | V r -> v (-.r.hi) (-.r.lo) r.nan
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+    let ea = empty_num a.lo a.hi and eb = empty_num b.lo b.hi in
+    let nan =
+      a.nan || b.nan
+      || ((not ea) && (not eb)
+         && ((Float.equal a.hi infinity && Float.equal b.lo neg_infinity)
+            || (Float.equal a.lo neg_infinity && Float.equal b.hi infinity)))
+    in
+    if ea || eb then v infinity neg_infinity nan
+    else
+      let lo =
+        if Float.equal a.lo neg_infinity || Float.equal b.lo neg_infinity then neg_infinity
+        else a.lo +. b.lo
+      in
+      let hi =
+        if Float.equal a.hi infinity || Float.equal b.hi infinity then infinity else a.hi +. b.hi
+      in
+      v lo hi nan
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+    let ea = empty_num a.lo a.hi and eb = empty_num b.lo b.hi in
+    let nan =
+      a.nan || b.nan
+      || ((not ea) && (not eb)
+         && ((has0 a.lo a.hi && unbnd b.lo b.hi)
+            || (has0 b.lo b.hi && unbnd a.lo a.hi)))
+    in
+    if ea || eb then v infinity neg_infinity nan
+    else
+      (* 0 * ±inf is NaN in IEEE; for the bounds we take the limit 0 and
+         let the [nan] flag carry the exceptional case. *)
+      let mulx x y =
+        if
+          (Float.equal x 0.0 && (Float.equal y infinity || Float.equal y neg_infinity))
+          || (Float.equal y 0.0 && (Float.equal x infinity || Float.equal x neg_infinity))
+        then 0.0
+        else x *. y
+      in
+      let p1 = mulx a.lo b.lo
+      and p2 = mulx a.lo b.hi
+      and p3 = mulx a.hi b.lo
+      and p4 = mulx a.hi b.hi in
+      v
+        (Float.min (Float.min p1 p2) (Float.min p3 p4))
+        (Float.max (Float.max p1 p2) (Float.max p3 p4))
+        nan
+
+let div a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+    let ea = empty_num a.lo a.hi and eb = empty_num b.lo b.hi in
+    let nan =
+      a.nan || b.nan
+      || ((not ea) && (not eb)
+         && ((has0 a.lo a.hi && has0 b.lo b.hi)
+            || (unbnd a.lo a.hi && unbnd b.lo b.hi)))
+    in
+    if ea || eb then v infinity neg_infinity nan
+    else if has0 b.lo b.hi then
+      (* The interval [0, hi] concretises to every double it compares
+         into — including -0.0, whose quotients have the opposite sign
+         of +0.0's.  Any zero-touching denominator therefore escapes to
+         both infinities; signed zero makes a one-sided limit unsound
+         (the qcheck soundness property catches the corner). *)
+      v neg_infinity infinity nan
+    else
+      (* zero-free denominator: endpoint quotients are extremal *)
+      let divx x y =
+        if
+          (Float.equal x infinity || Float.equal x neg_infinity)
+          && (Float.equal y infinity || Float.equal y neg_infinity)
+        then 0.0
+        else x /. y
+      in
+      let q1 = divx a.lo b.lo
+      and q2 = divx a.lo b.hi
+      and q3 = divx a.hi b.lo
+      and q4 = divx a.hi b.hi in
+      v
+        (Float.min (Float.min q1 q2) (Float.min q3 q4))
+        (Float.max (Float.max q1 q2) (Float.max q3 q4))
+        nan
+
+(* Stdlib.min/max are polymorphic-compare based and asymmetric around
+   NaN (min nan y = y but min y nan = nan), so once either side may be
+   NaN the result may be either side's numeric value or NaN: that is
+   exactly [join].  Float.min/Float.max propagate NaN, which the same
+   join also covers. *)
+let fmin a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a', V b' ->
+    if a'.nan || b'.nan || empty_num a'.lo a'.hi || empty_num b'.lo b'.hi then
+      join (V a') (V b')
+    else v (Float.min a'.lo b'.lo) (Float.min a'.hi b'.hi) false
+
+let fmax a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a', V b' ->
+    if a'.nan || b'.nan || empty_num a'.lo a'.hi || empty_num b'.lo b'.hi then
+      join (V a') (V b')
+    else v (Float.max a'.lo b'.lo) (Float.max a'.hi b'.hi) false
+
+let abs_ = function
+  | Bot -> Bot
+  | V r ->
+    if empty_num r.lo r.hi then v r.lo r.hi r.nan
+    else
+      let al = Float.abs r.lo and ah = Float.abs r.hi in
+      v
+        (if has0 r.lo r.hi then 0.0 else Float.min al ah)
+        (Float.max al ah) r.nan
+
+let sqrt_ = function
+  | Bot -> Bot
+  | V r ->
+    let nan = r.nan || r.lo < 0.0 in
+    if empty_num r.lo r.hi || r.hi < 0.0 then v infinity neg_infinity nan
+    else v (Float.sqrt (Float.max r.lo 0.0)) (Float.sqrt r.hi) nan
+
+(* libm's exp/log are monotone but not guaranteed correctly rounded;
+   nudge finite bounds one ulp outward so the interval stays an
+   over-approximation of whatever the host libm returns. *)
+let out_lo x = if Float.equal x neg_infinity || Float.equal x infinity then x else Float.pred x
+let out_hi x = if Float.equal x neg_infinity || Float.equal x infinity then x else Float.succ x
+
+let exp_ = function
+  | Bot -> Bot
+  | V r ->
+    if empty_num r.lo r.hi then v r.lo r.hi r.nan
+    else
+      v
+        (Float.max 0.0 (out_lo (Float.exp r.lo)))
+        (out_hi (Float.exp r.hi))
+        r.nan
+
+let log_ = function
+  | Bot -> Bot
+  | V r ->
+    let nan = r.nan || r.lo < 0.0 in
+    if empty_num r.lo r.hi || r.hi < 0.0 then v infinity neg_infinity nan
+    else
+      let lo = if r.lo <= 0.0 then neg_infinity else out_lo (Float.log r.lo) in
+      v lo (out_hi (Float.log r.hi)) nan
+
+(* [base ** expo].  A non-negative base yields a non-negative result —
+   with the one IEEE corner that (-0.) ** (negative odd integer) is
+   -inf, admitted when 0 is a possible base and a negative exponent is
+   possible.  A possibly-negative base yields anything, NaN included:
+   that imprecision is deliberate, unsafe-pow flags those sites. *)
+let pow a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a', V b' ->
+    if (not (empty_num a'.lo a'.hi)) && a'.lo >= 0.0 then
+      let lo =
+        if Float.equal a'.lo 0.0 && (empty_num b'.lo b'.hi || b'.lo < 0.0) then
+          neg_infinity
+        else 0.0
+      in
+      v lo infinity (a'.nan || b'.nan)
+    else top_nan
+
+let pp ppf = function
+  | Bot -> Fmt.string ppf "⊥"
+  | V r ->
+    if empty_num r.lo r.hi then Fmt.string ppf "NaN"
+    else Fmt.pf ppf "[%h, %h]%s" r.lo r.hi (if r.nan then "∪NaN" else "")

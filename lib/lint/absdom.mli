@@ -1,0 +1,88 @@
+(** Float abstract domain: closed intervals over the extended reals plus a
+    may-be-NaN bit.
+
+    [V { lo; hi; nan }] concretises to every IEEE double in [[lo, hi]]
+    plus NaN when [nan] is set; {!bot} is the empty set (unreachable /
+    never-returns).  Every operation is {e sound}: whenever [x ∈ γ a] and
+    [y ∈ γ b], [x op y ∈ γ (op a b)] — including the IEEE corners where
+    arithmetic on non-NaN inputs creates NaN (inf − inf, 0 · inf, 0/0,
+    inf/inf, [sqrt]/[log] of a negative) or infinities (overflow, x/0).
+    The qcheck property in [test/test_lint.ml] pins this against concrete
+    evaluation of randomly generated arithmetic programs.
+
+    Fixpoints over this lattice must go through {!widen} (the interval
+    order has infinite ascending chains); a widening sequence stabilises
+    after at most two numeric escapes and one NaN-bit flip per value. *)
+
+type t = V of { lo : float; hi : float; nan : bool } | Bot
+
+val bot : t
+val top : t
+(** All non-NaN doubles, \[−inf, +inf\]. *)
+
+val top_nan : t
+(** Every double including NaN; the "know nothing" element. *)
+
+val nan_only : t
+(** NaN and nothing else (empty numeric part). *)
+
+val const : float -> t
+(** Singleton; [const nan] is {!nan_only}. *)
+
+val interval : float -> float -> t
+(** [interval lo hi], no NaN.  Normalises an empty range to {!bot}. *)
+
+val v : float -> float -> bool -> t
+(** [v lo hi nan] — normalising constructor used by the tests. *)
+
+val is_bot : t -> bool
+val maybe_nan : t -> bool
+
+val nonneg : t -> bool
+(** The numeric part cannot be negative.  Ignores the NaN bit on purpose:
+    [( ** )] on a NaN base propagates NaN but never raises the
+    negative-base concern that [unsafe-pow] polices. *)
+
+val mem : float -> t -> bool
+(** Concretisation membership — the soundness oracle for the qcheck
+    property ([mem nan] tests the NaN bit). *)
+
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+(** Lattice order: [leq a b] iff γ a ⊆ γ b. *)
+
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val refine : t -> lo:float -> hi:float -> nan:bool -> t
+(** Comparison-as-refinement: meet with the constraint
+    [value ∈ [lo, hi] (∪ NaN iff nan)].  Strict comparisons are encoded
+    with [Float.succ]/[Float.pred] bounds by the caller. *)
+
+val widen : t -> t -> t
+(** [widen old next]: an unstable lower (upper) bound escapes straight to
+    −inf (+inf); the NaN bit is or-ed.  Guarantees termination of any
+    increasing iteration. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val fmin : t -> t -> t
+(** Sound for both [Stdlib.min] and [Float.min] (their NaN behaviours
+    differ; the result covers both). *)
+
+val fmax : t -> t -> t
+val abs_ : t -> t
+val sqrt_ : t -> t
+val exp_ : t -> t
+val log_ : t -> t
+
+val pow : t -> t -> t
+(** [pow base expo].  Deliberately coarse: non-negative base ⇒ result in
+    \[0, +inf\] (modulo the (−0) ** negative corner); possibly-negative
+    base ⇒ {!top_nan}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -39,6 +39,30 @@ let float_const e =
   | Pexp_constant (Pconst_float (s, _)) -> float_of_string_opt s
   | _ -> None
 
+(* A literal numeric constant — float or integer — looking through the
+   parser's folded sign and an explicit unary minus. *)
+let rec signed_number e =
+  let e = strip e in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float (s, _)) | Pexp_constant (Pconst_integer (s, _))
+    ->
+    float_of_string_opt s
+  | Pexp_apply (f, [ (Asttypes.Nolabel, a) ])
+    when path_is f [ [ "~-." ]; [ "~-" ] ] ->
+    Option.map Float.neg (signed_number a)
+  | _ -> None
+
+let is_float_literal e =
+  let rec go e =
+    match (strip e).pexp_desc with
+    | Pexp_constant (Pconst_float _) -> true
+    | Pexp_apply (f, [ (Asttypes.Nolabel, a) ])
+      when path_is f [ [ "~-." ]; [ "~-" ] ] ->
+      go a
+    | _ -> false
+  in
+  go e
+
 let apply_parts e =
   match (strip e).pexp_desc with
   | Pexp_apply (f, args) -> Some (f, List.map snd args)

@@ -19,6 +19,13 @@ val head_module : Parsetree.expression -> string option
 val float_const : Parsetree.expression -> float option
 (** Value of a float literal, if the expression is one. *)
 
+val signed_number : Parsetree.expression -> float option
+(** Value of a float or integer literal, looking through the parser's
+    folded sign and an explicit unary minus ([-1e-9], [~-. x]). *)
+
+val is_float_literal : Parsetree.expression -> bool
+(** Whether the expression is a (possibly negated) float literal. *)
+
 val apply_parts :
   Parsetree.expression ->
   (Parsetree.expression * Parsetree.expression list) option

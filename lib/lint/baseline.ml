@@ -56,9 +56,13 @@ let of_findings findings =
     (fun (f : Finding.t) -> { file = f.file; line = f.line; rule = f.rule })
     findings
 
-let mem entries (f : Finding.t) =
-  List.exists
-    (fun e ->
-      String.equal e.file f.file && e.line = f.line
-      && String.equal e.rule f.rule)
-    entries
+let matches e (f : Finding.t) =
+  String.equal e.file f.file && e.line = f.line && String.equal e.rule f.rule
+
+let mem entries f = List.exists (fun e -> matches e f) entries
+
+let stale entries findings =
+  List.filter (fun e -> not (List.exists (matches e) findings)) entries
+
+let prune entries findings =
+  List.filter (fun e -> List.exists (matches e) findings) entries

@@ -15,3 +15,12 @@ val load : string -> (entry list, string) result
 
 val of_findings : Finding.t list -> entry list
 val mem : entry list -> Finding.t -> bool
+
+val stale : entry list -> Finding.t list -> entry list
+(** Entries matching none of the current findings — rot that hides a
+    fixed (or renamed) finding and would mask a future one at the same
+    location.  A clean run treats these as a failure. *)
+
+val prune : entry list -> Finding.t list -> entry list
+(** The complement of {!stale}: entries that still fire, i.e. the
+    baseline [--update-baseline] rewrites. *)

@@ -12,25 +12,144 @@ let parse_structure ~rel text =
       (Finding.of_location ~rule:"parse-error" ~severity:Finding.Error
          ~message:"lexical error; file does not scan" loc)
 
-let check_source ?(has_mli = true) ~rules ~rel text =
-  let ctx : Rule.ctx = { rel } in
-  let applicable = List.filter (fun (r : Rule.t) -> r.applies rel) rules in
-  let structural = List.filter_map (fun (r : Rule.t) -> r.check_structure) applicable in
-  let raw =
-    (if structural = [] then []
-     else
-       match parse_structure ~rel text with
-       | Error f -> [ f ]
-       | Ok str -> List.concat_map (fun check -> check ctx str) structural)
-    @ List.concat_map
-        (fun (r : Rule.t) ->
-          match r.check_source with None -> [] | Some check -> check ctx ~has_mli)
-        applicable
+type source = { rel : string; text : string; mli : string option }
+
+(* Value names a [.mli] declares; [None] when the interface does not
+   parse (treat as everything-visible rather than silently hiding). *)
+let exported_of_mli ~rel text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf rel;
+  match Parse.interface lexbuf with
+  | sg ->
+    Some
+      (List.filter_map
+         (fun (si : Parsetree.signature_item) ->
+           match si.psig_desc with
+           | Parsetree.Psig_value vd -> Some vd.pval_name.txt
+           | _ -> None)
+         sg)
+  | exception Syntaxerr.Error _ -> None
+  | exception Lexer.Error _ -> None
+
+let check_sources ?(cross_module = true) ~rules (sources : source list) =
+  let parse_errors = ref [] in
+  let parsed =
+    List.map
+      (fun s ->
+        let needs_tree =
+          List.exists
+            (fun (r : Rule.t) ->
+              r.applies s.rel
+              && (r.check_structure <> None || r.check_project <> None))
+            rules
+        in
+        let str =
+          if not needs_tree then None
+          else
+            match parse_structure ~rel:s.rel s.text with
+            | Ok str -> Some str
+            | Error f ->
+              parse_errors := f :: !parse_errors;
+              None
+        in
+        (s, str))
+      sources
   in
-  let sup = Suppress.parse ~file:rel text in
-  let kept = List.filter (fun f -> not (Suppress.suppressed sup f)) raw in
-  List.sort Finding.compare
-    (kept @ Suppress.malformed sup @ Suppress.unused sup ~file:rel)
+  (* The whole-program view covers the library tree: every lib/ file that
+     parsed joins the project, whatever rules are selected. *)
+  let project_inputs =
+    List.filter_map
+      (fun (s, str) ->
+        match str with
+        | Some str when Rule.lib_only s.rel ->
+          Some
+            {
+              Project.rel = s.rel;
+              str;
+              exported =
+                Option.bind s.mli (fun text ->
+                    exported_of_mli ~rel:(s.rel ^ "i") text);
+            }
+        | _ -> None)
+      parsed
+  in
+  let any_project =
+    List.exists (fun (r : Rule.t) -> r.check_project <> None) rules
+  in
+  let analysis =
+    if any_project && project_inputs <> [] then
+      Some (Absint.analyze (Project.build ~cross_module project_inputs))
+    else None
+  in
+  let in_project rel =
+    match analysis with
+    | None -> false
+    | Some a -> Project.file_of_rel (Absint.project a) rel <> None
+  in
+  let project_findings =
+    match analysis with
+    | None -> []
+    | Some a ->
+      List.concat_map
+        (fun (r : Rule.t) ->
+          match r.check_project with
+          | Some check ->
+            List.filter (fun (f : Finding.t) -> r.applies f.file) (check a)
+          | None -> [])
+        rules
+  in
+  let per_file =
+    List.concat_map
+      (fun ((s : source), str) ->
+        let ctx : Rule.ctx = { rel = s.rel } in
+        let applicable =
+          List.filter (fun (r : Rule.t) -> r.applies s.rel) rules
+        in
+        (match str with
+        | None -> []
+        | Some str ->
+          List.concat_map
+            (fun (r : Rule.t) ->
+              match r.check_structure with
+              | Some check
+                when not
+                       (r.project_replaces && r.check_project <> None
+                      && in_project s.rel) ->
+                check ctx str
+              | _ -> [])
+            applicable)
+        @ List.concat_map
+            (fun (r : Rule.t) ->
+              match r.check_source with
+              | Some check -> check ctx ~has_mli:(s.mli <> None)
+              | None -> [])
+            applicable)
+      parsed
+  in
+  let all =
+    List.sort_uniq Finding.compare
+      (project_findings @ per_file @ !parse_errors)
+  in
+  let by_file = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Finding.t) ->
+      Hashtbl.replace by_file f.file
+        (f :: (Option.value ~default:[] (Hashtbl.find_opt by_file f.file))))
+    all;
+  List.concat_map
+    (fun ((s : source), _) ->
+      let fs =
+        List.rev (Option.value ~default:[] (Hashtbl.find_opt by_file s.rel))
+      in
+      let sup = Suppress.parse ~file:s.rel s.text in
+      let kept = List.filter (fun f -> not (Suppress.suppressed sup f)) fs in
+      kept @ Suppress.malformed sup @ Suppress.unused sup ~file:s.rel)
+    parsed
+  |> List.sort Finding.compare
+
+let check_source ?(has_mli = true) ?(cross_module = true) ~rules ~rel text =
+  check_sources ~cross_module ~rules
+    [ { rel; text; mli = (if has_mli then Some "" else None) } ]
 
 let skip_dir name =
   String.length name = 0 || name.[0] = '.' || name.[0] = '_'
@@ -70,8 +189,12 @@ let scan ?(rules = []) ~root () =
   List.iter (fun rel -> Hashtbl.replace have rel ()) all;
   all
   |> List.filter (fun rel -> Filename.check_suffix rel ".ml")
-  |> List.concat_map (fun rel ->
+  |> List.map (fun rel ->
          let text = read_file (Filename.concat root rel) in
-         let has_mli = Hashtbl.mem have (rel ^ "i") in
-         check_source ~has_mli ~rules ~rel text)
-  |> List.sort Finding.compare
+         let mli =
+           if Hashtbl.mem have (rel ^ "i") then
+             Some (read_file (Filename.concat root (rel ^ "i")))
+           else None
+         in
+         { rel; text; mli })
+  |> check_sources ~rules

@@ -1,16 +1,36 @@
-(** The scan driver: source discovery, parsing, rule dispatch and
-    suppression filtering. *)
+(** The scan driver: source discovery, parsing, whole-program analysis,
+    rule dispatch and suppression filtering. *)
 
 val parse_structure :
   rel:string -> string -> (Parsetree.structure, Finding.t) result
 (** Parse implementation text; a syntax/lexical failure becomes a
     [parse-error] finding rather than an exception. *)
 
+type source = { rel : string; text : string; mli : string option }
+(** One implementation to lint: path relative to the scan root, its
+    text, and the text of its interface when one exists. *)
+
+val check_sources :
+  ?cross_module:bool -> rules:Rule.t list -> source list -> Finding.t list
+(** Lint a set of files together.  Files under [lib/] that parse form
+    the {!Project} over which [check_project] rules run (with
+    [cross_module] controlling foreign resolution — [false] exists for
+    tests that demonstrate a finding depends on it); a rule with
+    [project_replaces] has its per-file check skipped for those files.
+    Suppression directives are applied per file across {e all} findings
+    — per-file and project alike — and malformed or unused directives
+    are reported as usual. *)
+
 val check_source :
-  ?has_mli:bool -> rules:Rule.t list -> rel:string -> string -> Finding.t list
-(** Run every applicable rule over one file's text (as [rel]), apply
-    suppression directives, and report malformed or unused directives.
-    [has_mli] (default [true]) feeds the file-level rules. *)
+  ?has_mli:bool ->
+  ?cross_module:bool ->
+  rules:Rule.t list ->
+  rel:string ->
+  string ->
+  Finding.t list
+(** Single-file convenience over {!check_sources} (a one-file project).
+    [has_mli] (default [true]) feeds the file-level rules; the synthetic
+    interface exports nothing, which only matters cross-module. *)
 
 val list_sources : root:string -> string list
 (** All [.ml]/[.mli] paths under [root], relative, sorted, skipping

@@ -116,32 +116,42 @@ let mutators =
     ("Stack", [ "push"; "pop"; "clear" ]);
   ]
 
-let rec root_var e =
+(* The (possibly dotted) identifier a mutation target bottoms out in:
+   [x], [M.state], [M.state.field] all root at the identifier's path. *)
+let rec root_path e =
   match (Astq.strip e).pexp_desc with
-  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
-  | Pexp_field (inner, _) -> root_var inner
+  | Pexp_ident { txt; _ } -> (
+    match Longident.flatten txt with
+    | parts -> Some parts
+    | exception Misc.Fatal_error -> None)
+  | Pexp_field (inner, _) -> root_path inner
   | _ -> None
 
-(* [write_root e] returns [(var, op)] when [e] writes through [var]. *)
-let write_root e =
+let root_var e =
+  match root_path e with Some [ x ] -> Some x | _ -> None
+
+(* [write_root_path e] returns [(path, op)] when [e] writes through the
+   identifier at [path] — bare or module-qualified. *)
+let write_root_path e =
   match (Astq.strip e).pexp_desc with
   | Pexp_setfield (target, { txt; _ }, _) ->
     Option.map
-      (fun v -> (v, Fmt.str "%s.%s <-" v (lid_last txt)))
-      (root_var target)
+      (fun p ->
+        (p, Fmt.str "%s.%s <-" (String.concat "." p) (lid_last txt)))
+      (root_path target)
   | _ -> (
     match Astq.apply_parts e with
     | Some (f, target :: _) -> (
       if Astq.path_is f [ [ ":=" ] ] then
-        Option.map (fun v -> (v, ":=")) (root_var target)
+        Option.map (fun p -> (p, ":=")) (root_path target)
       else if
         Astq.path_is f
           [ [ "incr" ]; [ "decr" ]; [ "Stdlib"; "incr" ]; [ "Stdlib"; "decr" ] ]
       then
         Option.map
-          (fun v ->
-            (v, match Astq.path f with Some p -> String.concat "." p | None -> "incr"))
-          (root_var target)
+          (fun p ->
+            (p, match Astq.path f with Some q -> String.concat "." q | None -> "incr"))
+          (root_path target)
       else
         match
           List.find_opt
@@ -151,20 +161,29 @@ let write_root e =
         with
         | Some (m, _) ->
           Option.map
-            (fun v ->
+            (fun p ->
               let op =
                 match Astq.path f with
-                | Some p -> String.concat "." p
+                | Some q -> String.concat "." q
                 | None -> m ^ ".<mutator>"
               in
-              (v, op))
-            (root_var target)
+              (p, op))
+            (root_path target)
         | None -> None)
     | _ -> None)
 
-(* [deref_root e] returns the variable when [e] is [!x]: a bare read of a
-   shared ref races with any concurrent [:=]. *)
-let deref_root e =
+(* [write_root e] returns [(var, op)] when [e] writes through a bare
+   (file-local) variable. *)
+let write_root e =
+  match write_root_path e with Some ([ x ], op) -> Some (x, op) | _ -> None
+
+(* [deref_root_path e] returns the identifier path when [e] is [!x] or
+   [!M.state]: a bare read of a shared ref races with any concurrent
+   [:=]. *)
+let deref_root_path e =
   match Astq.apply_parts e with
-  | Some (f, [ target ]) when Astq.path_is f [ [ "!" ] ] -> root_var target
+  | Some (f, [ target ]) when Astq.path_is f [ [ "!" ] ] -> root_path target
   | _ -> None
+
+let deref_root e =
+  match deref_root_path e with Some [ x ] -> Some x | _ -> None

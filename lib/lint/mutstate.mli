@@ -38,6 +38,18 @@ val root_var : Parsetree.expression -> string option
 (** The simple variable at the root of an lvalue-ish expression:
     [x], [x.f], [x.f.g]. *)
 
+val root_path : Parsetree.expression -> string list option
+(** Like {!root_var} but keeping module qualification: [M.state.f]
+    roots at [["M"; "state"]]. *)
+
+val write_root_path : Parsetree.expression -> (string list * string) option
+(** {!write_root} generalised to qualified targets ([M.state := e],
+    [Hashtbl.replace M.tbl k v]); what the cross-module race check
+    resolves through {!Project}. *)
+
+val deref_root_path : Parsetree.expression -> string list option
+(** {!deref_root} generalised to qualified targets ([!M.state]). *)
+
 val write_root : Parsetree.expression -> (string * string) option
 (** [(var, op)] when the expression writes through the simple variable
     [var]: [x := e], [x.f <- e], [Array.set]/[Bytes.set] (what

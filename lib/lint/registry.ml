@@ -11,6 +11,8 @@ let all =
     Rule_domain_race.rule;
     Rule_dls_misuse.rule;
     Rule_taint_nondet.rule;
+    Rule_nan_flow.rule;
+    Rule_magic_tolerance.rule;
   ]
 
 let names = List.map (fun (r : Rule.t) -> r.name) all

@@ -3,10 +3,17 @@ type ctx = { rel : string }
 type t = {
   name : string;
   doc : string;
+  example : string;  (* minimal firing snippet, shown by slint --explain *)
   severity : Finding.severity;
   applies : string -> bool;
   check_structure : (ctx -> Parsetree.structure -> Finding.t list) option;
   check_source : (ctx -> has_mli:bool -> Finding.t list) option;
+  check_project : (Absint.t -> Finding.t list) option;
+  project_replaces : bool;
+      (* when true, [check_structure] is skipped for files the
+         whole-program analysis covers: the project check subsumes it,
+         and running both would keep per-file findings the cross-module
+         facts disprove *)
 }
 
 let everywhere _ = true
@@ -18,9 +25,19 @@ let under dir rel =
 
 let lib_only = under "lib"
 
-let make ?(applies = everywhere) ?check_structure ?check_source ~doc ~severity
-    name =
-  { name; doc; severity; applies; check_structure; check_source }
+let make ?(applies = everywhere) ?check_structure ?check_source ?check_project
+    ?(project_replaces = false) ?(example = "") ~doc ~severity name =
+  {
+    name;
+    doc;
+    example;
+    severity;
+    applies;
+    check_structure;
+    check_source;
+    check_project;
+    project_replaces;
+  }
 
 let find ~name rules = List.find_opt (fun r -> String.equal r.name name) rules
 

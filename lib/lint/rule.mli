@@ -1,20 +1,31 @@
 (** A pluggable lint rule.
 
-    A rule may inspect the parsetree of an implementation
-    ([check_structure]), or file-level facts the engine computes
-    ([check_source], currently just whether a matching [.mli] exists).
-    [applies] filters by path relative to the scan root, so rules can be
-    scoped e.g. to [lib/] only. *)
+    A rule may inspect the parsetree of one implementation
+    ([check_structure]), file-level facts the engine computes
+    ([check_source], currently just whether a matching [.mli] exists), or
+    the whole-program abstract interpretation ([check_project], receiving
+    the solved {!Absint.t} and returning findings across every file it
+    covers).  [applies] filters by path relative to the scan root — the
+    engine also applies it to the {e finding} paths a project check
+    returns. *)
 
 type ctx = { rel : string }  (** path of the file under scrutiny *)
 
 type t = {
   name : string;
   doc : string;
+  example : string;
+      (** minimal source snippet that fires the rule, for [slint
+          --explain]; empty when no snippet is curated *)
   severity : Finding.severity;
   applies : string -> bool;
   check_structure : (ctx -> Parsetree.structure -> Finding.t list) option;
   check_source : (ctx -> has_mli:bool -> Finding.t list) option;
+  check_project : (Absint.t -> Finding.t list) option;
+  project_replaces : bool;
+      (** skip [check_structure] for files the project analysis covers:
+          the project check subsumes it, and running both would keep
+          per-file findings that cross-module facts disprove *)
 }
 
 val everywhere : string -> bool
@@ -30,6 +41,9 @@ val make :
   ?applies:(string -> bool) ->
   ?check_structure:(ctx -> Parsetree.structure -> Finding.t list) ->
   ?check_source:(ctx -> has_mli:bool -> Finding.t list) ->
+  ?check_project:(Absint.t -> Finding.t list) ->
+  ?project_replaces:bool ->
+  ?example:string ->
   doc:string -> severity:Finding.severity -> string -> t
 
 val find : name:string -> t list -> t option

@@ -42,4 +42,10 @@ let check _ctx str =
       | _ -> ());
   List.rev !acc
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+let example =
+  "try step () with _ -> 0.0\n\
+   (* fires: the wildcard swallows Stack_overflow and assertion failures \
+   alike; match the exceptions you mean *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~example name

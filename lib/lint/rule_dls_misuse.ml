@@ -126,4 +126,10 @@ let check _ctx str =
     slots;
   List.rev !acc
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+let example =
+  "let key = Domain.DLS.new_key (fun () -> Random.State.make_self_init ())\n\
+   (* fires: a self-seeding split per domain makes runs irreproducible; \
+   derive per-domain states from one seed *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~example name

@@ -195,4 +195,210 @@ let check _ctx str =
     List.rev !acc
   end
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+(* Cross-module complement: the per-file check above resolves only bare
+   lexical names, so [A.counter := ...] inside a spawned closure — state
+   {e defined in another module} — is invisible to it.  This pass
+   collects module-qualified (and open-routed) mutable accesses, resolves
+   them through {!Project}, and runs the same spawn-reachability fixpoint
+   over the {e global} call graph.  Only cross-module targets are
+   reported, so the two passes partition the findings and never
+   duplicate. *)
+
+type xaccess = { xanode : int; xtarget : int; xop : string; xloc : Location.t }
+
+let xkey a =
+  (a.xtarget, a.xloc.loc_start.pos_fname, a.xloc.loc_start.pos_cnum, a.xop)
+
+let xcompare a b = compare (xkey a) (xkey b)
+let xjoin a b = List.sort_uniq xcompare (List.rev_append a b)
+
+let xequal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> xcompare x y = 0) a b
+
+let check_project (a : Absint.t) =
+  let p = Absint.project a in
+  let files = Project.files p in
+  let n = Project.n_nodes p in
+  if n = 0 then []
+  else begin
+    let mf =
+      Array.map
+        (fun (f : Project.file) -> lazy (Mutstate.mutable_fields f.str))
+        files
+    in
+    let cls gid =
+      let f = Project.owner p gid in
+      Mutstate.classify
+        ~mutable_fields:(Lazy.force mf.(f.idx))
+        (Project.local p gid).body
+    in
+    let raw = ref [] in
+    let mediated = Hashtbl.create 8 in
+    let sites = ref [] in  (* (site loc, roots) *)
+    let refs = ref [] in  (* (mention loc, global callee) *)
+    Array.iter
+      (fun (file : Project.file) ->
+        let g id = if id >= 0 then file.base + id else -1 in
+        let resolve_access (c : Callgraph.ctx) parts k =
+          match parts with
+          | [ x ] ->
+            (* unqualified but not lexically bound: reaches a foreign
+               binding only through this file's toplevel opens *)
+            if c.resolve x = None then
+              Option.iter k (Project.resolve_open p file ~name:x)
+          | _ :: _ :: _ ->
+            Option.iter
+              (fun gid ->
+                if (Project.owner p gid).idx <> file.idx then k gid)
+              (Project.resolve_path p file parts)
+          | [] -> ()
+        in
+        let on_expr (c : Callgraph.ctx) e =
+          if Astq.suffix_is e mutex_paths && c.node >= 0 then
+            Hashtbl.replace mediated (g c.node) ();
+          (match (Astq.strip e).pexp_desc with
+          | Pexp_ident { txt = Longident.Lident x; _ } ->
+            Option.iter
+              (fun id -> refs := (e.pexp_loc, g id) :: !refs)
+              (c.resolve x)
+          | Pexp_ident { txt = Longident.Ldot _; _ } ->
+            Option.iter
+              (fun parts ->
+                Option.iter
+                  (fun gid -> refs := (e.pexp_loc, gid) :: !refs)
+                  (Project.resolve_path p file parts))
+              (Astq.path e)
+          | _ -> ());
+          let record gid op =
+            raw :=
+              { xanode = g c.node; xtarget = gid; xop = op; xloc = e.pexp_loc }
+              :: !raw
+          in
+          (match Mutstate.write_root_path e with
+          | Some (parts, op) -> resolve_access c parts (fun gid -> record gid op)
+          | None -> ());
+          (match Mutstate.deref_root_path e with
+          | Some parts -> resolve_access c parts (fun gid -> record gid "!")
+          | None -> ());
+          match Astq.apply_parts e with
+          | Some (f, args) when Astq.suffix_is f spawn_paths ->
+            let roots =
+              List.filter_map
+                (fun arg ->
+                  match (Astq.strip arg).pexp_desc with
+                  | Pexp_ident { txt = Longident.Lident x; _ } ->
+                    Option.map (fun id -> Node_root (g id)) (c.resolve x)
+                  | Pexp_ident { txt = Longident.Ldot _; _ } ->
+                    Option.bind (Astq.path arg) (fun parts ->
+                        Option.map
+                          (fun gid -> Node_root gid)
+                          (Project.resolve_path p file parts))
+                  | _ ->
+                    if is_fun_literal arg then Some (Inline_root arg.pexp_loc)
+                    else None)
+                args
+            in
+            if roots <> [] then sites := (e.pexp_loc, roots) :: !sites
+          | _ -> ()
+        in
+        ignore (Callgraph.build ~on_expr file.str))
+      files;
+    if !sites = [] || !raw = [] then []
+    else begin
+      let is_shared acc_ =
+        match cls acc_.xtarget with Mutstate.Mutable _ -> true | _ -> false
+      in
+      let direct = Array.make n [] in
+      List.iter
+        (fun acc_ ->
+          if
+            acc_.xanode >= 0
+            && (not (Hashtbl.mem mediated acc_.xanode))
+            && is_shared acc_
+          then direct.(acc_.xanode) <- acc_ :: direct.(acc_.xanode))
+        !raw;
+      let facts =
+        Taint.solve ~n ~deps:(Project.calls p)
+          ~init:(fun v -> List.sort_uniq xcompare direct.(v))
+          ~join:xjoin ~equal:xequal ()
+      in
+      let inhere (range : Location.t) (l : Location.t) =
+        String.equal l.loc_start.pos_fname range.loc_start.pos_fname
+        && inside range l
+      in
+      let reachable = function
+        | Node_root gid when not (is_fun_literal (Project.local p gid).body) ->
+          []
+        | Node_root gid ->
+          List.filter (fun acc_ -> acc_.xtarget <> gid) (facts.Taint.fact gid)
+        | Inline_root range ->
+          let owner_direct =
+            List.filter
+              (fun acc_ ->
+                inhere range acc_.xloc
+                && (not (Hashtbl.mem mediated acc_.xanode))
+                && is_shared acc_)
+              !raw
+          in
+          let via_calls =
+            List.concat_map
+              (fun (l, callee) ->
+                if inhere range l then facts.Taint.fact callee else [])
+              !refs
+          in
+          xjoin owner_direct via_calls
+      in
+      let seen = Hashtbl.create 16 in
+      let acc = ref [] in
+      List.iter
+        (fun ((site_loc : Location.t), roots) ->
+          List.iter
+            (fun root ->
+              List.iter
+                (fun acc_ ->
+                  let key = xkey acc_ in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.replace seen key ();
+                    let tf = Project.owner p acc_.xtarget in
+                    let tn = Project.local p acc_.xtarget in
+                    let kind =
+                      match cls acc_.xtarget with
+                      | Mutstate.Mutable k -> Mutstate.kind_name k
+                      | _ -> "mutable value"
+                    in
+                    let action =
+                      if String.equal acc_.xop "!" then "read through !"
+                      else Fmt.str "mutated via %s" acc_.xop
+                    in
+                    acc :=
+                      Finding.of_location ~rule:name ~severity:Finding.Error
+                        ~message:
+                          (Fmt.str
+                             "'%s.%s' (%s defined in %s line %d) is %s inside \
+                              code reachable from the closure spawned at line \
+                              %d, with no Atomic/Mutex mediation; use \
+                              Atomic.t, a Mutex, per-domain state, or \
+                              suppress with the audited invariant"
+                             tf.module_name tn.name kind tf.rel
+                             tn.loc.loc_start.pos_lnum action
+                             site_loc.loc_start.pos_lnum)
+                        acc_.xloc
+                    :: !acc
+                  end)
+                (reachable root))
+            roots)
+        (List.rev !sites);
+      List.rev !acc
+    end
+  end
+
+let example =
+  "(* counters.ml *)  let hits = ref 0\n\
+   (* worker.ml *)    let run () = Domain.spawn (fun () -> Counters.hits := 1)\n\
+   (* fires: mutable state defined in another module, written from a \
+   spawned closure without Atomic/Mutex mediation *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~check_project
+    ~example name

@@ -157,4 +157,10 @@ let check _ctx str =
         | _ -> ());
   List.rev !acc
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+let example =
+  "if cost = expected then ...\n\
+   (* fires: exact float equality; use Feq.approx (or an intentional \
+   bit-equality via Float.equal with a suppression) *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~example name

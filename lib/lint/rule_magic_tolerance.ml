@@ -1,0 +1,69 @@
+(* magic-tolerance: a bare float-literal tolerance used directly in a
+   comparison.  The tree centralises tolerances in [Util.Feq]
+   ([tol_snap], [tol_guard], [tol_loose], [default_atol]); a literal
+   [1e-9] inlined at a comparison site drifts out of sync with the
+   boundary-snapping tolerance the timeline actually uses, which is
+   exactly the class of bug PR2/PR7 chased.  Only small magnitudes fire
+   (|lit| <= 1e-4): comparing against [0.5] or [100.] is a threshold,
+   not a tolerance.  [lib/util/feq.ml] and [lib/util/bisect.ml] are the
+   sanctioned homes of raw tolerance literals and are exempt. *)
+
+let name = "magic-tolerance"
+
+let doc =
+  "bare float-literal tolerance in a comparison; use the named Util.Feq \
+   constants (tol_snap, tol_guard, tol_loose, default_atol) or \
+   Feq.approx so every module agrees on what \"equal\" means"
+
+let exempt_files = [ "lib/util/feq.ml"; "lib/util/bisect.ml" ]
+
+let applies rel =
+  Rule.lib_only rel
+  && not (List.exists (String.equal rel) exempt_files)
+
+let cmp_paths =
+  [ [ "<" ]; [ "<=" ]; [ ">" ]; [ ">=" ]; [ "=" ]; [ "<>" ] ]
+  |> List.concat_map (fun p -> [ p; "Stdlib" :: p ])
+
+(* Largest magnitude that still reads as a tolerance rather than a
+   threshold (hoisted out of the comparison below so this rule does not
+   fire on its own source). *)
+let max_magnitude = 1e-4
+
+(* A tolerance-looking literal: small, nonzero.  Comparing against 0.0
+   itself is a sign test, not a tolerance. *)
+let tolerance_literal e =
+  if not (Astq.is_float_literal e) then None
+  else
+    match Astq.signed_number e with
+    | Some v when Float.abs v > 0.0 && Float.abs v <= max_magnitude -> Some v
+    | _ -> None
+
+let check _ctx str =
+  let acc = ref [] in
+  Astq.iter_expressions str (fun e ->
+      match Astq.apply_parts e with
+      | Some (f, [ a; b ]) when Astq.path_is f cmp_paths ->
+        let hit x =
+          match tolerance_literal x with
+          | Some v ->
+            acc :=
+              Finding.of_location ~rule:name ~severity:Finding.Warning
+                ~message:(Fmt.str "comparison against bare literal %h; %s" v doc)
+                e.pexp_loc
+              :: !acc
+          | None -> ()
+        in
+        hit a;
+        hit b
+      | _ -> ());
+  List.rev !acc
+
+let example =
+  "if Float.abs (a -. b) < 1e-9 then ...\n\
+   (* fires: inline tolerance literal.  Write [Float.abs (a -. b) < \
+   Feq.tol_snap] or [Feq.approx a b] instead. *)"
+
+let rule =
+  Rule.make ~applies ~doc ~severity:Finding.Warning ~check_structure:check
+    ~example name

@@ -1,0 +1,7 @@
+(** [magic-tolerance] — a bare small float literal (0 < |lit| <= 1e-4)
+    used directly as a comparison operand outside the sanctioned
+    tolerance homes ([lib/util/feq.ml], [lib/util/bisect.ml]); the fix
+    is the named [Util.Feq] constants. *)
+
+val name : string
+val rule : Rule.t

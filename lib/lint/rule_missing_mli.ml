@@ -14,5 +14,10 @@ let check (ctx : Rule.ctx) ~has_mli =
         (Fmt.str "%s has no matching %si" ctx.rel ctx.rel);
     ]
 
+let example =
+  "lib/foo/bar.ml with no lib/foo/bar.mli\n\
+   (* fires: every library module declares its interface *)"
+
 let rule =
-  Rule.make ~applies ~doc ~severity:Finding.Error ~check_source:check name
+  Rule.make ~applies ~doc ~severity:Finding.Error ~check_source:check ~example
+    name

@@ -44,6 +44,10 @@ let check _ctx str =
       | _ -> ());
   List.rev !acc
 
+let example =
+  "List.fold_left ( +. ) 0.0 costs\n\
+   (* fires: cancellation-prone accumulation; use Util.Ksum *)"
+
 let rule =
   Rule.make ~applies:Rule.lib_only ~doc ~severity:Finding.Error
-    ~check_structure:check name
+    ~check_structure:check ~example name

@@ -1,0 +1,231 @@
+(* nan-flow: NaN-manufacturing arithmetic shapes whose result can reach a
+   benchmark payload ([Record.make], the harness [metric]/[counter]/
+   [verdict] builders) or a PD decision entry point.  A NaN in a payload
+   silently corrupts regression baselines (every NaN comparison is
+   false, so gates pass vacuously); a NaN fed to [Pd.arrive] corrupts
+   the committed-load state.
+
+   Shapes, judged with the whole-program abstract values ({!Absint}), so
+   a denominator proved away from zero in {e another module} stays
+   quiet:
+
+   - [x /. y] where both operands can be zero (0/0) or both can be
+     infinite (inf/inf) — a merely-zero denominator yields ±inf, not
+     NaN, and is not reported;
+   - [log x] / [log10 x] with [x] possibly negative (log 0 = -inf is
+     not NaN);
+   - [sqrt x] with [x] possibly negative;
+   - [x *. y] where one side can be zero and the other infinite.
+
+   Evidence discipline: a shape only counts when the interpreter has
+   {e informative} bounds for the operands involved — an unconstrained
+   parameter (⊤) is not evidence that 0/0 can happen, otherwise every
+   division in the tree would fire.  Sinks are reached either directly
+   (the creator is the sink argument) or through the global call graph:
+   a node whose body contains a creator taints its callers, solved by
+   {!Taint.solve} over {!Project.calls}, which is what makes the rule
+   cross-module. *)
+
+open Parsetree
+
+let name = "nan-flow"
+
+let doc =
+  "a NaN-manufacturing expression (0/0 or inf/inf division, log/sqrt of a \
+   possibly-negative value, 0 * infinity) flows into a benchmark payload \
+   (Record.make / metric / counter / verdict) or a PD decision \
+   (Pd.arrive); NaN poisons baseline comparisons silently — guard the \
+   operands, classify with Float.is_nan, or suppress with the invariant \
+   that rules the shape out"
+
+let sink_suffixes =
+  [
+    [ "Record"; "make" ]; [ "metric" ]; [ "counter" ]; [ "verdict" ];
+    [ "Pd"; "arrive" ]; [ "Pd"; "arrive_reference" ];
+  ]
+
+let div_paths = [ [ "/." ]; [ "Stdlib"; "/." ]; [ "Float"; "div" ] ]
+let mul_paths = [ [ "*." ]; [ "Stdlib"; "*." ]; [ "Float"; "mul" ] ]
+
+let log_paths =
+  [ [ "log" ]; [ "Stdlib"; "log" ]; [ "Float"; "log" ]; [ "log10" ];
+    [ "Stdlib"; "log10" ]; [ "Float"; "log10" ] ]
+
+let sqrt_paths = [ [ "sqrt" ]; [ "Stdlib"; "sqrt" ]; [ "Float"; "sqrt" ] ]
+
+(* The interpreter knows something beyond "any float": non-empty numeric
+   part, and not the full extended line.  ⊤ operands are not evidence. *)
+let informative = function
+  | Absdom.Bot -> false
+  | Absdom.V { lo; hi; nan = _ } ->
+    lo <= hi && not (Float.equal lo neg_infinity && Float.equal hi infinity)
+
+let may_zero = function
+  | Absdom.Bot -> false
+  | Absdom.V { lo; hi; nan = _ } -> lo <= 0.0 && 0.0 <= hi
+
+let may_inf = function
+  | Absdom.Bot -> false
+  | Absdom.V { lo; hi; nan = _ } -> Float.equal lo neg_infinity || Float.equal hi infinity
+
+let neg_possible = function
+  | Absdom.Bot -> false
+  | Absdom.V { lo; hi; nan = _ } -> lo < 0.0 && lo <= hi
+
+(* [creator env e] describes why [e] can evaluate to a fresh NaN at this
+   program point, judged with the abstract values in scope. *)
+let creator env e =
+  match Astq.apply_parts (Astq.strip e) with
+  | Some (f, [ a; b ]) when Astq.path_is f div_paths ->
+    let va = Absint.eval env a and vb = Absint.eval env b in
+    if not (informative va && informative vb) then None
+    else if may_zero va && may_zero vb then
+      Some "0./0. division (both operands can be zero)"
+    else if may_inf va && may_inf vb then
+      Some "inf/inf division (both operands can be infinite)"
+    else None
+  | Some (f, [ a; b ]) when Astq.path_is f mul_paths ->
+    let va = Absint.eval env a and vb = Absint.eval env b in
+    if
+      informative va && informative vb
+      && ((may_zero va && may_inf vb) || (may_inf va && may_zero vb))
+    then Some "0. *. infinity product"
+    else None
+  | Some (f, [ a ]) when Astq.path_is f log_paths ->
+    let v = Absint.eval env a in
+    if informative v && neg_possible v then
+      Some "log of a possibly-negative value"
+    else None
+  | Some (f, [ a ]) when Astq.path_is f sqrt_paths ->
+    let v = Absint.eval env a in
+    if informative v && neg_possible v then
+      Some "sqrt of a possibly-negative value"
+    else None
+  | _ -> None
+
+let sink_name f =
+  match Astq.path f with Some p -> String.concat "." p | None -> "sink"
+
+(* First creator anywhere inside the argument expression (the NaN of
+   [verdict (log x > 0.0)] is manufactured one level down).  The
+   argument's own env is a sound approximation for its subexpressions:
+   an argument introduces no new refinement scopes of its own that we
+   would need for the operand bounds. *)
+let first_creator env arg =
+  let found = ref None in
+  let rec go e =
+    (match !found with
+    | Some _ -> ()
+    | None -> (
+      match creator env e with
+      | Some _ as r -> found := r
+      | None ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ child -> go child);
+          }
+        in
+        Ast_iterator.default_iterator.expr it e))
+  in
+  go arg;
+  !found
+
+(* Global node the sink argument denotes, for call-graph taint lookup:
+   a (possibly qualified) identifier, or the head of an application
+   ([Record.make ~payload:(compute x)] follows [compute]). *)
+let arg_target env (file : Project.file) arg =
+  let ident e =
+    match Absint.resolve_ref env e with
+    | Some gid -> Some gid
+    | None -> (
+      match (Astq.strip e).pexp_desc with
+      | Pexp_ident { txt = Longident.Lident x; _ } ->
+        Option.map
+          (fun (nd : Callgraph.node) -> Project.global file nd)
+          (Callgraph.node_named file.cg x)
+      | _ -> None)
+  in
+  match ident arg with
+  | Some _ as r -> r
+  | None -> (
+    match Astq.apply_parts (Astq.strip arg) with
+    | Some (h, _) -> ident h
+    | None -> None)
+
+let check_project (a : Absint.t) =
+  let p = Absint.project a in
+  let files = Project.files p in
+  let n = Project.n_nodes p in
+  let direct = Array.make (max n 1) None in
+  Array.iter
+    (fun (file : Project.file) ->
+      Absint.iter_file a file (fun env e ->
+          match creator env e with
+          | Some why ->
+            let gid = Absint.env_node env in
+            if gid >= 0 && direct.(gid) = None then direct.(gid) <- Some why
+          | None -> ()))
+    files;
+  (* Call-graph closure: a node is tainted when its own body contains a
+     creator, or it calls a tainted node.  Fact = the reason, stable
+     under join (first reason wins). *)
+  let facts =
+    Taint.solve ~n:(max n 1)
+      ~deps:(fun v -> if n = 0 then [] else Project.calls p v)
+      ~init:(fun v -> direct.(v))
+      ~join:(fun x y -> match x with Some _ -> x | None -> y)
+      ~equal:(fun x y ->
+        match (x, y) with
+        | None, None -> true
+        | Some a, Some b -> String.equal a b
+        | _ -> false)
+      ()
+  in
+  let acc = ref [] in
+  let fire loc msg =
+    acc :=
+      Finding.of_location ~rule:name ~severity:Finding.Error ~message:msg loc
+      :: !acc
+  in
+  Array.iter
+    (fun (file : Project.file) ->
+      Absint.iter_file a file (fun env e ->
+          match Astq.apply_parts e with
+          | Some (f, args) when Astq.suffix_is f sink_suffixes ->
+            List.iter
+              (fun arg ->
+                match first_creator env arg with
+                | Some why ->
+                  fire arg.pexp_loc
+                    (Fmt.str
+                       "NaN can be created directly in this %s argument: %s; \
+                        %s"
+                       (sink_name f) why doc)
+                | None -> (
+                  match arg_target env file arg with
+                  | Some gid -> (
+                    match facts.Taint.fact gid with
+                    | Some why ->
+                      let tf = Project.owner p gid in
+                      let tn = Project.local p gid in
+                      fire arg.pexp_loc
+                        (Fmt.str
+                           "'%s' reaching this %s argument can be NaN: %s, \
+                            in '%s' (%s line %d) or a function it calls; %s"
+                           tn.name (sink_name f) why tn.name tf.rel
+                           tn.loc.loc_start.pos_lnum doc)
+                    | None -> ())
+                  | None -> ()))
+              args
+          | _ -> ()))
+    files;
+  List.rev !acc
+
+let example =
+  "(* ratio.ml *)  let speedup base opt = base /. opt   (* both can be 0 *)\n\
+   (* report.ml *) let row r = Record.make ~value:(Ratio.speedup a b) ...\n\
+   (* fires at the Record.make argument: 0./0. manufactured in another \
+   module reaches a benchmark payload *)"
+
+let rule = Rule.make ~doc ~severity:Finding.Error ~check_project ~example name

@@ -1,0 +1,9 @@
+(** [nan-flow] — NaN-manufacturing arithmetic (0/0, inf/inf, log/sqrt of
+    a possibly-negative value, 0 · ∞) whose result reaches a benchmark
+    payload or a PD decision entry point, judged with the whole-program
+    abstract values and closed over the global call graph.  Project-only:
+    there is no per-file variant, because the evidence (operand bounds)
+    routinely lives in another module. *)
+
+val name : string
+val rule : Rule.t

@@ -19,4 +19,10 @@ let check _ctx str =
       | _ -> ());
   List.rev !acc
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+let example =
+  "let jitter = Random.float 1.0\n\
+   (* fires: ambient-state randomness in lib/; thread a seeded \
+   Random.State.t through the caller instead *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~example name

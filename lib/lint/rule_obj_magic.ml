@@ -29,4 +29,9 @@ let check _ctx str =
           flag e.pexp_loc "Obj.repr/Obj.obj reinterpret memory unchecked");
   List.rev !acc
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+let example =
+  "let coerce (x : int) : float = Obj.magic x\n\
+   (* fires: unchecked representation cast; restructure the types *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~example name

@@ -30,6 +30,10 @@ let check _ctx str =
           :: !acc);
   List.rev !acc
 
+let example =
+  "let solve x = Printf.printf \"debug: %f\\n\" x; ...\n\
+   (* fires: libraries stay silent; return data or take a reporter *)"
+
 let rule =
-  Rule.make ~applies:Rule.lib_only ~doc ~severity:Finding.Error
+  Rule.make ~applies:Rule.lib_only ~doc ~severity:Finding.Error ~example
     ~check_structure:check name

@@ -247,4 +247,11 @@ let check _ctx str =
   it.structure it str;
   List.rev !acc
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+let example =
+  "let noise () = Unix.gettimeofday ()\n\
+   let sample () = Record.make ~value:(noise ()) ...\n\
+   (* fires at the Record.make argument: wall-clock nondeterminism \
+   reaches a benchmark payload through the call graph *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~example name

@@ -199,4 +199,49 @@ let check _ctx str =
   it.structure it str;
   List.rev !acc
 
-let rule = Rule.make ~doc ~severity:Finding.Error ~check_structure:check name
+(* Whole-program version: the same firing condition, but non-negativity
+   of the base is established by the abstract interpreter — guards and
+   lets as before, plus interval facts that flow through let bindings,
+   local functions and cross-module calls ({!Absint}).  The legacy
+   syntactic prover above is strictly subsumed: literals and trusted
+   producers are interpreter axioms, guard refinement is
+   comparison-as-refinement, and the nonneg-product closure is interval
+   multiplication.  When the summary fixpoint did not converge, proofs
+   of safety are inconclusive and the legacy per-file reasoning is used
+   instead — a finding may never silently vanish behind an exhausted
+   iteration bound. *)
+let check_project (a : Absint.t) =
+  let files = Project.files (Absint.project a) in
+  if not (Absint.converged a) then
+    Array.to_list files
+    |> List.concat_map (fun (f : Project.file) ->
+           check { Rule.rel = f.rel } f.str)
+  else begin
+    let acc = ref [] in
+    Array.iter
+      (fun (file : Project.file) ->
+        Absint.iter_file a file (fun env e ->
+            match Astq.apply_parts e with
+            | Some (f, [ base; expo ])
+              when Astq.path_is f pow_paths
+                   && not
+                        (integral_exponent expo
+                        || Absdom.nonneg (Absint.eval env base)) ->
+              acc :=
+                Finding.of_location ~rule:name ~severity:Finding.Error
+                  ~message:doc e.pexp_loc
+                :: !acc
+            | _ -> ()))
+      files;
+    List.rev !acc
+  end
+
+let example =
+  "let energy s alpha = s ** alpha\n\
+   (* fires: nothing proves s non-negative.  Quiet when an if/guard, a \
+   non-negative producer (sqrt, Float.abs, Power.alpha), or — \
+   whole-program — a summary from another module bounds s below by 0. *)"
+
+let rule =
+  Rule.make ~doc ~severity:Finding.Error ~check_structure:check ~check_project
+    ~project_replaces:true ~example name

@@ -29,7 +29,7 @@ let aggregate ~guarantee samples =
     p90_ratio = Stats.percentile 0.9 rs;
     violations =
       List.length
-        (List.filter (fun r -> r > guarantee +. (1e-6 *. (1.0 +. guarantee))) rs);
+        (List.filter (fun r -> r > guarantee +. (Feq.tol_loose *. (1.0 +. guarantee))) rs);
   }
 
 let pp_aggregate ppf a =

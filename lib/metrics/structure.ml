@@ -11,7 +11,7 @@ type t = {
   utilization : float;
 }
 
-let gap_tol = 1e-9
+let gap_tol = Feq.tol_snap
 
 let of_schedule (s : Schedule.t) =
   let slices = s.slices in

@@ -5,7 +5,7 @@ type t = { machines : int; slices : slice list; rejected : int list }
 
 (* Tolerance for work-completion and overlap checks: a schedule assembled
    from thousands of slices accumulates rounding in each one. *)
-let work_tol = 1e-6
+let work_tol = Feq.tol_loose
 
 let make ~machines ~rejected slices =
   if machines < 1 then invalid_arg "Schedule.make: machines < 1";

@@ -13,7 +13,7 @@ let admission ~power ~machines : Speedscale_single.Oa_engine.admission_sp =
   in
   {
     Speedscale_single.Oa_engine.admitted =
-      planned <= Speedscale_single.Cll.threshold_speed power candidate +. 1e-12;
+      planned <= Speedscale_single.Cll.threshold_speed power candidate +. Speedscale_util.Feq.tol_guard;
     planned_speed = Some planned;
   }
 

@@ -118,7 +118,7 @@ let improve (inst : Instance.t) assignment =
             let delta =
               src_without +. dst_with -. energies.(src) -. energies.(!dst)
             in
-            if delta < -1e-9 *. (1.0 +. energies.(src)) then begin
+            if delta < -.Speedscale_util.Feq.tol_snap *. (1.0 +. energies.(src)) then begin
               a.(j.id) <- !dst;
               energies.(src) <- src_without;
               energies.(!dst) <- dst_with;

@@ -38,7 +38,7 @@ let schedule (inst : Instance.t) =
         (fun (j : Job.t) ->
           if Job.covers j ~lo ~hi then begin
             let dur = Job.density j *. (hi -. lo) /. s in
-            if dur > 1e-15 then begin
+            if dur > Feq.tol_dust then begin
               slices :=
                 {
                   Schedule.proc = 0;

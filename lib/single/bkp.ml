@@ -44,9 +44,9 @@ let edf_over (inst : Instance.t) profile =
             List.init n Fun.id
             |> List.filter (fun i ->
                    let j = Instance.job inst i in
-                   j.release <= !t +. 1e-12
+                   j.release <= !t +. Speedscale_util.Feq.tol_guard
                    && j.deadline > !t
-                   && remaining.(i) > 1e-12)
+                   && remaining.(i) > Speedscale_util.Feq.tol_guard)
           in
           match
             List.sort
@@ -64,7 +64,7 @@ let edf_over (inst : Instance.t) profile =
                 (!t +. (remaining.(i) /. speed))
             in
             let dt = t_end -. !t in
-            if dt > 1e-13 then begin
+            if dt > Speedscale_util.Feq.tol_step then begin
               slices :=
                 { Schedule.proc = 0; t0 = !t; t1 = t_end; job = i; speed }
                 :: !slices;
@@ -93,8 +93,8 @@ let profile_of (inst : Instance.t) ~steps =
       let s =
         Float.max
           (Float.max (speed_at inst a) (speed_at inst ((a +. b) /. 2.0)))
-          (speed_at inst (b -. (1e-9 *. h)))
-        *. (1.0 +. 1e-6)
+          (speed_at inst (b -. (Speedscale_util.Feq.tol_snap *. h)))
+        *. (1.0 +. Speedscale_util.Feq.tol_loose)
       in
       segs := (a, b, s) :: !segs
     done
@@ -107,7 +107,7 @@ let schedule ?(steps_per_interval = 64) (inst : Instance.t) =
     let slices, remaining = edf_over inst (profile_of inst ~steps) in
     let unfinished =
       Array.exists
-        (fun r -> r > 1e-6 *. (1.0 +. Array.fold_left Float.max 0.0 remaining))
+        (fun r -> r > Speedscale_util.Feq.tol_loose *. (1.0 +. Array.fold_left Float.max 0.0 remaining))
         remaining
     in
     if (not unfinished) || tries = 0 then

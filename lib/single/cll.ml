@@ -12,7 +12,7 @@ let admission power : Oa_engine.admission_sp =
  fun ~now:_ ~plan ~candidate ->
   let planned = Yds.speed_of_job plan (candidate : Job.t).id in
   {
-    Oa_engine.admitted = planned <= threshold_speed power candidate +. 1e-12;
+    Oa_engine.admitted = planned <= threshold_speed power candidate +. Speedscale_util.Feq.tol_guard;
     planned_speed = Some planned;
   }
 

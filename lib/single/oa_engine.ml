@@ -9,7 +9,7 @@ type admission_sp = now:float -> plan:Job.t list -> candidate:Job.t -> verdict
 
 type plan_fn = now:float -> Job.t list -> Schedule.slice list
 
-let work_eps = 1e-9
+let work_eps = Feq.tol_snap
 
 (* Remaining-work view of a job at time [now]. *)
 let adjusted ~now (j : Job.t) ~remaining =

@@ -39,7 +39,7 @@ let simulate (inst : Instance.t) ~steps =
       let a = lo +. (float_of_int step *. h) in
       let b = a +. h in
       (* freeze the speed for the step; add a whisker of safety *)
-      let speed = q *. oa_speed inst remaining a *. (1.0 +. 1e-6) in
+      let speed = q *. oa_speed inst remaining a *. (1.0 +. Speedscale_util.Feq.tol_loose) in
       if speed > 0.0 then begin
         let t = ref a in
         let continue = ref true in
@@ -48,9 +48,9 @@ let simulate (inst : Instance.t) ~steps =
             List.init n Fun.id
             |> List.filter (fun i ->
                    let j = Instance.job inst i in
-                   j.release <= !t +. 1e-12
+                   j.release <= !t +. Speedscale_util.Feq.tol_guard
                    && j.deadline > !t
-                   && remaining.(i) > 1e-12)
+                   && remaining.(i) > Speedscale_util.Feq.tol_guard)
             |> List.sort (fun i1 i2 ->
                    Float.compare (Instance.job inst i1).deadline
                      (Instance.job inst i2).deadline)
@@ -65,7 +65,7 @@ let simulate (inst : Instance.t) ~steps =
                 (!t +. (remaining.(i) /. speed))
             in
             let dt = t_end -. !t in
-            if dt > 1e-13 then begin
+            if dt > Speedscale_util.Feq.tol_step then begin
               slices :=
                 { Schedule.proc = 0; t0 = !t; t1 = t_end; job = i; speed }
                 :: !slices;
@@ -84,7 +84,7 @@ let schedule ?(steps_per_interval = 24) (inst : Instance.t) =
   let rec attempt steps tries =
     let slices, remaining = simulate inst ~steps in
     let unfinished =
-      Array.exists (fun r -> r > 1e-6 *. (1.0 +. r)) remaining
+      Array.exists (fun r -> r > Speedscale_util.Feq.tol_loose *. (1.0 +. r)) remaining
     in
     if (not unfinished) || tries = 0 then
       Schedule.make ~machines:1 ~rejected:[] slices

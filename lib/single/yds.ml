@@ -106,7 +106,7 @@ let rounds jobs =
         List.iter
           (fun b ->
             let eligible =
-              List.filter (fun (_, _, cd) -> cd <= b +. 1e-12) cjobs
+              List.filter (fun (_, _, cd) -> cd <= b +. Feq.tol_guard) cjobs
               |> List.sort (fun (_, r1, _) (_, r2, _) -> Float.compare r2 r1)
             in
             let rec scan cum = function
@@ -114,11 +114,11 @@ let rounds jobs =
               | ((j : Job.t), cr, _) :: rest ->
                 let cum = cum +. j.workload in
                 (match rest with
-                | (_, cr2, _) :: _ when cr2 >= cr -. 1e-12 ->
+                | (_, cr2, _) :: _ when cr2 >= cr -. Feq.tol_guard ->
                   (* same left boundary: fold the whole group first *)
                   scan cum rest
                 | _ ->
-                  if b > cr +. 1e-12 then consider (cum /. (b -. cr)) cr b;
+                  if b > cr +. Feq.tol_guard then consider (cum /. (b -. cr)) cr b;
                   scan cum rest)
             in
             scan 0.0 eligible)
@@ -134,8 +134,8 @@ let rounds jobs =
           let members =
             List.filter
               (fun (j : Job.t) ->
-                collapse blocked j.release >= a -. 1e-9
-                && collapse blocked j.deadline <= b +. 1e-9)
+                collapse blocked j.release >= a -. Feq.tol_snap
+                && collapse blocked j.deadline <= b +. Feq.tol_snap)
               remaining
           in
           let member_ids = List.map (fun (j : Job.t) -> j.id) members in
@@ -199,7 +199,7 @@ let edf_round (jobs : Job.t array) r =
     | [] -> ()
     | (a, b) :: rest ->
       let t = a +. !offset in
-      if t >= b -. 1e-12 then begin
+      if t >= b -. Feq.tol_guard then begin
         segments := rest;
         offset := 0.0;
         step ()
@@ -208,8 +208,8 @@ let edf_round (jobs : Job.t array) r =
         let avail =
           List.filter
             (fun (j : Job.t) ->
-              j.release <= t +. 1e-12
-              && Hashtbl.find remaining j.id > 1e-12)
+              j.release <= t +. Feq.tol_guard
+              && Hashtbl.find remaining j.id > Feq.tol_guard)
             members
         in
         match avail with
@@ -218,7 +218,7 @@ let edf_round (jobs : Job.t array) r =
           let next_release =
             List.fold_left
               (fun acc (j : Job.t) ->
-                if Hashtbl.find remaining j.id > 1e-12 && j.release > t then
+                if Hashtbl.find remaining j.id > Feq.tol_guard && j.release > t then
                   Float.min acc j.release
                 else acc)
               Float.infinity members
@@ -235,14 +235,14 @@ let edf_round (jobs : Job.t array) r =
           let next_release =
             List.fold_left
               (fun acc (j' : Job.t) ->
-                if j'.release > t +. 1e-12 && Hashtbl.find remaining j'.id > 1e-12
+                if j'.release > t +. Feq.tol_guard && Hashtbl.find remaining j'.id > Feq.tol_guard
                 then Float.min acc j'.release
                 else acc)
               Float.infinity members
           in
           let t_end = Float.min (Float.min (t +. dt_work) b) next_release in
           let dt = t_end -. t in
-          if dt > 1e-12 then begin
+          if dt > Feq.tol_guard then begin
             slices :=
               {
                 Schedule.proc = 0;

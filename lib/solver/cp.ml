@@ -81,7 +81,7 @@ let lost_value t x =
       (* infinite-value jobs are pinned to the simplex by the projection;
          tolerate float dust in the completion *)
       if Float.equal v Float.infinity then begin
-        if missing > 1e-6 then Ksum.add acc Float.infinity
+        if missing > Feq.tol_loose then Ksum.add acc Float.infinity
       end
       else Ksum.add acc (v *. missing))
     comp;
@@ -203,8 +203,8 @@ let rebalance_sweeps t mode x ~sweeps =
         let hi =
           Speedscale_util.Bisect.grow_bracket ~f:assigned ~target:w ~lo:0.0
             ~init:
-              (Float.max 1e-9
-                 (w *. Power.deriv t.inst.power (w /. Float.max 1e-9 (Job.span job))))
+              (Float.max Feq.tol_snap
+                 (w *. Power.deriv t.inst.power (w /. Float.max Feq.tol_snap (Job.span job))))
             ()
         in
         let mu =
@@ -224,7 +224,7 @@ let rebalance_sweeps t mode x ~sweeps =
       | Must_finish -> solve_full ()
       | Profitable ->
         if Float.equal job.value Float.infinity then solve_full ()
-        else if assigned job.value >= w *. (1.0 -. 1e-12) then solve_full ()
+        else if assigned job.value >= w *. (1.0 -. Feq.tol_guard) then solve_full ()
         else
           (* partial completion at marginal price = value *)
           commit job.value
@@ -264,7 +264,7 @@ let solve ?(max_iters = 4000) ?(tol = 1e-10) ?x0 t mode =
     decr budget;
     rebalance_sweeps t mode x ~sweeps:1;
     let now = objective t mode x in
-    if now >= !best -. (1e-12 *. (1.0 +. Float.abs !best)) then
+    if now >= !best -. (Feq.tol_guard *. (1.0 +. Float.abs !best)) then
       continue := false;
     if now < !best then best := now
   done;
@@ -278,7 +278,7 @@ let solve ?(max_iters = 4000) ?(tol = 1e-10) ?x0 t mode =
     converged = r.converged;
   }
 
-let to_schedule ?(finish_tol = 1e-6) t x =
+let to_schedule ?(finish_tol = Feq.tol_loose) t x =
   let comp = completion t x in
   let rejected = ref [] in
   let scale = Array.make (Instance.n_jobs t.inst) 0.0 in

@@ -26,7 +26,7 @@ let residual cp mode x =
     for i = 0 to len - 1 do
       let m = g.(base + i) in
       if m < !min_all then min_all := m;
-      if x.(base + i) > 1e-9 then begin
+      if x.(base + i) > Speedscale_util.Feq.tol_snap then begin
         used := true;
         if m > !max_used then max_used := m
       end
@@ -40,7 +40,7 @@ let residual cp mode x =
       bump (Float.abs (!total -. 1.0))
     | Cp.Profitable ->
       if Float.is_finite job.value then begin
-        if !total < 1.0 -. 1e-9 then
+        if !total < 1.0 -. Speedscale_util.Feq.tol_snap then
           if !used then
             (* partially finished: marginal price pinned at the value *)
             bump (Float.abs (!min_all -. job.value) /. (1.0 +. job.value))

@@ -1,6 +1,15 @@
 let default_atol = 1e-9
 let default_rtol = 1e-9
 
+(* The three tolerance regimes the tree uses, as named constants so
+   every module agrees bit-for-bit (the magic-tolerance lint rule
+   polices raw literals outside this file). *)
+let tol_snap = 1e-9
+let tol_guard = 1e-12
+let tol_loose = 1e-6
+let tol_step = 1e-13
+let tol_dust = 1e-15
+
 let approx ?(atol = default_atol) ?(rtol = default_rtol) x y =
   let scale = Float.max (Float.abs x) (Float.abs y) in
   Float.abs (x -. y) <= atol +. (rtol *. scale)

@@ -13,6 +13,30 @@ val default_atol : float
 val default_rtol : float
 (** Default relative tolerance, [1e-9]. *)
 
+val tol_snap : float
+(** [1e-9] — boundary-snapping / comparison tolerance: when two times,
+    loads or prices within [tol_snap] are treated as the same point.
+    Equals {!default_atol}; the distinct name marks intent. *)
+
+val tol_guard : float
+(** [1e-12] — guard tolerance for degeneracy tests three orders tighter
+    than {!tol_snap}: zero-length intervals, vanishing denominators,
+    bracketing-segment endpoints. *)
+
+val tol_loose : float
+(** [1e-6] — loose tolerance for derived quantities that accumulate
+    rounding over many operations (schedule energies, certificate
+    slack). *)
+
+val tol_step : float
+(** [1e-13] — a simulation time step shorter than this is rounding
+    residue: emitting a slice for it would create measure-zero
+    work. *)
+
+val tol_dust : float
+(** [1e-15] — a slice duration below this is dust left by boundary
+    subtraction; schedules drop such slices rather than carry them. *)
+
 val approx : ?atol:float -> ?rtol:float -> float -> float -> bool
 (** [approx x y] is [true] when [x] and [y] are equal up to tolerance. *)
 

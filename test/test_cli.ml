@@ -240,10 +240,10 @@ let test_slint_sarif () =
             "physical location present" true
             (contains text "lib/fixture.ml")))
 
-let test_slint_update_baseline () =
+let test_slint_write_baseline () =
   with_lint_tree racy_source (fun root ->
-      let code, _ = run_slint [ "--root"; root; "--update-baseline" ] in
-      Alcotest.(check int) "update exits 0" 0 code;
+      let code, _ = run_slint [ "--root"; root; "--write-baseline" ] in
+      Alcotest.(check int) "write exits 0" 0 code;
       let baseline = Filename.concat root "lint-baseline.sexp" in
       Alcotest.(check bool)
         "baseline written" true
@@ -251,6 +251,54 @@ let test_slint_update_baseline () =
       (* the grandfathered finding no longer fails the scan *)
       let code, _ = run_slint [ "--root"; root ] in
       Alcotest.(check int) "baselined tree exits 0" 0 code)
+
+let test_slint_baseline_rot () =
+  with_lint_tree racy_source (fun root ->
+      let code, _ = run_slint [ "--root"; root; "--write-baseline" ] in
+      Alcotest.(check int) "write exits 0" 0 code;
+      (* the finding disappears from the source: its entry is now rot,
+         and rot is a failure, not a silent free pass *)
+      write_file (Filename.concat root "lib/fixture.ml") clean_source;
+      let code, text = run_slint [ "--root"; root ] in
+      Alcotest.(check int) "stale entry exits 1" 1 code;
+      Alcotest.(check bool)
+        "explains the staleness" true
+        (contains text "stale baseline entry");
+      Alcotest.(check bool)
+        "points at the cure" true
+        (contains text "--update-baseline");
+      (* --update-baseline prunes exactly the rotten entries *)
+      let code, text = run_slint [ "--root"; root; "--update-baseline" ] in
+      Alcotest.(check int) "prune exits 0" 0 code;
+      Alcotest.(check bool) "reports the prune" true (contains text "pruned");
+      let baseline = Filename.concat root "lint-baseline.sexp" in
+      Alcotest.(check bool)
+        "entry gone from the file" false
+        (contains (read_file baseline) "domain-race");
+      let code, _ = run_slint [ "--root"; root ] in
+      Alcotest.(check int) "pruned tree exits 0" 0 code)
+
+let test_slint_explain () =
+  let code, text = run_slint [ "--explain"; "domain-race" ] in
+  Alcotest.(check int) "explain exits 0" 0 code;
+  Alcotest.(check bool) "names the rule" true (contains text "domain-race");
+  Alcotest.(check bool)
+    "includes the doc" true
+    (contains text "Atomic/Mutex");
+  Alcotest.(check bool)
+    "whole-program rules say so" true
+    (contains text "whole-program");
+  Alcotest.(check bool)
+    "shows the suppression syntax" true
+    (contains text ("slint: " ^ "allow"));
+  let code, text = run_slint [ "--explain"; "nan-flow" ] in
+  Alcotest.(check int) "nan-flow explain exits 0" 0 code;
+  Alcotest.(check bool) "has an example" true (contains text "Example:");
+  let code, text = run_slint [ "--explain"; "no-such-rule" ] in
+  Alcotest.(check int) "unknown rule exits 2" 2 code;
+  Alcotest.(check bool)
+    "lists the known rules" true
+    (contains text "magic-tolerance")
 
 let () =
   Alcotest.run "cli"
@@ -274,7 +322,9 @@ let () =
           Alcotest.test_case "exit codes" `Quick test_slint_exit_codes;
           Alcotest.test_case "--rule filter" `Quick test_slint_rule_filter;
           Alcotest.test_case "--sarif" `Quick test_slint_sarif;
-          Alcotest.test_case "--update-baseline" `Quick
-            test_slint_update_baseline;
+          Alcotest.test_case "--write-baseline" `Quick
+            test_slint_write_baseline;
+          Alcotest.test_case "baseline rot" `Quick test_slint_baseline_rot;
+          Alcotest.test_case "--explain" `Quick test_slint_explain;
         ] );
     ]

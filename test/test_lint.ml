@@ -437,13 +437,485 @@ let test_baseline_malformed () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected a parse error"
 
+let test_baseline_rot () =
+  let live = { Baseline.file = "lib/a.ml"; line = 3; rule = "float-eq" } in
+  let dead = { Baseline.file = "lib/b.ml"; line = 9; rule = "unsafe-pow" } in
+  let findings =
+    [
+      Finding.v ~line:3 ~file:"lib/a.ml" ~rule:"float-eq"
+        ~severity:Finding.Error "m";
+    ]
+  in
+  (* stale = entries matching no current finding *)
+  (match Baseline.stale [ live; dead ] findings with
+  | [ e ] ->
+    Alcotest.(check string) "stale file" "lib/b.ml" e.Baseline.file;
+    Alcotest.(check int) "stale line" 9 e.Baseline.line
+  | l -> Alcotest.failf "expected one stale entry, got %d" (List.length l));
+  Alcotest.(check int)
+    "nothing stale when all fire" 0
+    (List.length (Baseline.stale [ live ] findings));
+  (* prune keeps exactly the entries that still fire *)
+  (match Baseline.prune [ live; dead ] findings with
+  | [ e ] -> Alcotest.(check string) "kept the live entry" "lib/a.ml" e.Baseline.file
+  | l -> Alcotest.failf "expected one kept entry, got %d" (List.length l));
+  Alcotest.(check int)
+    "prune of empty is empty" 0
+    (List.length (Baseline.prune [] findings))
+
+(* ---------------- interval domain soundness ---------------- *)
+
+(* The qcheck-pinned property from absdom.mli: whenever the inputs are in
+   the concretisation of the abstract inputs, the concrete result is in
+   the concretisation of the abstract result — over randomly generated
+   arithmetic expressions including every IEEE special value. *)
+
+type aexp =
+  | Const of float
+  | Var of int
+  | Neg of aexp
+  | Add of aexp * aexp
+  | Sub of aexp * aexp
+  | Mul of aexp * aexp
+  | Div of aexp * aexp
+  | Min of aexp * aexp
+  | Max of aexp * aexp
+  | Abs of aexp
+  | Sqrt of aexp
+  | Exp of aexp
+  | Log of aexp
+  | Pow of aexp * aexp
+
+let rec ceval env = function
+  | Const c -> c
+  | Var i -> env.(i)
+  | Neg e -> -.ceval env e
+  | Add (a, b) -> ceval env a +. ceval env b
+  | Sub (a, b) -> ceval env a -. ceval env b
+  | Mul (a, b) -> ceval env a *. ceval env b
+  | Div (a, b) -> ceval env a /. ceval env b
+  | Min (a, b) -> Stdlib.min (ceval env a) (ceval env b)
+  | Max (a, b) -> Stdlib.max (ceval env a) (ceval env b)
+  | Abs e -> Float.abs (ceval env e)
+  | Sqrt e -> sqrt (ceval env e)
+  | Exp e -> exp (ceval env e)
+  | Log e -> log (ceval env e)
+  | Pow (a, b) ->
+    (* slint: allow unsafe-pow -- the concrete oracle must exercise the negative-base corner the domain models *)
+    ceval env a ** ceval env b
+
+let rec aeval env = function
+  | Const c -> Absdom.const c
+  | Var i -> env.(i)
+  | Neg e -> Absdom.neg (aeval env e)
+  | Add (a, b) -> Absdom.add (aeval env a) (aeval env b)
+  | Sub (a, b) -> Absdom.sub (aeval env a) (aeval env b)
+  | Mul (a, b) -> Absdom.mul (aeval env a) (aeval env b)
+  | Div (a, b) -> Absdom.div (aeval env a) (aeval env b)
+  | Min (a, b) -> Absdom.fmin (aeval env a) (aeval env b)
+  | Max (a, b) -> Absdom.fmax (aeval env a) (aeval env b)
+  | Abs e -> Absdom.abs_ (aeval env e)
+  | Sqrt e -> Absdom.sqrt_ (aeval env e)
+  | Exp e -> Absdom.exp_ (aeval env e)
+  | Log e -> Absdom.log_ (aeval env e)
+  | Pow (a, b) -> Absdom.pow (aeval env a) (aeval env b)
+
+let special_floats =
+  [
+    0.0; -0.0; 1.0; -1.0; 0.5; -2.5; Float.pi; 1e300; -1e300; 1e-300;
+    infinity; neg_infinity; nan; Float.max_float; Float.min_float;
+  ]
+
+let gen_aexp =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun c -> Const c) (oneofl special_floats);
+        map (fun c -> Const c) float;
+        map (fun i -> Var i) (int_bound 1);
+      ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               leaf;
+               map (fun e -> Neg e) sub;
+               map2 (fun a b -> Add (a, b)) sub sub;
+               map2 (fun a b -> Sub (a, b)) sub sub;
+               map2 (fun a b -> Mul (a, b)) sub sub;
+               map2 (fun a b -> Div (a, b)) sub sub;
+               map2 (fun a b -> Min (a, b)) sub sub;
+               map2 (fun a b -> Max (a, b)) sub sub;
+               map (fun e -> Abs e) sub;
+               map (fun e -> Sqrt e) sub;
+               map (fun e -> Exp e) sub;
+               map (fun e -> Log e) sub;
+               map2 (fun a b -> Pow (a, b)) sub sub;
+             ]))
+
+(* An abstract input that provably contains the concrete input: exact,
+   unknown, or a widened interval around it. *)
+let absvar x mode =
+  match mode mod 3 with
+  | 0 -> Absdom.const x
+  | 1 -> Absdom.top_nan
+  | _ -> Absdom.join (Absdom.const x) (Absdom.const 2.0)
+
+let rec pp_aexp ppf = function
+  | Const c -> Fmt.pf ppf "%h" c
+  | Var i -> Fmt.pf ppf "x%d" i
+  | Neg e -> Fmt.pf ppf "(- %a)" pp_aexp e
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_aexp a pp_aexp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_aexp a pp_aexp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_aexp a pp_aexp b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp_aexp a pp_aexp b
+  | Min (a, b) -> Fmt.pf ppf "(min %a %a)" pp_aexp a pp_aexp b
+  | Max (a, b) -> Fmt.pf ppf "(max %a %a)" pp_aexp a pp_aexp b
+  | Abs e -> Fmt.pf ppf "(abs %a)" pp_aexp e
+  | Sqrt e -> Fmt.pf ppf "(sqrt %a)" pp_aexp e
+  | Exp e -> Fmt.pf ppf "(exp %a)" pp_aexp e
+  | Log e -> Fmt.pf ppf "(log %a)" pp_aexp e
+  | Pow (a, b) -> Fmt.pf ppf "(%a ** %a)" pp_aexp a pp_aexp b
+
+let soundness_arbitrary =
+  QCheck.make
+    ~print:(fun (e, (x0, x1), (m0, m1)) ->
+      Fmt.str "%a with x0=%h (mode %d), x1=%h (mode %d)" pp_aexp e x0 m0 x1
+        m1)
+    QCheck.Gen.(
+      tup3 gen_aexp
+        (tup2 (oneofl special_floats) (oneofl special_floats))
+        (tup2 (int_bound 2) (int_bound 2)))
+
+let test_absdom_soundness =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:2000
+       ~name:"abstract evaluation over-approximates concrete evaluation"
+       soundness_arbitrary
+       (fun (e, (x0, x1), (m0, m1)) ->
+         let conc = ceval [| x0; x1 |] e in
+         let abst = aeval [| absvar x0 m0; absvar x1 m1 |] e in
+         Absdom.mem conc abst))
+
+let test_absdom_basics () =
+  let open Absdom in
+  Alcotest.(check bool) "const mem" true (mem 1.5 (const 1.5));
+  Alcotest.(check bool) "nan in nan_only" true (mem nan nan_only);
+  Alcotest.(check bool) "nan not in top" false (mem nan top);
+  Alcotest.(check bool) "bot empty" false (mem 0.0 bot);
+  Alcotest.(check bool) "join order" true (leq (const 1.0) (interval 0.0 2.0));
+  Alcotest.(check bool)
+    "meet refines" true
+    (equal (interval 1.0 2.0) (meet (interval 0.0 2.0) (interval 1.0 3.0)));
+  Alcotest.(check bool)
+    "widen escapes" true
+    (equal
+       (interval 0.0 infinity)
+       (widen (interval 0.0 1.0) (interval 0.0 2.0)));
+  Alcotest.(check bool)
+    "widen keeps stable bound" true
+    (match widen (interval 0.0 1.0) (interval 0.0 2.0) with
+    | V { lo; _ } -> Float.equal lo 0.0
+    | Bot -> false);
+  Alcotest.(check bool) "nonneg" true (nonneg (interval 0.0 5.0));
+  Alcotest.(check bool) "not nonneg" false (nonneg (interval (-1.0) 5.0))
+
+(* Widening termination: any increasing iteration through [widen]
+   stabilises.  Checked end to end — random mutually recursive float
+   programs are parsed, summarised and must converge. *)
+
+let gen_loopy_source =
+  let open QCheck.Gen in
+  let body k =
+    oneofl
+      [
+        (fun j -> Fmt.str "if x > 0.0 then 1.0 +. f%d (x -. 1.0) else 0.0" j);
+        (fun j -> Fmt.str "if x < 10.0 then f%d (x +. 1.0) *. 2.0 else x" j);
+        (fun j -> Fmt.str "0.5 +. f%d x" j);
+        (fun j -> Fmt.str "if x > 5.0 then x else f%d (x *. 2.0) -. 1.0" j);
+        (fun j -> Fmt.str "Float.max 0.0 (f%d (x -. 0.5))" j);
+      ]
+    >>= fun mk ->
+    map mk (int_bound (k - 1))
+  in
+  int_range 1 5 >>= fun k ->
+  flatten_l (List.init k (fun _ -> body k)) >|= fun bodies ->
+  String.concat "\nand "
+    (List.mapi (fun i b -> Fmt.str "f%d x = %s" i b) bodies)
+  |> Fmt.str "let rec %s"
+
+let analyze_source ?(rel = "lib/gen/loopy.ml") text =
+  match Engine.parse_structure ~rel text with
+  | Error f -> Alcotest.failf "fixture does not parse: %s" f.Finding.message
+  | Ok str ->
+    let project = Project.build [ { Project.rel; str; exported = None } ] in
+    (project, Absint.analyze project)
+
+let test_widening_terminates =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150
+       ~name:"summary fixpoint converges on random loopy call graphs"
+       (QCheck.make ~print:Fun.id gen_loopy_source)
+       (fun src ->
+         let _, a = analyze_source src in
+         Absint.converged a))
+
+let test_widening_good_case () =
+  (* the canonical widening case: an unbounded increasing recursion must
+     converge to a summary with an infinite upper bound and a stable
+     non-negative lower bound *)
+  let project, a =
+    analyze_source
+      "let rec f x = if x > 0.0 then 1.0 +. f (x -. 1.0) else 0.0"
+  in
+  Alcotest.(check bool) "converged" true (Absint.converged a);
+  let file = (Project.files project).(0) in
+  match Project.toplevel_value file "f" with
+  | None -> Alcotest.fail "node f not found"
+  | Some gid ->
+    Alcotest.(check bool)
+      "summary is non-negative" true
+      (Absdom.nonneg (Absint.summary a gid));
+    Alcotest.(check bool)
+      "upper bound widened to +inf" true
+      (match Absint.summary a gid with
+      | Absdom.V { hi; _ } -> Float.equal hi infinity
+      | Absdom.Bot -> false)
+
+(* ---------------- whole-program fixtures ---------------- *)
+
+let msrc rel text = { Engine.rel; text; mli = None }
+
+let project_findings ?(cross_module = true) ~rule sources =
+  Engine.check_sources ~cross_module ~rules:(Registry.select [ rule ]) sources
+  |> List.filter (fun (f : Finding.t) -> String.equal f.rule rule)
+
+let check_project_fires name ?cross_module ~rule sources =
+  Alcotest.(check bool)
+    (name ^ ": fires") true
+    (project_findings ?cross_module ~rule sources <> [])
+
+let check_project_quiet name ?cross_module ~rule sources =
+  Alcotest.(check int)
+    (name ^ ": quiet") 0
+    (List.length (project_findings ?cross_module ~rule sources))
+
+let test_cross_module_unsafe_pow () =
+  let rule = "unsafe-pow" in
+  (* the acceptance chain lib/workload -> lib/core -> lib/chen: the
+     non-negativity proof of the pow base lives two modules away, so the
+     finding disappears exactly when cross-module resolution is on *)
+  let chain =
+    [
+      msrc "lib/chen/chen.ml" "let mass x = Float.abs x";
+      msrc "lib/core/core.ml" "let boost v = Chen.mass v +. 1.0";
+      msrc "lib/workload/workload.ml"
+        "let energy v a = Core.boost v ** a";
+    ]
+  in
+  check_project_quiet "cross-module proof" ~cross_module:true ~rule chain;
+  check_project_fires "proof unreachable without cross-module"
+    ~cross_module:false ~rule chain;
+  (* qualified toplevel constant *)
+  let const_chain =
+    [
+      msrc "lib/model/params.ml" "let scale = 4.0";
+      msrc "lib/core/core.ml" "let f a = Params.scale ** a";
+    ]
+  in
+  check_project_quiet "toplevel constant" ~cross_module:true ~rule const_chain;
+  check_project_fires "constant invisible without cross-module"
+    ~cross_module:false ~rule const_chain;
+  (* module alias *)
+  check_project_quiet "module alias" ~cross_module:true ~rule
+    [
+      msrc "lib/chen/chen.ml" "let mass x = Float.abs x";
+      msrc "lib/core/core.ml"
+        "module C = Chen\nlet f a = C.mass 3.0 ** a";
+    ];
+  (* toplevel open *)
+  check_project_quiet "open route" ~cross_module:true ~rule
+    [
+      msrc "lib/chen/chen.ml" "let mass x = Float.abs x";
+      msrc "lib/core/core.ml" "open Chen\nlet f a = mass 2.0 ** a";
+    ];
+  (* an .mli restricts visibility: the producer is not exported, so the
+     qualified call cannot be resolved and nothing proves the base *)
+  check_project_fires "mli hides the producer" ~cross_module:true ~rule
+    [
+      { Engine.rel = "lib/chen/chen.ml";
+        text = "let mass x = Float.abs x";
+        mli = Some "" };
+      msrc "lib/core/core.ml" "let f a = Chen.mass 3.0 ** a";
+    ];
+  (* homonymous modules are ambiguous and never resolve *)
+  check_project_fires "ambiguous module" ~cross_module:true ~rule
+    [
+      msrc "lib/chen/helper.ml" "let mass x = Float.abs x";
+      msrc "lib/model/helper.ml" "let mass x = x -. 1.0";
+      msrc "lib/core/core.ml" "let f a = Helper.mass 3.0 ** a";
+    ];
+  (* a possibly-negative producer in another module keeps firing *)
+  check_project_fires "negative producer" ~cross_module:true ~rule
+    [
+      msrc "lib/chen/chen.ml" "let shift x = Float.abs x -. 2.0";
+      msrc "lib/core/core.ml" "let f a = Chen.shift 1.0 ** a";
+    ]
+
+let test_cross_module_nan_flow () =
+  let rule = "nan-flow" in
+  (* acceptance chain: the 0/0 evidence is manufactured in lib/core from
+     lib/chen values and reaches a payload in lib/workload — only the
+     whole-program path can see it *)
+  let chain =
+    [
+      msrc "lib/chen/chen.ml"
+        "let unit_load x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 \
+         else x";
+      msrc "lib/core/core.ml"
+        "let efficiency a b = Chen.unit_load a /. Chen.unit_load b";
+      msrc "lib/workload/workload.ml"
+        {|let report a b = Record.make (Core.efficiency a b)|};
+    ]
+  in
+  check_project_fires "cross-module 0/0 into payload" ~cross_module:true ~rule
+    chain;
+  check_project_quiet "taint needs cross-module" ~cross_module:false ~rule
+    chain;
+  (* direct creator in the sink argument *)
+  check_project_fires "direct 0/0 at the sink" ~rule
+    [
+      msrc "lib/core/core.ml"
+        {|let f x = let r = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x in metric "m" (r /. r)|};
+    ];
+  (* log of a value refined negative by the dominating branch *)
+  check_project_fires "log of possibly-negative" ~rule
+    [
+      msrc "lib/core/core.ml"
+        "let g x = if x < 0.0 then verdict (log x > 0.0) else ()";
+    ];
+  (* a denominator bounded away from zero is quiet *)
+  check_project_quiet "guarded denominator" ~rule
+    [
+      msrc "lib/core/core.ml"
+        {|let f x = if x > 1.0 then metric "m" (1.0 /. x) else ()|};
+    ];
+  (* sqrt of a cross-module non-negative producer is quiet *)
+  check_project_quiet "sqrt of nonneg producer" ~rule
+    [
+      msrc "lib/chen/chen.ml" "let mass x = Float.abs x";
+      msrc "lib/core/core.ml" {|let f x = metric "m" (sqrt (Chen.mass x))|};
+    ];
+  (* an unconstrained division is not evidence *)
+  check_project_quiet "top operands are not evidence" ~rule
+    [ msrc "lib/core/core.ml" {|let f a b = metric "m" (a /. b)|} ];
+  (* taint that never reaches a sink is quiet *)
+  check_project_quiet "creator without a sink" ~rule
+    [
+      msrc "lib/core/core.ml"
+        "let f x = let r = if x < 0.0 then 0.0 else x in r /. r";
+    ]
+
+let test_cross_module_domain_race () =
+  let rule = "domain-race" in
+  let counters = msrc "lib/core/counters.ml" "let hits = ref 0" in
+  (* qualified write from a spawned closure: state lives in lib/core,
+     the spawn in lib/workload *)
+  let write =
+    [
+      counters;
+      msrc "lib/workload/worker.ml"
+        "let run () = Domain.spawn (fun () -> Counters.hits := 1)";
+    ]
+  in
+  check_project_fires "qualified write under spawn" ~cross_module:true ~rule
+    write;
+  check_project_quiet "foreign state invisible without cross-module"
+    ~cross_module:false ~rule write;
+  check_project_fires "qualified deref read" ~cross_module:true ~rule
+    [
+      counters;
+      msrc "lib/workload/worker.ml"
+        "let peek () = Domain.spawn (fun () -> !Counters.hits)";
+    ];
+  (* the access is one call below the spawned closure *)
+  check_project_fires "access through a local helper" ~cross_module:true ~rule
+    [
+      counters;
+      msrc "lib/workload/worker.ml"
+        "let bump () = Counters.hits := 1\n\
+         let run () = Domain.spawn (fun () -> bump ())";
+    ];
+  (* the spawned root is itself a foreign function *)
+  check_project_fires "qualified spawn root" ~cross_module:true ~rule
+    [
+      counters;
+      msrc "lib/engine/pool.ml" "let worker () = Counters.hits := 1";
+      msrc "lib/workload/worker.ml"
+        "let run () = Domain.spawn Pool.worker";
+    ];
+  check_project_quiet "atomic foreign state is exempt" ~cross_module:true ~rule
+    [
+      msrc "lib/core/counters.ml" "let hits = Atomic.make 0";
+      msrc "lib/workload/worker.ml"
+        "let run () = Domain.spawn (fun () -> Atomic.incr Counters.hits)";
+    ];
+  check_project_quiet "mutex mediation" ~cross_module:true ~rule
+    [
+      counters;
+      msrc "lib/workload/worker.ml"
+        "let m = Mutex.create ()\n\
+         let run () =\n\
+        \  Domain.spawn (fun () ->\n\
+        \      Mutex.lock m;\n\
+        \      Counters.hits := 1;\n\
+        \      Mutex.unlock m)";
+    ];
+  check_project_quiet "no spawn" ~cross_module:true ~rule
+    [ counters; msrc "lib/workload/worker.ml" "let tally () = Counters.hits := 1" ];
+  check_project_quiet "immutable target" ~cross_module:true ~rule
+    [
+      msrc "lib/core/counters.ml" "let limit = 5";
+      msrc "lib/workload/worker.ml"
+        "let run () = Domain.spawn (fun () -> Counters.limit := 1)";
+    ]
+
+let test_magic_tolerance () =
+  let rule = "magic-tolerance" in
+  check_fires "absolute-difference tolerance" ~rule
+    "let f a b = Float.abs (a -. b) < 1e-9";
+  check_fires "guard against 1e-12" ~rule "let f x = x > 1e-12";
+  check_fires "literal on the left" ~rule "let f x = 1e-7 = x";
+  check_fires "negated literal" ~rule "let f x = x < -1e-9";
+  check_quiet "threshold, not tolerance" ~rule "let f x = x < 0.5";
+  check_quiet "sign test" ~rule "let f x = x < 0.0";
+  check_quiet "named constant" ~rule "let f x = x < Feq.tol_snap";
+  check_quiet "sanctioned home" ~rel:"lib/util/feq.ml" ~rule
+    "let f x = x < 1e-9";
+  check_quiet "bisect is sanctioned" ~rel:"lib/util/bisect.ml" ~rule
+    "let f x = x < 1e-12";
+  check_quiet "outside lib" ~rel:"bench/fixture.ml" ~rule
+    "let f x = x < 1e-9";
+  check_quiet "int literal" ~rule "let f x = x < 1";
+  check_quiet "non-comparison use" ~rule "let f x = x +. 1e-9"
+
 (* ---------------- registry & reporters ---------------- *)
 
 let test_registry () =
-  Alcotest.(check int) "eleven rules" 11 (List.length Registry.all);
+  Alcotest.(check int) "thirteen rules" 13 (List.length Registry.all);
   Alcotest.(check bool)
     "select resolves every name" true
-    (List.length (Registry.select Registry.names) = 11);
+    (List.length (Registry.select Registry.names) = 13);
+  Alcotest.(check bool)
+    "every rule carries an example for --explain" true
+    (List.for_all
+       (fun (r : Rule.t) -> not (String.equal r.example ""))
+       Registry.all);
   match Registry.select [ "no-such-rule" ] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
@@ -495,6 +967,23 @@ let () =
           Alcotest.test_case "solver bound" `Quick test_solver_bound;
           Alcotest.test_case "sarif golden" `Quick test_sarif_golden;
         ] );
+      ( "absdom",
+        [
+          Alcotest.test_case "lattice basics" `Quick test_absdom_basics;
+          test_absdom_soundness;
+          test_widening_terminates;
+          Alcotest.test_case "widening good case" `Quick
+            test_widening_good_case;
+        ] );
+      ( "whole-program",
+        [
+          Alcotest.test_case "unsafe-pow cross-module" `Quick
+            test_cross_module_unsafe_pow;
+          Alcotest.test_case "nan-flow" `Quick test_cross_module_nan_flow;
+          Alcotest.test_case "domain-race cross-module" `Quick
+            test_cross_module_domain_race;
+          Alcotest.test_case "magic-tolerance" `Quick test_magic_tolerance;
+        ] );
       ( "suppression",
         [
           Alcotest.test_case "directives" `Quick test_suppression;
@@ -510,5 +999,6 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
           Alcotest.test_case "malformed" `Quick test_baseline_malformed;
+          Alcotest.test_case "rot" `Quick test_baseline_rot;
         ] );
     ]
