@@ -1268,6 +1268,184 @@ let e22 () =
        proof (and stays within it)"
     !ok
 
+(* ================================================================== *)
+(* E26 — the sharded admission service: throughput and the price of     *)
+(* partitioning                                                         *)
+(* ================================================================== *)
+
+(* Two questions about lib/service.  (1) Throughput: arrivals/sec of
+   the full submit → shard → merge loop at >= 10^6 jobs per run, across
+   shard counts — the scaling shape depends on the host's core count
+   (this is a Timing record, so bench-diff gates it like any other
+   wall-clock), while the verdict rests only on deterministic
+   invariants: every run processes the whole stream, the merged stream
+   is identical at every worker count, and the one-shard service costs
+   exactly what plain PD costs.  (2) The competitive-ratio price of
+   partitioning (jobs never migrate between shards), measured against
+   the global PD dual bound next to E22's numbers. *)
+let e26 () =
+  section "E26"
+    "sharded admission service: arrivals/sec vs shards, and the ratio \
+     price of partitioning";
+  let module Service = Speedscale_service.Service in
+  let module Online = Speedscale_engine.Online in
+  let ok = ref true in
+  (* -- throughput: 10^6 arrivals through the service ---------------- *)
+  let machines = 8 in
+  let inst =
+    Speedscale_workload.Generate.diurnal ~power:(Power.make 3.0) ~machines
+      ~seed:17 ~n:1_000_000 ()
+  in
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf
+           "service throughput, n=%d, m=%d (1 host core splits the \
+            shards; see doc/SERVICE.md)"
+           (Array.length inst.jobs) machines)
+      ~header:
+        [ "shards"; "wall (s)"; "arrivals/sec"; "per arrival (us)";
+          "accepted"; "rejected" ]
+  in
+  let throughput = Hashtbl.create 4 in
+  List.iter
+    (fun k ->
+      let params i =
+        let mi = (machines / k) + if i < machines mod k then 1 else 0 in
+        Online.params ~power:inst.power ~machines:mi ()
+      in
+      let svc = Service.create ~engine:Online.pd ~params ~shards:k () in
+      let accepted = ref 0 and rejected = ref 0 and events = ref 0 in
+      let count evs =
+        List.iter
+          (fun (ev : Service.ev) ->
+            incr events;
+            if ev.decision.Online.accepted then incr accepted
+            else incr rejected)
+          evs
+      in
+      let t0 = Harness.now () in
+      Array.iter (fun j -> count (Service.submit svc j)) inst.jobs;
+      count (Service.drain svc);
+      let dt = Harness.now () -. t0 in
+      ignore (Service.finalize svc);
+      Service.shutdown svc;
+      let n = Array.length inst.jobs in
+      if !events <> n then ok := false;
+      Hashtbl.replace throughput k (float_of_int n /. dt);
+      add_record
+        (Speedscale_obs.Record.with_wall ~wall_s:dt
+           (Speedscale_obs.Record.make
+              ~id:(Printf.sprintf "E26/serve-n%d-k%d" n k)
+              ~params:
+                [
+                  ("n", Speedscale_obs.Record.P_int n);
+                  ("machines", Speedscale_obs.Record.P_int machines);
+                  ("shards", Speedscale_obs.Record.P_int k);
+                ]
+              ~counters:
+                [
+                  ("events", !events);
+                  ("accepted", !accepted);
+                  ("rejected", !rejected);
+                ]
+              Speedscale_obs.Record.Timing));
+      Tab.add_row tab
+        [
+          string_of_int k;
+          Tab.cell_f dt;
+          Tab.cell_f (float_of_int n /. dt);
+          Tab.cell_f (dt *. 1e6 /. float_of_int n);
+          string_of_int !accepted;
+          string_of_int !rejected;
+        ])
+    [ 1; 2; 4; 8 ];
+  Tab.print tab;
+  metric "throughput_k1_arrivals_per_s" (Hashtbl.find throughput 1);
+  metric "throughput_k8_arrivals_per_s" (Hashtbl.find throughput 8);
+  (* -- determinism: the merged stream must not care about workers ---- *)
+  let det_inst = random_instance ~alpha:2.0 ~machines:4 ~seed:902 ~n:200 in
+  let run_events workers =
+    let params _ = Online.params ~power:det_inst.power ~machines:1 () in
+    let svc =
+      Service.create ~workers ~engine:Online.pd ~params ~shards:4 ()
+    in
+    let evs = ref [] in
+    Array.iter (fun j -> evs := List.rev_append (Service.submit svc j) !evs)
+      det_inst.jobs;
+    evs := List.rev_append (Service.drain svc) !evs;
+    Service.shutdown svc;
+    List.rev !evs
+  in
+  if run_events 1 <> run_events 4 then ok := false;
+  (* -- the ratio price of partitioning, next to E22 ------------------ *)
+  let alpha = 2.0 in
+  let rtab =
+    Tab.create
+      ~title:
+        "sharded PD cost over the global PD dual bound g(lambda), 8 seeds \
+         (n=64, m=4); k=1 is global PD itself"
+      ~header:[ "shards"; "mean"; "max"; "vs global PD mean" ]
+  in
+  List.iter
+    (fun k ->
+      let ratios = ref [] and vs_pd = ref [] in
+      List.iter
+        (fun seed ->
+          let inst =
+            random_instance ~alpha ~machines:4 ~seed:(700 + seed) ~n:64
+          in
+          let r = Speedscale_core.Pd.run inst in
+          let pd_cost = Cost.total r.cost in
+          let value_of =
+            let tbl = Hashtbl.create 64 in
+            Array.iter
+              (fun (j : Job.t) -> Hashtbl.replace tbl j.id j.value)
+              inst.jobs;
+            Hashtbl.find tbl
+          in
+          let params i =
+            let mi = (4 / k) + if i < 4 mod k then 1 else 0 in
+            Online.params ~power:inst.power ~machines:mi ()
+          in
+          let svc = Service.create ~engine:Online.pd ~params ~shards:k () in
+          Array.iter (fun j -> ignore (Service.submit svc j)) inst.jobs;
+          ignore (Service.drain svc);
+          let plans = Service.finalize svc in
+          Service.shutdown svc;
+          let cost =
+            Array.fold_left
+              (fun acc (p : Schedule.t) ->
+                acc
+                +. Schedule.energy inst.power p
+                +. List.fold_left
+                     (fun a id -> a +. value_of id)
+                     0.0 p.rejected)
+              0.0 plans
+          in
+          (* the one-shard service is global PD with a pool detour:
+             its cost must coincide exactly *)
+          if k = 1 && Float.abs (cost -. pd_cost) > 1e-9 *. (1.0 +. pd_cost)
+          then ok := false;
+          ratios := (cost /. r.dual_bound) :: !ratios;
+          vs_pd := (cost /. pd_cost) :: !vs_pd)
+        (List.init 8 Fun.id);
+      Tab.add_row rtab
+        [
+          string_of_int k;
+          Tab.cell_f (Stats.mean !ratios);
+          Tab.cell_f (Stats.max_of !ratios);
+          Tab.cell_f (Stats.mean !vs_pd);
+        ])
+    [ 1; 2; 4 ];
+  Tab.print rtab;
+  verdict
+    ~expected:
+      "every shard count processes the full 10^6-arrival stream, the \
+       merged stream is worker-count invariant, and the one-shard service \
+       costs exactly what global PD costs"
+    !ok
+
 let all =
   [
     ("E1", e1);
@@ -1292,4 +1470,5 @@ let all =
     ("E21", e21);
     ("E22", e22);
     ("E24", e24);
+    ("E26", e26);
   ]

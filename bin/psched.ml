@@ -15,6 +15,8 @@ open Speedscale_model
 open Speedscale_sim
 module Online = Speedscale_engine.Online
 module Json = Speedscale_obs.Json
+module Service = Speedscale_service.Service
+module Checkpoint = Speedscale_service.Checkpoint
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -240,165 +242,482 @@ let run_cmd =
       $ decisions_only)
 
 (* ------------------------------------------------------------------ *)
-(* stream                                                               *)
+(* stream / serve                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Every user-facing failure of the streaming front ends goes through
+   here: a one-line diagnostic on stderr (with the input line number
+   whenever one is known) and exit 2 — the same discipline as
+   bench-diff, never an uncaught exception with a backtrace. *)
+let stream_die cmd fmt =
+  Fmt.kstr
+    (fun msg ->
+      Printf.eprintf "psched %s: %s\n" cmd msg;
+      exit 2)
+    fmt
+
+(* Parse the instance text format as an event stream, validating every
+   line as it is read.  Rejects — with line-numbered exit-2 errors —
+   anything [Job.make] would throw on later (NaN or negative workloads,
+   deadline <= release, ...), plus out-of-order arrivals and headers
+   after the first job, so the engines downstream only ever see
+   well-formed, release-ordered arrivals. *)
+let parse_stream ~cmd ic ~on_alpha ~on_machines ~on_job =
+  let fail lineno fmt = stream_die cmd ("line %d: " ^^ fmt) lineno in
+  let lineno = ref 0 in
+  let last_release = ref Float.neg_infinity in
+  let saw_job = ref false in
+  let parse_float what v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> fail !lineno "bad %s %S" what v
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line = String.trim line in
+       if line = "" || line.[0] = '#' then ()
+       else
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ "alpha"; v ] ->
+           if !saw_job then fail !lineno "'alpha' header after the first job";
+           let a = parse_float "alpha" v in
+           if not (Float.is_finite a) then fail !lineno "bad alpha %S" v;
+           (match Power.make a with
+           | p -> on_alpha !lineno p
+           | exception Invalid_argument m -> fail !lineno "%s" m)
+         | [ "machines"; v ] -> (
+           if !saw_job then
+             fail !lineno "'machines' header after the first job";
+           match int_of_string_opt v with
+           | Some m when m >= 1 -> on_machines !lineno m
+           | Some m -> fail !lineno "machines must be >= 1, got %d" m
+           | None -> fail !lineno "bad machines %S" v)
+         | [ "job"; r; d; w; v ] ->
+           let release = parse_float "release" r in
+           let deadline = parse_float "deadline" d in
+           let workload = parse_float "workload" w in
+           let value =
+             if v = "inf" then Float.infinity else parse_float "value" v
+           in
+           if not (Float.is_finite release && release >= 0.) then
+             fail !lineno "release must be finite and >= 0, got %s" r;
+           if not (Float.is_finite deadline && deadline > release) then
+             fail !lineno
+               "deadline must be finite and exceed the release (deadline \
+                %s, release %s)"
+               d r;
+           if not (Float.is_finite workload && workload > 0.) then
+             fail !lineno "workload must be positive and finite, got %s" w;
+           if Float.is_nan value || value < 0. then
+             fail !lineno "value must be >= 0, got %s" v;
+           if release < !last_release then
+             fail !lineno
+               "release %s is before the previous arrival (%g); streams \
+                must be release-ordered"
+               r !last_release;
+           last_release := release;
+           saw_job := true;
+           on_job !lineno ~release ~deadline ~workload ~value
+         | _ -> fail !lineno "unrecognized %S" line
+     done
+   with End_of_file -> ())
+
+let opt_float = function None -> Json.Null | Some f -> Json.Float f
+
+(* Per-arrival record of the sharded path.  Unlike {!decision_record} it
+   carries the shard and skips the plan fields: rebuilding the plan after
+   every arrival is what made long streams quadratic, and a service
+   cannot afford it. *)
+let sharded_record (ev : Service.ev) =
+  let d = ev.Service.decision in
+  Json.Obj
+    [
+      ("seq", Json.Int ev.Service.seq);
+      ("job", Json.Int d.Online.job_id);
+      ("shard", Json.Int ev.Service.shard);
+      ("accepted", Json.Bool d.accepted);
+      ("lambda", opt_float d.lambda);
+      ("planned_speed", opt_float d.planned_speed);
+    ]
+
+(* Summaries of the sharded path are derived from final engine states
+   (plus the global sequence counter) only — never from the decision
+   history — so a run killed and restored from a checkpoint prints the
+   very same bytes as one that ran straight through. *)
+let sharded_summaries ~engine ~total_seq svc plans =
+  let distinct_jobs slices =
+    List.sort_uniq Int.compare
+      (List.map (fun (s : Schedule.slice) -> s.job) slices)
+  in
+  let shard_rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (plan : Schedule.t) ->
+           let p = (Service.shard_params svc i).Online.power in
+           Json.Obj
+             [
+               ("shard", Json.Int i);
+               ("machines", Json.Int plan.machines);
+               ("accepted", Json.Int (List.length (distinct_jobs plan.slices)));
+               ("rejected", Json.Int (List.length plan.rejected));
+               ("plan_slices", Json.Int (List.length plan.slices));
+               ("energy", Json.Float (Schedule.energy p plan));
+             ])
+         plans)
+  in
+  let sum f = Array.fold_left (fun acc p -> acc + f p) 0 plans in
+  let energy =
+    Array.to_list plans
+    |> List.mapi (fun i p ->
+           Schedule.energy (Service.shard_params svc i).Online.power p)
+    |> List.fold_left ( +. ) 0.
+  in
+  let global =
+    Json.Obj
+      [
+        ("summary", Json.Str (Online.name engine ^ "-sharded"));
+        ("shards", Json.Int (Array.length plans));
+        ("jobs", Json.Int total_seq);
+        ( "accepted",
+          Json.Int
+            (sum (fun (p : Schedule.t) -> List.length (distinct_jobs p.slices)))
+        );
+        ( "rejected",
+          Json.Int (sum (fun (p : Schedule.t) -> List.length p.rejected)) );
+        ( "plan_slices",
+          Json.Int (sum (fun (p : Schedule.t) -> List.length p.slices)) );
+        ("energy", Json.Float energy);
+      ]
+  in
+  shard_rows @ [ global ]
+
+(* The sharded admission loop shared by `psched serve` and
+   `psched stream --shards`.  [kill_after] is the crash-injection hook
+   the @serve-soak alias uses: emit every record with seq < N, flush,
+   exit 0 — no summary, no drain-to-EOF — so a later --restore run can
+   be byte-diffed against the straight-through output. *)
+let run_sharded ~cmd ~engine ~delta ~shards:k ~workers ~snapshot_dir
+    ~snapshot_every ~restore ~kill_after ~migrate_every ~summary_only ic =
+  let fail fmt = stream_die cmd fmt in
+  if k < 1 then fail "--shards must be >= 1, got %d" k;
+  let svc =
+    match restore with
+    | None -> ref None
+    | Some path ->
+      let manifest =
+        if Sys.file_exists path && Sys.is_directory path then
+          Filename.concat path Checkpoint.manifest_name
+        else path
+      in
+      let s =
+        match Service.restore ?workers ~manifest () with
+        | s -> s
+        | exception Failure m -> fail "%s" m
+      in
+      ref (Some s)
+  in
+  let alpha = ref None and machines = ref None in
+  let emit evs =
+    if not summary_only then
+      List.iter
+        (fun ev -> print_endline (Json.to_string (sharded_record ev)))
+        evs
+  in
+  let killed = ref false in
+  let arrivals = ref 0 in
+  let get_svc lineno =
+    match !svc with
+    | Some s -> s
+    | None ->
+      let power =
+        match !alpha with
+        | Some p -> p
+        | None -> fail "line %d: job before the 'alpha' header line" lineno
+      in
+      let m =
+        match !machines with
+        | Some m -> m
+        | None ->
+          fail "line %d: job before the 'machines' header line" lineno
+      in
+      if m < k then
+        fail
+          "line %d: %d machines cannot be split across %d shards (need \
+           machines >= shards)"
+          lineno m k;
+      (* Split the machine pool across the shards: m/k each, the first
+         m mod k shards get one more. *)
+      let params i =
+        let mi = (m / k) + if i < m mod k then 1 else 0 in
+        Online.params ?delta ~power ~machines:mi ()
+      in
+      let s =
+        match Service.create ?workers ~engine ~params ~shards:k () with
+        | s -> s
+        | exception Invalid_argument m -> fail "line %d: %s" lineno m
+      in
+      svc := Some s;
+      s
+  in
+  let on_job lineno ~release ~deadline ~workload ~value =
+    if not !killed then begin
+      let s = get_svc lineno in
+      let idx = !arrivals in
+      incr arrivals;
+      (* A restored service replays nothing: the checkpoint already holds
+         the first [seq] arrivals, so this run just skips them. *)
+      if idx >= Service.seq s then begin
+        let j =
+          Job.make ~id:idx ~release ~deadline ~workload ~value
+        in
+        (match Service.submit s j with
+        | evs -> emit evs
+        | exception e -> fail "line %d: %s" lineno (Printexc.to_string e));
+        let seq = Service.seq s in
+        (match snapshot_dir with
+        | Some dir when snapshot_every > 0 && seq mod snapshot_every = 0 ->
+          Service.checkpoint s ~dir
+        | _ -> ());
+        if migrate_every > 0 && seq mod migrate_every = 0 then begin
+          let shard = seq / migrate_every mod Service.shards s in
+          let worker =
+            (Service.worker_of s ~shard + 1) mod Service.workers s
+          in
+          Service.migrate s ~shard ~worker
+        end;
+        match kill_after with
+        | Some n when seq >= n ->
+          emit (Service.drain s);
+          Service.shutdown s;
+          flush stdout;
+          killed := true
+        | _ -> ()
+      end
+    end
+  in
+  parse_stream ~cmd ic
+    ~on_alpha:(fun _ p -> alpha := Some p)
+    ~on_machines:(fun _ m -> machines := Some m)
+    ~on_job;
+  if not !killed then begin
+    match !svc with
+    | None -> fail "no jobs in the stream"
+    | Some s ->
+      emit (Service.drain s);
+      let plans = Service.finalize s in
+      List.iter
+        (fun row -> print_endline (Json.to_string row))
+        (sharded_summaries ~engine:(Service.engine s)
+           ~total_seq:(Service.seq s) s plans);
+      (match snapshot_dir with
+      | Some dir when snapshot_every = 0 -> Service.checkpoint s ~dir
+      | _ -> ());
+      Service.shutdown s
+  end;
+  if !killed then exit 0
+
+let engine_conv =
+  let parse s =
+    match Online.find s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown online engine %S (known: %s)" s
+             (String.concat ", " (List.map Online.name Online.all))))
+  in
+  let print ppf e = Format.pp_print_string ppf (Online.name e) in
+  Arg.conv (parse, print)
+
+let stream_input_arg =
+  let doc = "Arrival stream (instance text format); '-' reads stdin." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STREAM" ~doc)
+
+let stream_engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Online.pd
+    & info [ "a"; "algorithm" ] ~doc:"Online engine (default pd).")
+
+let stream_delta_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "delta" ] ~doc:"PD rejection parameter (default alpha^(1-alpha)).")
+
+let stream_summary_only_arg =
+  Arg.(
+    value & flag
+    & info [ "summary-only" ]
+        ~doc:
+          "Suppress the per-arrival decision records; emit only the final \
+           summary record(s).  On the single-engine path this also skips \
+           the plan rebuild each record requires, making long soak \
+           streams linear instead of quadratic in the number of arrivals.")
+
+let stream_workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ]
+        ~doc:"Worker domains for the sharded path (default: one per shard).")
+
+let stream_snapshot_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-dir" ]
+        ~doc:
+          "Checkpoint directory for the sharded path.  With \
+           --snapshot-every N a checkpoint is committed every N \
+           arrivals; without it, once after the last arrival.")
+
+let stream_snapshot_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:"Commit a checkpoint to --snapshot-dir every N arrivals.")
+
+let stream_restore_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "restore" ] ~docv:"DIR|MANIFEST"
+        ~doc:
+          "Restore the service from a committed checkpoint (a directory \
+           containing a manifest, or the manifest path itself) before \
+           reading the stream; arrivals the checkpoint already covers \
+           are skipped.  Engine, shard count and per-shard parameters \
+           come from the manifest.")
+
+let stream_kill_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-after" ] ~docv:"N"
+        ~doc:
+          "Crash injection for failover tests: emit the decision records \
+           for the first N arrivals, flush, and exit 0 — no summary.")
+
 let stream_cmd =
-  let input =
-    let doc = "Arrival stream (instance text format); '-' reads stdin." in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"STREAM" ~doc)
-  in
-  let engine_conv =
-    let parse s =
-      match Online.find s with
-      | Some e -> Ok e
-      | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown online engine %S (known: %s)" s
-               (String.concat ", " (List.map Online.name Online.all))))
-    in
-    let print ppf e = Format.pp_print_string ppf (Online.name e) in
-    Arg.conv (parse, print)
-  in
-  let engine =
+  let shards =
     Arg.(
-      value
-      & opt engine_conv Online.pd
-      & info [ "a"; "algorithm" ] ~doc:"Online engine (default pd).")
-  in
-  let delta =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "delta" ] ~doc:"PD rejection parameter (default alpha^(1-alpha)).")
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Partition arrivals across K engine shards running on \
+             separate domains (default 1: the single-engine path, whose \
+             output is byte-identical to `psched run --decisions-only`).")
   in
   let snapshot_out =
     Arg.(
       value
       & opt (some string) None
       & info [ "snapshot" ]
-          ~doc:"Write the final engine snapshot to this file.")
-  in
-  let summary_only =
-    Arg.(
-      value & flag
-      & info [ "summary-only" ]
           ~doc:
-            "Suppress the per-arrival decision records (and the plan \
-             rebuild each one requires); emit only the final summary \
-             record.  Makes long soak streams linear instead of \
-             quadratic in the number of arrivals.")
+            "Write the final engine snapshot to this file (single-engine \
+             path; written atomically via a temp file and rename).")
   in
-  let run input engine delta snapshot_out summary_only =
-    let ic = if input = "-" then stdin else open_in input in
+  let run input engine delta snapshot_out summary_only shards workers
+      snapshot_dir snapshot_every restore kill_after =
+    let cmd = "stream" in
+    let ic =
+      if input = "-" then stdin
+      else
+        match open_in input with
+        | ic -> ic
+        | exception Sys_error m -> stream_die cmd "%s" m
+    in
     Fun.protect
       ~finally:(fun () -> if input <> "-" then close_in ic)
       (fun () ->
-        (* The whole point of this front end: arrivals are consumed line
-           by line, so the engine demonstrably never sees a job before
-           its line is read.  Header lines (alpha, machines) must precede
-           the first job line. *)
-        let alpha = ref None and machines = ref None in
-        let state = ref None in
-        let seq = ref 0 and plan_before = ref 0 in
-        let decisions_rev = ref [] in
-        let parse_float what lineno v =
-          match float_of_string_opt v with
-          | Some f -> f
-          | None ->
-            failwith (Printf.sprintf "line %d: bad %s %S" lineno what v)
-        in
-        let on_job lineno r d w v =
-          let t =
-            match !state with
-            | Some t -> t
-            | None ->
-              let power =
-                match !alpha with
-                | Some a -> Power.make a
-                | None ->
-                  failwith
-                    (Printf.sprintf
-                       "line %d: job before the 'alpha' header line" lineno)
-              in
-              let m =
-                match !machines with
-                | Some m -> m
-                | None ->
-                  failwith
-                    (Printf.sprintf
-                       "line %d: job before the 'machines' header line"
-                       lineno)
-              in
-              let t =
-                Online.start engine
-                  (Online.params ?delta ~power ~machines:m ())
-              in
-              state := Some t;
-              t
+        if shards > 1 || restore <> None then begin
+          (match snapshot_out with
+          | Some _ ->
+            stream_die cmd
+              "--snapshot is the single-engine flag; use --snapshot-dir \
+               with --shards"
+          | None -> ());
+          run_sharded ~cmd ~engine ~delta ~shards ~workers ~snapshot_dir
+            ~snapshot_every ~restore ~kill_after ~migrate_every:0
+            ~summary_only ic
+        end
+        else begin
+          (* Single-engine path: arrivals are consumed line by line, so
+             the engine demonstrably never sees a job before its line is
+             read.  Header lines (alpha, machines) must precede the
+             first job line. *)
+          let alpha = ref None and machines = ref None in
+          let state = ref None in
+          let seq = ref 0 and plan_before = ref 0 in
+          let decisions_rev = ref [] in
+          let on_job lineno ~release ~deadline ~workload ~value =
+            let t =
+              match !state with
+              | Some t -> t
+              | None ->
+                let power =
+                  match !alpha with
+                  | Some p -> p
+                  | None ->
+                    stream_die cmd
+                      "line %d: job before the 'alpha' header line" lineno
+                in
+                let m =
+                  match !machines with
+                  | Some m -> m
+                  | None ->
+                    stream_die cmd
+                      "line %d: job before the 'machines' header line"
+                      lineno
+                in
+                let t =
+                  Online.start engine
+                    (Online.params ?delta ~power ~machines:m ())
+                in
+                state := Some t;
+                t
+            in
+            let j =
+              Job.make ~id:!seq ~release ~deadline ~workload ~value
+            in
+            let dec =
+              match Online.arrive t j with
+              | d -> d
+              | exception e ->
+                stream_die cmd "line %d: %s" lineno (Printexc.to_string e)
+            in
+            if not summary_only then begin
+              let plan = Online.current_plan t in
+              print_endline
+                (Json.to_string
+                   (decision_record ~seq:!seq ~plan_before:!plan_before dec
+                      plan));
+              plan_before := List.length plan.Schedule.slices
+            end;
+            incr seq;
+            decisions_rev := dec :: !decisions_rev
           in
-          let j = Job.make ~id:!seq ~release:r ~deadline:d ~workload:w ~value:v in
-          let dec = Online.arrive t j in
-          if not summary_only then begin
-            let plan = Online.current_plan t in
+          parse_stream ~cmd ic
+            ~on_alpha:(fun _ p -> alpha := Some p)
+            ~on_machines:(fun _ m -> machines := Some m)
+            ~on_job;
+          match !state with
+          | None -> stream_die cmd "no jobs in the stream"
+          | Some t ->
+            let power = (Online.params_of t).Online.power in
             print_endline
               (Json.to_string
-                 (decision_record ~seq:!seq ~plan_before:!plan_before dec plan));
-            plan_before := List.length plan.Schedule.slices
-          end;
-          incr seq;
-          decisions_rev := dec :: !decisions_rev
-        in
-        let lineno = ref 0 in
-        (try
-           while true do
-             let line = input_line ic in
-             incr lineno;
-             let line = String.trim line in
-             if line = "" || line.[0] = '#' then ()
-             else
-               match
-                 String.split_on_char ' ' line |> List.filter (( <> ) "")
-               with
-               | [ "alpha"; v ] -> alpha := Some (parse_float "alpha" !lineno v)
-               | [ "machines"; v ] -> (
-                 match int_of_string_opt v with
-                 | Some m -> machines := Some m
-                 | None ->
-                   failwith
-                     (Printf.sprintf "line %d: bad machines %S" !lineno v))
-               | [ "job"; r; d; w; v ] ->
-                 let value =
-                   if v = "inf" then Float.infinity
-                   else parse_float "value" !lineno v
-                 in
-                 on_job !lineno
-                   (parse_float "release" !lineno r)
-                   (parse_float "deadline" !lineno d)
-                   (parse_float "workload" !lineno w)
-                   value
-               | _ ->
-                 failwith
-                   (Printf.sprintf "line %d: unrecognized %S" !lineno line)
-           done
-         with End_of_file -> ());
-        match !state with
-        | None -> failwith "no jobs in the stream"
-        | Some t ->
-          let power = Power.make (Option.get !alpha) in
-          print_endline
-            (Json.to_string
-               (summary_record ~algorithm:(Online.name engine) ~power
-                  (List.rev !decisions_rev)
-                  (Online.finalize t)));
-          (match snapshot_out with
-          | None -> ()
-          | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc (Online.snapshot t))))
+                 (summary_record ~algorithm:(Online.name engine) ~power
+                    (List.rev !decisions_rev)
+                    (Online.finalize t)));
+            (match snapshot_out with
+            | None -> ()
+            | Some path ->
+              Speedscale_service.Atomic_io.write ~path (Online.snapshot t))
+        end)
   in
   let info =
     Cmd.info "stream"
@@ -417,10 +736,90 @@ let stream_cmd =
              record — byte-identical to `psched run --decisions-only` on \
              the same instance, which is the online=batch equivalence the \
              @stream-smoke alias checks.";
+          `P
+            "With --shards K > 1 (or --restore) the arrivals are \
+             hash-partitioned across K engine instances running on \
+             separate domains — see `psched serve` for the long-running \
+             front end with checkpointing and live migration.  Malformed \
+             streams (NaN or non-positive workloads, deadline <= \
+             release, out-of-order arrivals, missing headers) are \
+             rejected with a line-numbered message and exit status 2.";
         ]
   in
   Cmd.v info
-    Term.(const run $ input $ engine $ delta $ snapshot_out $ summary_only)
+    Term.(
+      const run $ stream_input_arg $ stream_engine_arg $ stream_delta_arg
+      $ snapshot_out $ stream_summary_only_arg $ shards $ stream_workers_arg
+      $ stream_snapshot_dir_arg $ stream_snapshot_every_arg
+      $ stream_restore_arg $ stream_kill_after_arg)
+
+let serve_cmd =
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"Engine shards to partition arrivals across (default 4).")
+  in
+  let migrate_every =
+    Arg.(
+      value & opt int 0
+      & info [ "migrate-every" ] ~docv:"N"
+          ~doc:
+            "Live-migrate one shard to the next worker domain every N \
+             arrivals (0: never).  Exercises drain/snapshot/restore \
+             under load; the decision stream is unaffected.")
+  in
+  let run input engine delta summary_only shards workers snapshot_dir
+      snapshot_every restore kill_after migrate_every =
+    let cmd = "serve" in
+    let ic =
+      if input = "-" then stdin
+      else
+        match open_in input with
+        | ic -> ic
+        | exception Sys_error m -> stream_die cmd "%s" m
+    in
+    Fun.protect
+      ~finally:(fun () -> if input <> "-" then close_in ic)
+      (fun () ->
+        run_sharded ~cmd ~engine ~delta ~shards ~workers ~snapshot_dir
+          ~snapshot_every ~restore ~kill_after ~migrate_every ~summary_only
+          ic)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Sharded admission-control service: partition an arrival stream \
+         across engine shards on separate domains, with checkpointing, \
+         restore and live shard migration."
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Runs the lib/service admission loop over the input stream: \
+             each arrival is routed to a shard by a deterministic hash \
+             of its id, shards decide independently on their slice of \
+             the machine pool, and decisions are merged back into one \
+             stream in global arrival order — byte-identical run over \
+             run, at any worker count, under migration, and across \
+             kill/restore.";
+          `P
+            "--snapshot-dir plus --snapshot-every N commit a consistent \
+             checkpoint (per-shard `online-snapshot v1` files plus a \
+             digest-carrying manifest, renamed into place atomically) \
+             every N arrivals.  A killed service restarts with --restore \
+             and skips the arrivals the checkpoint already covers; the \
+             concatenated output equals the straight-through run's, byte \
+             for byte, which is exactly what the @serve-soak alias \
+             checks.";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ stream_input_arg $ stream_engine_arg $ stream_delta_arg
+      $ stream_summary_only_arg $ shards $ stream_workers_arg
+      $ stream_snapshot_dir_arg $ stream_snapshot_every_arg
+      $ stream_restore_arg $ stream_kill_after_arg $ migrate_every)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                              *)
@@ -647,7 +1046,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; run_cmd; stream_cmd; compare_cmd; certify_cmd;
-            analyze_cmd; provision_cmd; replay_cmd; gantt_cmd;
+            generate_cmd; run_cmd; stream_cmd; serve_cmd; compare_cmd;
+            certify_cmd; analyze_cmd; provision_cmd; replay_cmd; gantt_cmd;
             bench_diff_cmd;
           ]))

@@ -154,6 +154,7 @@ module type ONLINE = sig
   val current_plan : state -> Schedule.t
   val finalize : state -> Schedule.t
   val set_observer : state -> (event -> unit) option -> unit
+  val params_of : state -> params
   val snapshot : state -> string
   val restore : string -> state
 end
@@ -227,6 +228,7 @@ module Make (C : CORE) : ONLINE = struct
   let current_plan st = C.plan_core st.core
   let finalize st = C.plan_core st.core
   let set_observer st f = st.observer <- f
+  let params_of st = st.params
   let snapshot st = render_snapshot ~name ~p:st.params (List.rev st.seen_rev)
 
   let restore s =
@@ -488,6 +490,7 @@ let arrive (Packed ((module E), st)) j = E.arrive st j
 let current_plan (Packed ((module E), st)) = E.current_plan st
 let finalize (Packed ((module E), st)) = E.finalize st
 let set_observer (Packed ((module E), st)) f = E.set_observer st f
+let params_of (Packed ((module E), st)) = E.params_of st
 let snapshot (Packed ((module E), st)) = E.snapshot st
 
 let engine_of (Packed ((module E), _)) : engine = (module E)

@@ -120,6 +120,10 @@ module type ONLINE = sig
   (** Install (or clear) the per-arrival hook, called synchronously at
       the end of every {!arrive}. *)
 
+  val params_of : state -> params
+  (** The parameters the state was created with (after {!restore}: the
+      parameters recorded in the snapshot). *)
+
   val snapshot : state -> string
   (** Serialize the online state as plain text (format: see
       doc/ENGINE.md).  Engines are deterministic functions of their
@@ -191,6 +195,12 @@ val arrive : t -> Job.t -> decision
 val current_plan : t -> Schedule.t
 val finalize : t -> Schedule.t
 val set_observer : t -> (event -> unit) option -> unit
+
+val params_of : t -> params
+(** The parameters behind the packed state (post-{!restore}: the ones
+    recorded in the snapshot) — what sharded serving needs to compute
+    per-shard summaries without carrying params out of band. *)
+
 val snapshot : t -> string
 val engine_of : t -> engine
 

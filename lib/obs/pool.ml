@@ -1,0 +1,194 @@
+(* Persistent worker pool: a fixed set of domains serving per-queue
+   ingest with batched dequeue.  One mutex guards every queue; workers
+   take a queue's whole backlog under one lock acquisition and run it
+   unlocked, so lock traffic is O(batches).  Per-queue serialization —
+   tasks of one queue never run concurrently and never out of order —
+   is the property callers lean on to confine un-synchronized mutable
+   state to "the domain currently owning queue i". *)
+
+type queue = {
+  mutable items_rev : (unit -> unit) list;
+  mutable len : int;
+  mutable owner : int;
+  mutable running : bool;  (* a batch from this queue is in flight *)
+  mutable poison : exn option;  (* first task exception; queue is dead *)
+}
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t;  (* new work, ownership change, or shutdown *)
+  idle : Condition.t;  (* a batch completed *)
+  qs : queue array;
+  cap : int;
+  n_workers : int;
+  mutable stop : bool;
+  mutable joined : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let workers t = t.n_workers
+let queues t = Array.length t.qs
+
+(* Run a batch until the first exception; everything after the raising
+   task is discarded (the queue is poisoned anyway). *)
+let rec run_all = function
+  | [] -> None
+  | f :: rest -> ( match f () with () -> run_all rest | exception e -> Some e)
+
+(* Called with [t.m] held; returns with [t.m] held. *)
+let run_batch t q =
+  q.running <- true;
+  let batch = List.rev q.items_rev in
+  let dead = q.poison <> None in
+  q.items_rev <- [];
+  q.len <- 0;
+  Mutex.unlock t.m;
+  let exn = if dead then None else run_all batch in
+  Mutex.lock t.m;
+  (match exn with
+  | Some e when q.poison = None -> q.poison <- Some e
+  | _ -> ());
+  q.running <- false;
+  (* wake quiesce/capacity waiters, and any worker that now owns a queue
+     this batch was holding *)
+  Condition.broadcast t.idle;
+  Condition.broadcast t.work
+
+let worker t w =
+  let nq = Array.length t.qs in
+  (* Round-robin over the queues currently assigned to this worker.
+     Once the pool is stopping, ownership is relaxed: any worker may
+     drain any queue (no new submits can arrive, and the [running] flag
+     still serializes each queue), so work is never stranded on a queue
+     whose owner already exited. *)
+  let pick cursor =
+    let rec go i =
+      if i >= nq then None
+      else
+        let qi = (cursor + i) mod nq in
+        let q = t.qs.(qi) in
+        if (q.owner = w || t.stop) && (not q.running) && q.len > 0 then
+          Some qi
+        else go (i + 1)
+    in
+    go 0
+  in
+  Mutex.lock t.m;
+  let rec loop cursor =
+    match pick cursor with
+    | Some qi ->
+      run_batch t t.qs.(qi);
+      loop (qi + 1)
+    | None ->
+      if t.stop then Mutex.unlock t.m
+      else begin
+        Condition.wait t.work t.m;
+        loop cursor
+      end
+  in
+  loop 0
+
+let create ?(queue_cap = 1024) ~workers ~queues () =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  if queues < 1 then invalid_arg "Pool.create: queues must be >= 1";
+  if queue_cap < 1 then invalid_arg "Pool.create: queue_cap must be >= 1";
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      qs =
+        Array.init queues (fun i ->
+            {
+              items_rev = [];
+              len = 0;
+              owner = i mod workers;
+              running = false;
+              poison = None;
+            });
+      cap = queue_cap;
+      n_workers = workers;
+      stop = false;
+      joined = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let check_queue t qi =
+  if qi < 0 || qi >= Array.length t.qs then
+    invalid_arg (Fmt.str "Pool: bad queue index %d" qi)
+
+let submit t ~queue f =
+  check_queue t queue;
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  let q = t.qs.(queue) in
+  if q.len >= t.cap then begin
+    Mutex.unlock t.m;
+    false
+  end
+  else begin
+    q.items_rev <- f :: q.items_rev;
+    q.len <- q.len + 1;
+    if q.len = 1 then Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    true
+  end
+
+let assign t ~queue ~worker =
+  check_queue t queue;
+  if worker < 0 || worker >= t.n_workers then
+    invalid_arg (Fmt.str "Pool.assign: bad worker index %d" worker);
+  Mutex.lock t.m;
+  t.qs.(queue).owner <- worker;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m
+
+let worker_of t ~queue =
+  check_queue t queue;
+  Mutex.lock t.m;
+  let w = t.qs.(queue).owner in
+  Mutex.unlock t.m;
+  w
+
+let earliest_poison t =
+  (* called with t.m held *)
+  let found = ref None in
+  Array.iter
+    (fun q -> if !found = None && q.poison <> None then found := q.poison)
+    t.qs;
+  !found
+
+let quiesce t =
+  Mutex.lock t.m;
+  let busy () =
+    Array.exists (fun q -> q.len > 0 || q.running) t.qs
+  in
+  while busy () do
+    Condition.wait t.idle t.m
+  done;
+  let p = earliest_poison t in
+  Mutex.unlock t.m;
+  match p with Some e -> raise e | None -> ()
+
+let shutdown t =
+  Mutex.lock t.m;
+  let first = not t.joined in
+  let doms = t.domains in
+  if first then begin
+    t.stop <- true;
+    t.joined <- true;
+    t.domains <- [];
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.m;
+  if first then List.iter Domain.join doms;
+  Mutex.lock t.m;
+  let p = earliest_poison t in
+  Mutex.unlock t.m;
+  match p with Some e -> raise e | None -> ()

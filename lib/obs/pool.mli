@@ -1,0 +1,65 @@
+(** Persistent worker pool with per-queue ingest and batched dequeue.
+
+    {!Runner.map} is one-shot: it spawns domains, drains a fixed task
+    list, and joins.  A long-running service needs the opposite shape — a
+    fixed set of worker domains that outlive any one batch, fed through
+    {e per-queue} ingest so that all tasks routed to one queue execute
+    sequentially, in submission order, on a single domain at a time.
+    That per-queue serialization is what lets a caller confine mutable
+    state (an online engine, say) to "whichever domain currently owns
+    queue [i]" without any locking of its own.
+
+    Guarantees:
+
+    - {e order}: tasks submitted to the same queue run in submission
+      order, never concurrently with each other;
+    - {e batched dequeue}: a worker takes a queue's whole backlog under
+      one lock acquisition and runs it outside the lock, so the mutex is
+      touched O(batches), not O(tasks);
+    - {e bounded ingest}: each queue holds at most [queue_cap] pending
+      tasks; {!submit} refuses (returns [false]) instead of buffering
+      unboundedly, giving the producer natural backpressure;
+    - {e migration}: {!assign} hands a queue to a different worker; the
+      switch takes effect between batches, so the serialization guarantee
+      is preserved across the move.
+
+    Tasks must not raise: a task that does poisons its queue (the
+    exception is stored, the queue's remaining and future tasks are
+    discarded) and the earliest poisoned queue's exception is re-raised
+    by {!quiesce} and {!shutdown}.  Callers that need per-task error
+    reporting should catch inside the task and route the error through
+    their own result channel. *)
+
+type t
+
+val create : ?queue_cap:int -> workers:int -> queues:int -> unit -> t
+(** Spawn [workers] persistent domains serving [queues] ingest queues.
+    Queue [i] starts assigned to worker [i mod workers].  Default
+    [queue_cap] is 1024.  Raises [Invalid_argument] if [workers < 1],
+    [queues < 1] or [queue_cap < 1]. *)
+
+val workers : t -> int
+val queues : t -> int
+
+val submit : t -> queue:int -> (unit -> unit) -> bool
+(** Enqueue one task; [false] when the queue is at capacity (nothing is
+    enqueued — retry after draining your output side).  Raises
+    [Invalid_argument] on a bad queue index or after {!shutdown}. *)
+
+val assign : t -> queue:int -> worker:int -> unit
+(** Reassign a queue to another worker.  Takes effect after the batch
+    currently in flight (if any); tasks never run concurrently across
+    the move. *)
+
+val worker_of : t -> queue:int -> int
+(** The queue's current worker assignment. *)
+
+val quiesce : t -> unit
+(** Block until every queue is empty and no batch is in flight.  If any
+    queue was poisoned, re-raises the earliest poisoned queue's
+    exception (deterministic choice: lowest queue index). *)
+
+val shutdown : t -> unit
+(** Drain all remaining work, stop the workers and join their domains.
+    Idempotent.  Re-raises the earliest poisoned queue's exception after
+    the join, like {!quiesce}. *)

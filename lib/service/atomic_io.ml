@@ -1,0 +1,43 @@
+let write_seq ~path producer =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  let cleanup () =
+    close_out_noerr oc;
+    if Sys.file_exists tmp then Sys.remove tmp
+  in
+  (match
+     let rec pump () =
+       match producer () with
+       | Some chunk ->
+         output_string oc chunk;
+         pump ()
+       | None -> ()
+     in
+     pump ();
+     close_out oc
+   with
+  | () -> ()
+  | exception e ->
+    cleanup ();
+    raise e);
+  (* the commit point: atomic within a filesystem *)
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+    if Sys.file_exists tmp then Sys.remove tmp;
+    raise e
+
+let write ~path contents =
+  let sent = ref false in
+  write_seq ~path (fun () ->
+      if !sent then None
+      else begin
+        sent := true;
+        Some contents
+      end)
+
+let read ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

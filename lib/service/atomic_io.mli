@@ -1,0 +1,25 @@
+(** Crash-safe file writes: the primitive failover depends on.
+
+    A checkpoint that is written with a bare [open_out] can be observed
+    half-written — exactly when it matters, because the observer is the
+    process restoring after the crash that interrupted the write.  Every
+    snapshot and manifest in this repository goes through {!write}
+    instead: the bytes land in [path ^ ".tmp"] and are moved over [path]
+    with [Sys.rename], which POSIX makes atomic within a filesystem.  A
+    reader therefore sees either the complete previous content or the
+    complete new content, never a truncated mixture; a crash mid-write
+    leaves at worst a stale [.tmp] file next to an intact target. *)
+
+val write : path:string -> string -> unit
+(** Write the whole string to [path] atomically (tmp + rename).  On any
+    exception the temporary file is removed and [path] is untouched. *)
+
+val write_seq : path:string -> (unit -> string option) -> unit
+(** Chunked variant: pull chunks from the producer until it returns
+    [None], then commit atomically.  If the producer (or the write)
+    raises, the temporary file is removed, [path] keeps its previous
+    content, and the exception is re-raised — the property the
+    partial-snapshot test injects a failure to observe. *)
+
+val read : path:string -> string
+(** Read a whole file; raises [Sys_error] like [open_in]. *)

@@ -1,0 +1,275 @@
+open Speedscale_model
+module Online = Speedscale_engine.Online
+module Pool = Speedscale_obs.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Vocabulary                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type ev = { seq : int; shard : int; decision : Online.decision }
+
+(* Fixed-key integer mix (SplitMix-style finalizer, constants truncated
+   to OCaml's 63-bit int) reduced mod the shard count.  Deliberately not
+   [Hashtbl.hash]: the partition must be a stable, documented function —
+   it is recorded in every checkpoint manifest and a restored service
+   must route the input suffix exactly as the dead one would have. *)
+let id_mix (j : Job.t) k =
+  let h = j.id in
+  let h = h lxor (h lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x27D4EB2F165667C5 in
+  let h = h lxor (h lsr 32) in
+  (h land max_int) mod k
+
+let default_shard_fn = ("id-mix-v1", id_mix)
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard decision back-channel                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Workers push (seq, result) here in their shard's processing order;
+   the merging thread pops.  One queue per shard, so FIFO order per
+   shard equals submission order per shard. *)
+module Outq = struct
+  type 'a t = { m : Mutex.t; cv : Condition.t; q : 'a Queue.t }
+
+  let create () =
+    { m = Mutex.create (); cv = Condition.create (); q = Queue.create () }
+
+  let push t x =
+    Mutex.lock t.m;
+    Queue.add x t.q;
+    Condition.signal t.cv;
+    Mutex.unlock t.m
+
+  let try_pop t =
+    Mutex.lock t.m;
+    let r = Queue.take_opt t.q in
+    Mutex.unlock t.m;
+    r
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.cv t.m
+    done;
+    let r = Queue.take t.q in
+    Mutex.unlock t.m;
+    r
+end
+
+(* ------------------------------------------------------------------ *)
+(* The service                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  eng : Online.engine;
+  k : int;
+  tag : string;
+  route : Job.t -> int -> int;
+  shards : Online.t array;
+      (* slot [s] is owned by whichever domain currently serves queue
+         [s]; the merging thread touches it only after Pool.quiesce *)
+  pool : Pool.t;
+  outs : (int * (Online.decision, exn) result) Outq.t array;
+  pending : (int * int) Queue.t;  (* (seq, shard), submission order *)
+  mutable next_seq : int;
+  mutable ready_rev : ev list;  (* drained during internal blocking *)
+}
+
+let shards t = t.k
+let workers t = Pool.workers t.pool
+let seq t = t.next_seq
+let engine t = t.eng
+let shard_params t i = Online.params_of t.shards.(i)
+let shard_of t j = t.route j t.k
+let worker_of t ~shard = Pool.worker_of t.pool ~queue:shard
+
+let make ?workers ?queue_cap ?(shard_fn = default_shard_fn) ~engine
+    ~next_seq states =
+  let k = Array.length states in
+  let workers = match workers with Some w -> w | None -> k in
+  let tag, route = shard_fn in
+  {
+    eng = engine;
+    k;
+    tag;
+    route;
+    shards = states;
+    pool = Pool.create ?queue_cap ~workers ~queues:k ();
+    outs = Array.init k (fun _ -> Outq.create ());
+    pending = Queue.create ();
+    next_seq;
+    ready_rev = [];
+  }
+
+let create ?workers ?queue_cap ?shard_fn ~engine ~params ~shards () =
+  if shards < 1 then invalid_arg "Service.create: shards must be >= 1";
+  let states = Array.init shards (fun i -> Online.start engine (params i)) in
+  make ?workers ?queue_cap ?shard_fn ~engine ~next_seq:0 states
+
+let restore ?workers ?queue_cap ?shard_fn ~manifest () =
+  let mf, snaps = Checkpoint.load ~manifest in
+  let tag, _ =
+    match shard_fn with Some f -> f | None -> default_shard_fn
+  in
+  if not (String.equal mf.Checkpoint.shard_fn tag) then
+    failwith
+      (Fmt.str
+         "Service.restore: manifest partitions with %s, this service with %s \
+          — restoring would route the suffix differently"
+         mf.Checkpoint.shard_fn tag);
+  let engine =
+    match Online.find mf.Checkpoint.engine with
+    | Some e -> e
+    | None ->
+      failwith
+        (Fmt.str "Service.restore: unknown engine %S" mf.Checkpoint.engine)
+  in
+  let states = Array.map Online.restore snaps in
+  make ?workers ?queue_cap ?shard_fn ~engine ~next_seq:mf.Checkpoint.seq
+    states
+
+(* ---------------- merged-stream emission ---------------- *)
+
+(* Emit the oldest submitted-but-unemitted decision, blocking until its
+   shard has processed it.  Progress is guaranteed: the pending head is
+   the oldest task of its shard's queue, and that shard's worker drains
+   its queue in order regardless of what the merging thread does. *)
+let emit_block t =
+  let sq, s = Queue.pop t.pending in
+  let sq', r = Outq.pop t.outs.(s) in
+  assert (sq = sq');
+  match r with
+  | Ok d ->
+    let e = { seq = sq; shard = s; decision = d } in
+    t.ready_rev <- e :: t.ready_rev;
+    e
+  | Error e -> raise e
+
+let try_emit t =
+  match Queue.peek_opt t.pending with
+  | None -> false
+  | Some (_, s) -> (
+    match Outq.try_pop t.outs.(s) with
+    | None -> false
+    | Some (sq', r) ->
+      let sq, _ = Queue.pop t.pending in
+      assert (sq = sq');
+      (match r with
+      | Ok d -> t.ready_rev <- { seq = sq; shard = s; decision = d } :: t.ready_rev
+      | Error e -> raise e);
+      true)
+
+let flush t =
+  let evs = List.rev t.ready_rev in
+  t.ready_rev <- [];
+  evs
+
+let poll t =
+  while try_emit t do
+    ()
+  done;
+  flush t
+
+(* Place one task on a shard's ingest queue, draining the merged stream
+   into [ready_rev] whenever the queue is full (backpressure). *)
+let submit_task t s task =
+  while not (Pool.submit t.pool ~queue:s task) do
+    ignore (emit_block t)
+  done
+
+let submit t j =
+  let s = t.route j t.k in
+  if s < 0 || s >= t.k then
+    invalid_arg (Fmt.str "Service.submit: shard_fn routed job %d to %d" j.Job.id s);
+  let sq = t.next_seq in
+  let task () =
+    (* shards.(s) is mutated only by tasks on ingest queue s, which the
+       pool serializes on one domain at a time; the merging thread reads
+       it only after Pool.quiesce *)
+    let r =
+      match Online.arrive t.shards.(s) j with
+      | d -> Ok d
+      | exception e -> Error e
+    in
+    Outq.push t.outs.(s) (sq, r)
+  in
+  submit_task t s task;
+  t.next_seq <- sq + 1;
+  Queue.add (sq, s) t.pending;
+  poll t
+
+let drain t =
+  while not (Queue.is_empty t.pending) do
+    ignore (emit_block t)
+  done;
+  flush t
+
+(* ---------------- checkpoint and migration ---------------- *)
+
+(* A little one-shot mailbox for marker results. *)
+module Cell = struct
+  type 'a t = { m : Mutex.t; cv : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); cv = Condition.create (); v = None }
+
+  let put c x =
+    Mutex.lock c.m;
+    c.v <- Some x;
+    Condition.signal c.cv;
+    Mutex.unlock c.m
+
+  let get c =
+    Mutex.lock c.m;
+    while c.v = None do
+      Condition.wait c.cv c.m
+    done;
+    let v = Option.get c.v in
+    Mutex.unlock c.m;
+    v
+end
+
+let checkpoint t ~dir =
+  let at = t.next_seq in
+  let cells = Array.init t.k (fun _ -> Cell.create ()) in
+  (* Markers ride the ingest queues behind every arrival submitted so
+     far, so shard [s]'s snapshot covers exactly its share of the first
+     [at] submissions — a consistent cut with no global barrier. *)
+  for s = 0 to t.k - 1 do
+    submit_task t s (fun () ->
+        (* queue-confined: the marker runs on shard s's owning domain *)
+        Cell.put cells.(s) (Online.snapshot t.shards.(s)))
+  done;
+  let snaps = Array.map Cell.get cells in
+  Checkpoint.write ~dir ~engine:(Online.name t.eng) ~shard_fn:t.tag ~seq:at
+    snaps
+
+let migrate t ~shard ~worker =
+  if shard < 0 || shard >= t.k then
+    invalid_arg (Fmt.str "Service.migrate: bad shard %d" shard);
+  if Pool.worker_of t.pool ~queue:shard <> worker then begin
+    (* 1. drain: the marker runs after every queued arrival; 2. snapshot
+       on the old domain *)
+    let cell = Cell.create () in
+    submit_task t shard (fun () ->
+        Cell.put cell (Online.snapshot t.shards.(shard)));
+    let snap = Cell.get cell in
+    (* 3. hand the (now empty) queue to the new domain *)
+    Pool.assign t.pool ~queue:shard ~worker;
+    (* 4. restore on the new domain, ordered before any later arrival:
+       the queue is empty here (the merging thread is the only submitter
+       and it was blocked on the marker), so this cannot fail for
+       capacity and is the queue's next task *)
+    submit_task t shard (fun () ->
+        t.shards.(shard) <- Online.restore snap)
+  end
+
+(* ---------------- end of stream ---------------- *)
+
+let finalize t =
+  Pool.quiesce t.pool;
+  Array.map Online.finalize t.shards
+
+let shutdown t = Pool.shutdown t.pool

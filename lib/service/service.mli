@@ -1,0 +1,128 @@
+(** Sharded admission control: many online engines, one decision stream.
+
+    The paper's PD algorithm is an online admission controller; PR 7 made
+    its arrival path flat at tens of microseconds with bounded memory.
+    This module is the payoff: a long-running, domain-parallel service
+    that hash-partitions arriving jobs across [k] independent engine
+    instances ({e shards}), runs the shards on OCaml 5 domains through
+    the persistent {!Speedscale_obs.Pool} (per-shard ingest queues,
+    batched dequeue), and merges the per-shard decisions back into one
+    {e deterministic} stream: events are emitted in global arrival order,
+    and every decision is a pure function of its shard's arrival
+    subsequence, so the merged stream is byte-identical run over run —
+    at any worker count, under migration, and across kill/restore.
+
+    Sharding model: the partition function routes each job to a shard;
+    each shard is a full engine over its own (smaller) machine pool, à la
+    [lib/multi/partitioned.ml] lifted one level — jobs never migrate
+    between shards, which is what makes shard decisions independent and
+    the whole service embarrassingly parallel.  The competitive-ratio
+    price of that independence is measured by experiment E26 next to
+    E22's migration-gap numbers.
+
+    Failover rides the `online-snapshot v1` wire format: {!checkpoint}
+    cuts a consistent per-shard snapshot set at an exact global sequence
+    number (marker tasks flow through the ingest queues, so no barrier
+    stalls the shards), commits it atomically ({!Checkpoint}), and
+    {!restore} rebuilds the service from the manifest alone.  Live
+    {!migrate} moves a shard to another domain by drain → snapshot →
+    restore-on-the-new-domain, through the same wire format. *)
+
+open Speedscale_model
+module Online := Speedscale_engine.Online
+
+type t
+
+type ev = {
+  seq : int;  (** global arrival sequence number, dense from 0 *)
+  shard : int;
+  decision : Online.decision;
+}
+(** One merged-stream event.  Events come back in strictly increasing
+    [seq] order across {!submit}/{!poll}/{!drain}. *)
+
+val default_shard_fn : string * (Job.t -> int -> int)
+(** [("id-mix-v1", fn)]: the default partition function — a fixed-key
+    integer mix of [job.id] reduced mod the shard count.  Deterministic
+    across runs and processes (no [Hashtbl.hash], no randomization). *)
+
+val create :
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?shard_fn:string * (Job.t -> int -> int) ->
+  engine:Online.engine ->
+  params:(int -> Online.params) ->
+  shards:int ->
+  unit ->
+  t
+(** [create ~engine ~params ~shards ()] starts [shards] engine instances
+    (shard [i] gets [params i]) on a fresh worker pool.  [workers]
+    defaults to [shards]; [queue_cap] bounds each shard's ingest backlog
+    (default 1024) — {!submit} applies backpressure by draining finished
+    decisions while a queue is full.  The named [shard_fn] is recorded
+    in checkpoints; {!restore} refuses a manifest whose tag differs.
+    Raises [Invalid_argument] on [shards < 1] or inapplicable params. *)
+
+val restore :
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?shard_fn:string * (Job.t -> int -> int) ->
+  manifest:string ->
+  unit ->
+  t
+(** Rebuild a service from a committed checkpoint: every shard engine is
+    {!Online.restore}d from its snapshot, and the global sequence
+    counter resumes from the manifest's [seq] — the caller re-feeds the
+    input suffix from that point on.  Raises [Failure] on a missing or
+    corrupt checkpoint ({!Checkpoint.load}) and on a [shard_fn] tag
+    mismatch. *)
+
+val shards : t -> int
+val workers : t -> int
+
+val seq : t -> int
+(** Arrivals ingested so far, including those replayed into a restored
+    state — i.e. the [seq] the next {!submit} will be assigned. *)
+
+val engine : t -> Online.engine
+val shard_params : t -> int -> Online.params
+
+val shard_of : t -> Job.t -> int
+(** Where the partition function routes this job. *)
+
+val worker_of : t -> shard:int -> int
+
+val submit : t -> Job.t -> ev list
+(** Route one arrival to its shard and return any decisions that became
+    emittable (possibly none — shards run asynchronously; possibly
+    several).  Jobs must be submitted in non-decreasing release order.
+    If the shard's engine rejects the job with an exception (duplicate
+    id, decreasing release), that exception re-surfaces here or at the
+    next drain point, in deterministic stream order. *)
+
+val poll : t -> ev list
+(** Non-blocking drain of every decision that is ready to emit. *)
+
+val drain : t -> ev list
+(** Block until every submitted arrival has been decided and emitted. *)
+
+val checkpoint : t -> dir:string -> unit
+(** Cut a checkpoint at the current {!seq} and commit it to [dir]
+    (atomically — see {!Checkpoint}).  Marker tasks are enqueued behind
+    each shard's pending arrivals, so the snapshot set is consistent
+    with exactly the first [seq] submissions; the call blocks until all
+    markers have executed, then writes from the calling thread. *)
+
+val migrate : t -> shard:int -> worker:int -> unit
+(** Live shard migration: drain the shard's queue (marker), snapshot its
+    engine on the old domain, reassign the queue, and restore the
+    snapshot {e on the new domain} before any queued arrival runs there.
+    The merged decision stream is unaffected — snapshot/restore is an
+    exact state transfer.  No-op when the shard already lives on
+    [worker]. *)
+
+val finalize : t -> Schedule.t array
+(** Quiesce the pool and return each shard's final schedule. *)
+
+val shutdown : t -> unit
+(** Drain, stop the workers and join their domains.  Idempotent. *)

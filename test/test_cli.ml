@@ -124,6 +124,122 @@ let test_unknown_algorithm_fails () =
       let code, _ = run_capture [ "run"; path; "-a"; "nonsense" ] in
       Alcotest.(check bool) "non-zero exit" true (code <> 0))
 
+(* ---------------- stream error paths ---------------- *)
+
+(* Malformed streams must die with a line-numbered one-liner on stderr
+   and exit status 2 — never an uncaught exception with a backtrace. *)
+let with_stream text f =
+  let path = Filename.temp_file "psched" ".stream" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      f path)
+
+let check_stream_error name text markers =
+  with_stream text (fun path ->
+      let code, out = run_capture [ "stream"; path ] in
+      Alcotest.(check int) (name ^ ": exit 2") 2 code;
+      Alcotest.(check bool)
+        (name ^ ": no backtrace") false
+        (contains out "Raised at");
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: mentions %S" name m)
+            true (contains out m))
+        markers)
+
+let test_stream_rejects_malformed () =
+  check_stream_error "nan workload" "alpha 3\nmachines 1\njob 0 1 nan 5\n"
+    [ "line 3"; "workload must be positive and finite" ];
+  check_stream_error "negative workload"
+    "alpha 3\nmachines 1\njob 0 1 -2 5\n"
+    [ "line 3"; "workload" ];
+  check_stream_error "deadline before release"
+    "alpha 3\nmachines 1\njob 2 1 1 5\n"
+    [ "line 3"; "deadline" ];
+  check_stream_error "nan value" "alpha 3\nmachines 1\njob 0 1 1 nan\n"
+    [ "line 3"; "value must be >= 0" ];
+  check_stream_error "job before alpha header" "job 0 1 1 5\n"
+    [ "line 1"; "alpha" ];
+  check_stream_error "job before machines header" "alpha 3\njob 0 1 1 5\n"
+    [ "line 2"; "machines" ];
+  check_stream_error "out-of-order arrivals"
+    "alpha 3\nmachines 1\njob 5 6 1 5\njob 1 2 1 5\n"
+    [ "line 4"; "release-ordered" ];
+  check_stream_error "unrecognized line" "alpha 3\nbogus\n"
+    [ "line 2"; "unrecognized" ];
+  check_stream_error "empty stream" "alpha 3\nmachines 1\n"
+    [ "no jobs in the stream" ]
+
+let test_stream_unreadable_input () =
+  let code, out = run_capture [ "stream"; "/nonexistent/stream.txt" ] in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "no backtrace" false (contains out "Raised at")
+
+let test_stream_bad_restore () =
+  with_stream "alpha 3\nmachines 2\njob 0 1 1 5\n" (fun path ->
+      let code, out =
+        run_capture [ "stream"; path; "--restore"; "/nonexistent" ]
+      in
+      Alcotest.(check int) "exit 2" 2 code;
+      Alcotest.(check bool) "no backtrace" false (contains out "Raised at"))
+
+let test_stream_sharded_needs_machines () =
+  with_stream "alpha 3\nmachines 1\njob 0 1 1 5\n" (fun path ->
+      let code, out = run_capture [ "serve"; path; "--shards"; "4" ] in
+      Alcotest.(check int) "exit 2" 2 code;
+      Alcotest.(check bool)
+        "explains the split" true
+        (contains out "machines >= shards"))
+
+(* The failover loop end to end, through the real binary: run sharded,
+   kill mid-stream after a checkpoint, restore, and require the stitched
+   output to be byte-identical to the straight-through run. *)
+let test_stream_kill_restore_byte_identical () =
+  let dir = Filename.temp_file "psched" ".ck" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let inst = Filename.temp_file "psched" ".inst" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun n -> Sys.remove (Filename.concat dir n))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end;
+      if Sys.file_exists inst then Sys.remove inst)
+    (fun () ->
+      let code, _ =
+        run_capture
+          [ "generate"; "--preset"; "random"; "-n"; "120"; "-m"; "4";
+            "--seed"; "7"; "-o"; inst ]
+      in
+      Alcotest.(check int) "generate" 0 code;
+      let code, full = run_capture [ "stream"; inst; "--shards"; "4" ] in
+      Alcotest.(check int) "full run" 0 code;
+      let code, part1 =
+        run_capture
+          [ "stream"; inst; "--shards"; "4"; "--snapshot-dir"; dir;
+            "--snapshot-every"; "40"; "--kill-after"; "100" ]
+      in
+      Alcotest.(check int) "killed run exits 0" 0 code;
+      let code, part2 = run_capture [ "stream"; inst; "--restore"; dir ] in
+      Alcotest.(check int) "restored run" 0 code;
+      (* records are 8 lines each; the last committed checkpoint is at
+         seq 80, so the restored run re-emits from there *)
+      let lines = String.split_on_char '\n' part1 in
+      let prefix =
+        List.filteri (fun i _ -> i < 8 * 80) lines |> String.concat "\n"
+      in
+      Alcotest.(check string)
+        "stitched output equals the straight-through run" full
+        (prefix ^ "\n" ^ part2))
+
 (* ---------------- slint ---------------- *)
 
 let slint =
@@ -316,6 +432,18 @@ let () =
           Alcotest.test_case "gantt" `Quick test_gantt;
           Alcotest.test_case "unknown algorithm" `Quick
             test_unknown_algorithm_fails;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "rejects malformed streams" `Quick
+            test_stream_rejects_malformed;
+          Alcotest.test_case "unreadable input" `Quick
+            test_stream_unreadable_input;
+          Alcotest.test_case "bad --restore" `Quick test_stream_bad_restore;
+          Alcotest.test_case "machines < shards" `Quick
+            test_stream_sharded_needs_machines;
+          Alcotest.test_case "kill/restore byte-identical" `Quick
+            test_stream_kill_restore_byte_identical;
         ] );
       ( "slint",
         [
