@@ -1446,6 +1446,157 @@ let e26 () =
        costs exactly what global PD costs"
     !ok
 
+(* ================================================================== *)
+(* E27 — the price of contiguity: non-preemptive NPD vs preemptive PD  *)
+(* ================================================================== *)
+
+let e27 () =
+  section "E27"
+    "price of contiguity: non-preemptive NPD vs preemptive PD, with both \
+     dual certificates";
+  let tab =
+    Tab.create
+      ~title:
+        "cost(NPD)/cost(PD) and certified ratios vs each engine's own \
+         dual bound g(lambda), 6 seeds each (n=16)"
+      ~header:
+        [ "alpha"; "m"; "npd/pd mean"; "npd/pd max"; "rej pd"; "rej npd";
+          "npd/g mean"; "g<=0"; "pd/g mean"; "cert viol" ]
+  in
+  let ok = ref true and total_violations = ref 0 in
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun machines ->
+          let vs_pd = ref [] and npd_cert = ref [] and pd_cert = ref [] in
+          let rej_pd = ref 0 and rej_npd = ref 0 and violations = ref 0 in
+          let vacuous = ref 0 in
+          List.iter
+            (fun seed ->
+              let inst =
+                random_instance ~alpha ~machines ~seed:(2700 + seed) ~n:16
+              in
+              let p = Speedscale_core.Pd.run inst in
+              let np = Speedscale_core.Npd.run inst in
+              let pc = Cost.total p.cost and nc = Cost.total np.cost in
+              vs_pd := (nc /. pc) :: !vs_pd;
+              rej_pd := !rej_pd + List.length p.rejected;
+              rej_npd := !rej_npd + List.length np.rejected;
+              (* each engine's Lagrangian g(lambda) lower-bounds the
+                 preemptive OPT, which lower-bounds the cost of every
+                 feasible solution — preemptive or not.  NPD's aggressive
+                 rejections can push its g(lambda) nonpositive, a valid
+                 but vacuous bound; the ratio is only meaningful when
+                 g(lambda) > 0, so vacuous seeds are counted apart. *)
+              if np.dual_bound > 0.0 then
+                npd_cert := (nc /. np.dual_bound) :: !npd_cert
+              else incr vacuous;
+              pd_cert := (pc /. p.dual_bound) :: !pd_cert;
+              let tol b = 1e-9 *. (1.0 +. b) in
+              if nc < np.dual_bound -. tol np.dual_bound then
+                incr violations;
+              if pc < p.dual_bound -. tol p.dual_bound then incr violations)
+            (List.init 6 Fun.id);
+          if !violations > 0 then ok := false;
+          total_violations := !total_violations + !violations;
+          Tab.add_row tab
+            [
+              Printf.sprintf "%.2g" alpha;
+              string_of_int machines;
+              Tab.cell_f (Stats.mean !vs_pd);
+              Tab.cell_f (Stats.max_of !vs_pd);
+              string_of_int !rej_pd;
+              string_of_int !rej_npd;
+              (if !npd_cert = [] then "-" else Tab.cell_f (Stats.mean !npd_cert));
+              string_of_int !vacuous;
+              Tab.cell_f (Stats.mean !pd_cert);
+              string_of_int !violations;
+            ])
+        [ 1; 4 ])
+    [ 1.5; 2.0; 3.0 ];
+  Tab.print tab;
+  counter "certificate_violations" !total_violations;
+  verdict
+    ~expected:
+      "contiguity costs or rejects more often than preemptive PD on most \
+       seeds, and neither engine's cost ever drops below its own dual \
+       bound"
+    !ok
+
+(* ================================================================== *)
+(* E28 — E19 closed: the migration gap against the certified exact     *)
+(*       migratory optimum                                             *)
+(* ================================================================== *)
+
+let e28 () =
+  section "E28"
+    "migration gap vs the flow-certified exact migratory optimum \
+     (E19's denominator, now exact)";
+  let alpha = 2.0 in
+  let tab =
+    Tab.create
+      ~title:
+        "energy ratio to the certified flow optimum, 6 seeds each (n=14)"
+      ~header:
+        [ "m"; "least-work mean"; "least-work max"; "least-energy mean";
+          "least-energy max"; "mOA mean"; "PGD/flow max"; "certified" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun machines ->
+      let certified = ref 0 and pgd_gap = ref [] in
+      let instances =
+        List.init 6 (fun seed ->
+            random_must_finish ~alpha ~machines ~seed:(700 + seed) ~n:14)
+      in
+      let opts =
+        List.map
+          (fun inst ->
+            let r = Speedscale_flow.Migratory.solve inst in
+            let c = Speedscale_flow.Migratory.certify inst r in
+            if c.feasible && c.pinched then incr certified;
+            (* the PGD optimum (E19's old denominator) must coincide *)
+            pgd_gap := (Mopt.energy inst /. r.energy) :: !pgd_gap;
+            r.energy)
+          instances
+      in
+      let collect f =
+        List.map2 (fun inst opt -> f inst /. opt) instances opts
+      in
+      let lw =
+        collect (Partitioned.energy ~heuristic:Partitioned.Least_work)
+      in
+      let le =
+        collect
+          (Partitioned.energy ~heuristic:Partitioned.Least_energy_increase)
+      in
+      let moa = collect Moa.energy in
+      List.iter
+        (fun r -> if r < 1.0 -. 1e-6 then ok := false)
+        (lw @ le @ moa);
+      List.iter
+        (fun g -> if Float.abs (g -. 1.0) > 1e-3 then ok := false)
+        !pgd_gap;
+      if !certified <> 6 then ok := false;
+      Tab.add_row tab
+        [
+          string_of_int machines;
+          Tab.cell_f (Stats.mean lw);
+          Tab.cell_f (Stats.max_of lw);
+          Tab.cell_f (Stats.mean le);
+          Tab.cell_f (Stats.max_of le);
+          Tab.cell_f (Stats.mean moa);
+          Tab.cell_f (Stats.max_of !pgd_gap);
+          Printf.sprintf "%d/6" !certified;
+        ])
+    [ 2; 4 ];
+  Tab.print tab;
+  verdict
+    ~expected:
+      "every flow optimum carries a feasible+pinched certificate, agrees \
+       with the PGD optimum, and no heuristic beats it"
+    !ok
+
 let all =
   [
     ("E1", e1);
@@ -1471,4 +1622,6 @@ let all =
     ("E22", e22);
     ("E24", e24);
     ("E26", e26);
+    ("E27", e27);
+    ("E28", e28);
   ]

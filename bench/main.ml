@@ -15,7 +15,7 @@
    every structured record (see doc/BENCHMARKING.md for the schema and the
    `psched bench-diff` regression gate). *)
 
-let slow = [ "E6"; "E7"; "E8"; "E11"; "E18"; "E19"; "E21"; "E22" ]
+let slow = [ "E6"; "E7"; "E8"; "E11"; "E18"; "E19"; "E21"; "E22"; "E28" ]
 
 (* The cheap figure/property experiments: what `--smoke` (the @bench-quick
    alias attached to @runtest) runs so the pipeline is exercised on every

@@ -841,6 +841,36 @@ let compare_cmd =
   Cmd.v info Term.(const run $ instance_arg)
 
 (* ------------------------------------------------------------------ *)
+(* engines                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engines_cmd =
+  let run () =
+    print_endline "online engines (usable with run/stream/serve):";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-12s %-15s %s\n" (Online.name e)
+          (Online.family_name (Online.family e))
+          (Online.description e))
+      Online.all;
+    print_endline "";
+    print_endline "offline baselines (compare only):";
+    List.iter
+      (fun (alg : Driver.algorithm) ->
+        if alg.engine = None then
+          Printf.printf "  %-12s %-15s %s\n" alg.name "offline"
+            alg.description)
+      Driver.all
+  in
+  let info =
+    Cmd.info "engines"
+      ~doc:
+        "List every registered engine with its scheduling-model family \
+         (preemptive, non-preemptive, migratory) and the offline baselines."
+  in
+  Cmd.v info Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
 (* certify                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1047,6 +1077,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; run_cmd; stream_cmd; serve_cmd; compare_cmd;
-            certify_cmd; analyze_cmd; provision_cmd; replay_cmd; gantt_cmd;
-            bench_diff_cmd;
+            engines_cmd; certify_cmd; analyze_cmd; provision_cmd; replay_cmd;
+            gantt_cmd; bench_diff_cmd;
           ]))

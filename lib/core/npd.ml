@@ -1,0 +1,239 @@
+open Speedscale_model
+open Speedscale_solver
+
+module O = Pd_core.Energy_value
+
+(* The non-preemptive relaxation: every accepted job owns one contiguous
+   slot on one machine and runs it at constant speed.  Pricing scans the
+   free gaps of every machine inside the job's window; because
+   [len * P(w/len)] is strictly decreasing in [len] for alpha > 1, the
+   cheapest placement inside a gap always uses the whole gap∩window, so
+   each gap contributes exactly one candidate.  The candidate price is
+   PD's marginal price at the slot speed, [delta * w * P'(w/len)] — the
+   same vocabulary as the preemptive engine, so the Lagrangian dual bound
+   over the multipliers stays a valid certificate (non-preemptive
+   schedules are a subset of the preemptive relaxation's). *)
+module Windows = struct
+  type obj = O.t
+
+  let name = "contiguous-slot booking"
+
+  type slot = { s0 : float; s1 : float; job : int; speed : float }
+
+  type t = {
+    obj : O.t;
+    err : string;
+    gc : bool;
+    machines : int;
+    booked : slot list array;  (* per machine, sorted by start, disjoint *)
+    finished : Pd_core.Slab.t;
+    mutable flushed_slots : int;
+    mutable live_slots : int;
+    mutable max_live : int;
+    mutable probes_now : int;
+    mutable intervals_last : int;
+  }
+
+  let create obj ~err ~gc =
+    {
+      obj;
+      err;
+      gc;
+      machines = O.machines obj;
+      booked = Array.make (O.machines obj) [];
+      finished = Pd_core.Slab.create ();
+      flushed_slots = 0;
+      live_slots = 0;
+      max_live = 0;
+      probes_now = 0;
+      intervals_last = 0;
+    }
+
+  (* Under gc, park wholly-past slots in the slab.  Slots are sorted and
+     disjoint per machine, so the flushable ones form a prefix. *)
+  let prepare t (_ : Job.t) ~last_release =
+    if t.gc then
+      for i = 0 to t.machines - 1 do
+        let rec drop = function
+          | s :: rest when Pd_core.safely_past ~last_release s.s1 ->
+            Pd_core.Slab.push t.finished
+              {
+                Schedule.proc = i;
+                t0 = s.s0;
+                t1 = s.s1;
+                job = s.job;
+                speed = s.speed;
+              };
+            t.flushed_slots <- t.flushed_slots + 1;
+            t.live_slots <- t.live_slots - 1;
+            drop rest
+          | rest -> rest
+        in
+        t.booked.(i) <- drop t.booked.(i)
+      done
+
+  (* The cheapest candidate slot: scan machines in index order and each
+     machine's gaps in time order, keeping the strictly cheapest — a
+     deterministic earliest-machine/earliest-gap tie-break. *)
+  let best_candidate t (job : Job.t) =
+    let w = job.workload in
+    let best = ref None in
+    let consider i g0 g1 =
+      t.intervals_last <- t.intervals_last + 1;
+      let len = g1 -. g0 in
+      let scale = 1.0 +. Float.max (Float.abs g0) (Float.abs g1) in
+      if len > Pd_core.boundary_tol *. scale then begin
+        t.probes_now <- t.probes_now + 1;
+        let price = O.price_of_speed t.obj ~workload:w (w /. len) in
+        match !best with
+        | Some (p, _, _, _) when p <= price -> ()
+        | _ -> best := Some (price, i, g0, g1)
+      end
+    in
+    for i = 0 to t.machines - 1 do
+      let rec walk cursor = function
+        | _ when cursor >= job.deadline -> ()
+        | [] -> consider i cursor job.deadline
+        | s :: rest ->
+          if s.s1 <= cursor then walk cursor rest
+          else begin
+            if s.s0 > cursor then
+              consider i cursor (Float.min s.s0 job.deadline);
+            walk (Float.max cursor s.s1) rest
+          end
+      in
+      walk job.release t.booked.(i)
+    done;
+    !best
+
+  let insert_slot t i s =
+    let rec ins = function
+      | [] -> [ s ]
+      | x :: rest -> if x.s0 <= s.s0 then x :: ins rest else s :: x :: rest
+    in
+    t.booked.(i) <- ins t.booked.(i);
+    t.live_slots <- t.live_slots + 1;
+    if t.live_slots > t.max_live then t.max_live <- t.live_slots
+
+  (* Both solver flavours coincide: the candidate set is finite and the
+     closed-form price needs no iteration, so [reference] is ignored. *)
+  let price t (job : Job.t) ~reference:_ =
+    t.probes_now <- 0;
+    t.intervals_last <- 0;
+    let cap = O.acceptance_cap t.obj job in
+    match best_candidate t job with
+    | None ->
+      if Float.is_finite cap then Pd_core.Reject cap
+      else
+        failwith
+          (Fmt.str
+             "%s.arrive: job %d must finish but no machine has a free slot \
+              inside [%g, %g)"
+             t.err job.id job.release job.deadline)
+    | Some (price, i, g0, g1) ->
+      if Float.is_finite cap && price > cap then Pd_core.Reject cap
+      else begin
+        insert_slot t i
+          { s0 = g0; s1 = g1; job = job.id; speed = job.workload /. (g1 -. g0) };
+        Pd_core.Accept (price, [ (i, job.workload) ])
+      end
+
+  let take_arrival t =
+    {
+      Pd_core.r_probes = t.probes_now;
+      r_intervals = t.intervals_last;
+      r_breakpoints = 0;
+    }
+
+  let schedule t ~rejected =
+    let finished = Pd_core.Slab.fold (fun acc sl -> sl :: acc) [] t.finished in
+    let live =
+      List.concat
+        (List.init t.machines (fun i ->
+             List.map
+               (fun s ->
+                 {
+                   Schedule.proc = i;
+                   t0 = s.s0;
+                   t1 = s.s1;
+                   job = s.job;
+                   speed = s.speed;
+                 })
+               t.booked.(i)))
+    in
+    Schedule.make ~machines:t.machines ~rejected (live @ finished)
+
+  let mem t =
+    {
+      Pd_core.r_live = t.live_slots;
+      r_max_live = t.max_live;
+      r_flushed = t.flushed_slots;
+      r_finished_slices = Pd_core.Slab.length t.finished;
+    }
+end
+
+module C = Pd_core.Lagrangian (O)
+module Core = Pd_core.Make (O) (Windows) (C)
+
+type t = Core.t
+
+type decision = Pd_core.decision = {
+  job : Job.t;
+  accepted : bool;
+  lambda : float;
+  planned_speed : float;
+  assignment : (int * float) list;
+}
+
+let create ?clock ?delta ?(gc = false) ~power ~machines () =
+  Core.create ?clock ~gc ~err:"Npd"
+    (O.make ?delta ~err:"Npd.create" ~power ~machines ())
+
+let arrive = Core.arrive
+let schedule = Core.schedule
+let lambdas = Core.lambdas
+let stats = Core.stats
+let mem = Core.mem
+let set_observer = Core.set_observer
+let certificate = Core.certificate
+let certificate_result = Core.certificate_result
+
+let slots t =
+  let r = Core.relax t in
+  List.init (Array.length r.Windows.booked) (fun i ->
+      List.map
+        (fun (s : Windows.slot) -> (s.s0, s.s1, s.job, s.speed))
+        r.Windows.booked.(i))
+
+type result = {
+  schedule : Schedule.t;
+  cost : Cost.t;
+  lambda : float array;
+  accepted : int list;
+  rejected : int list;
+  dual_bound : float;
+  guarantee : float;
+  decisions : decision list;
+}
+
+let run ?delta (inst : Instance.t) =
+  let t = create ?delta ~power:inst.power ~machines:inst.machines () in
+  let decisions =
+    List.init (Instance.n_jobs inst) (fun i -> arrive t (Instance.job inst i))
+  in
+  let sched = schedule t in
+  let n = Instance.n_jobs inst in
+  let lambda = Array.make n 0.0 in
+  List.iter (fun (id, l) -> lambda.(id) <- l) (lambdas t);
+  let tl = Timeline.of_jobs (Array.to_list inst.jobs) in
+  let dual = Dual.evaluate inst tl ~lambda in
+  {
+    schedule = sched;
+    cost = Schedule.cost inst sched;
+    lambda;
+    accepted = Core.accepted t;
+    rejected = Core.rejected t;
+    dual_bound = dual.value;
+    guarantee = Power.competitive_bound inst.power;
+    decisions;
+  }

@@ -1,33 +1,38 @@
-open Speedscale_util
 open Speedscale_model
-open Speedscale_chen
 open Speedscale_solver
 
-(* Two boundaries closer than this (absolute + relative, Feq-style) denote
-   the same instant: deadlines and releases that differ by less than the
-   tolerance must share a boundary, or the proportional split of committed
-   loads divides by a near-zero interval length and amplifies rounding
-   noise into the schedule.  See DESIGN.md section 5. *)
-let boundary_tol = Feq.tol_snap
-let same_boundary a b = Feq.approx ~atol:boundary_tol ~rtol:boundary_tol a b
+(* PD is the framework's reference instantiation: the paper's
+   energy+lost-value objective, the atomic-interval/Chen water-filling
+   relaxation, and the Lagrangian dual certificate.  Everything below is
+   a thin delegation layer plus the native snapshot text format; the
+   algorithm itself lives in Pd_core (where both the fast breakpoint-walk
+   solver and the bisection reference oracle are shared with any other
+   instantiation of the interval relaxation). *)
 
-type arrival_stats = {
+module O = Pd_core.Energy_value
+module R = Pd_core.Interval (O)
+module C = Pd_core.Lagrangian (O)
+module Core = Pd_core.Make (O) (R) (C)
+
+type t = Core.t
+
+type arrival_stats = Pd_core.arrival_stats = {
   job_id : int;
   accepted : bool;
-  probes : int;  (** [Chen.probe_load_for_speed] evaluations this arrival *)
-  intervals : int;  (** atomic intervals in the job's window *)
-  breakpoints : int;  (** merged breakpoint count (0 on the reference path) *)
-  wall_s : float;  (** wall-clock seconds, 0 unless [create ~clock] *)
+  probes : int;
+  intervals : int;
+  breakpoints : int;
+  wall_s : float;
 }
 
-type stats = {
+type stats = Pd_core.stats = {
   arrivals : int;
   probes : int;
   intervals : int;
   breakpoints : int;
 }
 
-type mem_stats = {
+type mem_stats = Pd_core.mem_stats = {
   live_intervals : int;
   max_live_intervals : int;
   table_entries : int;
@@ -37,358 +42,7 @@ type mem_stats = {
   finished_slices : int;
 }
 
-(* One atomic interval [lo, hi) of the live timeline.  The payload is
-   mutable so splits and load commits touch the record in place; only the
-   tree structure (keyed by [lo]) is rebuilt, at O(log live) per insert. *)
-type ivl = {
-  mutable lo : float;
-  mutable hi : float;
-  mutable loads : (int * float) list;
-  mutable cache : Chen.t option;
-}
-
-(* Binary min-heap of (deadline, job id): the eviction order for the
-   dup-id/outcome tables under GC.  Only ever holds live-window jobs. *)
-module Expiry = struct
-  type t = { mutable a : (float * int) array; mutable n : int }
-
-  let create () = { a = [||]; n = 0 }
-  let key h i = fst h.a.(i)
-
-  let swap h i j =
-    let x = h.a.(i) in
-    h.a.(i) <- h.a.(j);
-    h.a.(j) <- x
-
-  let push h d id =
-    if h.n = Array.length h.a then begin
-      let cap = Stdlib.max 8 (2 * Array.length h.a) in
-      let a = Array.make cap (0.0, 0) in
-      Array.blit h.a 0 a 0 h.n;
-      h.a <- a
-    end;
-    h.a.(h.n) <- (d, id);
-    h.n <- h.n + 1;
-    let i = ref (h.n - 1) in
-    while !i > 0 && key h ((!i - 1) / 2) > key h !i do
-      swap h ((!i - 1) / 2) !i;
-      i := (!i - 1) / 2
-    done
-
-  let peek h = if h.n = 0 then None else Some h.a.(0)
-
-  let pop h =
-    h.n <- h.n - 1;
-    swap h 0 h.n;
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let m = ref !i in
-      if l < h.n && key h l < key h !m then m := l;
-      if r < h.n && key h r < key h !m then m := r;
-      if !m <> !i then begin
-        swap h !i !m;
-        i := !m
-      end
-      else continue := false
-    done
-end
-
-(* Flushed slices parked as a flat float array (stride 5: proc, t0, t1,
-   job, speed).  A soak-length stream retains millions of slices; kept as
-   a list of boxed records they dominate the major collector's marking
-   work and per-arrival wall time degrades with the length of the history
-   — a float array's contents are never scanned, so the accumulator is
-   GC-inert no matter how large it grows.  Ids round-trip exactly through
-   the float encoding (|id| < 2^53). *)
-module Slab = struct
-  (* Fixed-size chunks, newest first, rather than a growable array: a
-     doubling realloc would copy the whole history (a multi-hundred-MB
-     pause at soak sizes) and leave the old array as major-heap garbage. *)
-  let stride = 5
-  let chunk_slices = 1 lsl 16
-  let chunk_words = stride * chunk_slices
-
-  type t = { mutable chunks_rev : float array list; mutable n : int }
-
-  let create () = { chunks_rev = []; n = 0 }
-  let length s = s.n
-
-  let push s (sl : Schedule.slice) =
-    let i = s.n mod chunk_slices in
-    if i = 0 then s.chunks_rev <- Array.make chunk_words 0.0 :: s.chunks_rev;
-    let a = List.hd s.chunks_rev in
-    let o = stride * i in
-    a.(o) <- float_of_int sl.Schedule.proc;
-    a.(o + 1) <- sl.t0;
-    a.(o + 2) <- sl.t1;
-    a.(o + 3) <- float_of_int sl.job;
-    a.(o + 4) <- sl.speed;
-    s.n <- s.n + 1
-
-  (* In-order traversal; O(chunks) to find the start, so iterate chunk by
-     chunk when reading everything back. *)
-  let get_in a i : Schedule.slice =
-    let o = stride * i in
-    {
-      proc = int_of_float a.(o);
-      t0 = a.(o + 1);
-      t1 = a.(o + 2);
-      job = int_of_float a.(o + 3);
-      speed = a.(o + 4);
-    }
-
-  (* [fold f acc s] folds over the slices in push order. *)
-  let fold f acc s =
-    let chunks = List.rev s.chunks_rev in
-    let acc = ref acc in
-    List.iteri
-      (fun c a ->
-        let first = c * chunk_slices in
-        let limit = Stdlib.min chunk_slices (s.n - first) in
-        for i = 0 to limit - 1 do
-          acc := f !acc (get_in a i)
-        done)
-      chunks;
-    !acc
-end
-
-type t = {
-  power : Power.t;
-  machines : int;
-  delta : float;
-  gc : bool;
-  (* Timeline: the live atomic intervals as a balanced order-statistics
-     tree keyed by interval start; [lone] carries the single-boundary
-     state (one boundary seen, no interval yet).  Invariant: [lone] is
-     [None] whenever the tree is non-empty, and the live intervals are
-     contiguous ([hi] of one is [lo] of the next). *)
-  mutable live : ivl Tline.t;
-  mutable lone : float option;
-  (* GC state: slices of flushed (wholly-past) intervals.  Each flush
-     pushes its slices in reverse, so reading the slab back to front
-     yields newest flush first with batch-internal order restored —
-     [schedule] appends that after the live slices, reproducing the
-     slice order of a never-flushed timeline. *)
-  finished : Slab.t;
-  mutable flushed_intervals : int;
-  mutable evicted_jobs : int;
-  expiry : Expiry.t;
-  mutable seen : Job.t list;  (* reversed arrival order; empty under GC *)
-  seen_ids : (int, unit) Hashtbl.t;
-  outcomes : (int, float * bool) Hashtbl.t;  (* id -> lambda, accepted *)
-  mutable lambda_rev : (int * float) list;
-  mutable accepted_rev : int list;
-  mutable rejected_rev : int list;
-  mutable last_release : float;
-  (* instrumentation *)
-  clock : (unit -> float) option;
-  mutable observer : (arrival_stats -> unit) option;
-  mutable probes_now : int;
-  mutable arrivals : int;
-  mutable probes_total : int;
-  mutable intervals_total : int;
-  mutable breakpoints_total : int;
-  mutable max_live : int;
-  mutable max_table : int;
-}
-
-let create ?clock ?delta ?(gc = false) ~power ~machines () =
-  if machines < 1 then invalid_arg "Pd.create: machines < 1";
-  let delta = Option.value delta ~default:(Power.delta_star power) in
-  if not (Float.is_finite delta) || delta <= 0.0 then
-    invalid_arg "Pd.create: delta must be finite > 0";
-  {
-    power;
-    machines;
-    delta;
-    gc;
-    live = Tline.empty;
-    lone = None;
-    finished = Slab.create ();
-    flushed_intervals = 0;
-    evicted_jobs = 0;
-    expiry = Expiry.create ();
-    seen = [];
-    seen_ids = Hashtbl.create 64;
-    outcomes = Hashtbl.create 64;
-    lambda_rev = [];
-    accepted_rev = [];
-    rejected_rev = [];
-    last_release = Float.neg_infinity;
-    clock;
-    observer = None;
-    probes_now = 0;
-    arrivals = 0;
-    probes_total = 0;
-    intervals_total = 0;
-    breakpoints_total = 0;
-    max_live = 0;
-    max_table = 0;
-  }
-
-let set_observer t obs = t.observer <- obs
-
-let stats t =
-  {
-    arrivals = t.arrivals;
-    probes = t.probes_total;
-    intervals = t.intervals_total;
-    breakpoints = t.breakpoints_total;
-  }
-
-let mem t =
-  {
-    live_intervals = Tline.cardinal t.live;
-    max_live_intervals = t.max_live;
-    table_entries = Hashtbl.length t.seen_ids + Hashtbl.length t.outcomes;
-    max_table_entries = t.max_table;
-    flushed_intervals = t.flushed_intervals;
-    evicted_jobs = t.evicted_jobs;
-    finished_slices = Slab.length t.finished;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Timeline maintenance                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* Insert [b] as a boundary unless an existing boundary lies within the
-   dedup tolerance (then [b] snaps to it).  Inside an interval: split it,
-   dividing the committed loads proportionally to the sub-lengths (this
-   keeps every job's speed unchanged, which is why the reformulated online
-   algorithm computes the same schedule as one knowing the partition a
-   priori).  Outside the current horizon: append an empty edge interval.
-   O(log live) via the tree.  The tolerance guarantees both sub-lengths of
-   a split exceed boundary_tol * scale, so the proportional split never
-   divides by a near-zero length. *)
-let insert_boundary t b =
-  match Tline.find_last_leq b t.live with
-  | None -> (
-    match (Tline.min_binding_opt t.live, t.lone) with
-    | Some (glo, _), _ ->
-      (* before the current horizon *)
-      if not (same_boundary glo b) then
-        t.live <-
-          Tline.add b { lo = b; hi = glo; loads = []; cache = None } t.live
-    | None, Some x ->
-      if not (same_boundary x b) then begin
-        let lo = Float.min x b and hi = Float.max x b in
-        t.live <- Tline.add lo { lo; hi; loads = []; cache = None } t.live;
-        t.lone <- None
-      end
-    | None, None -> t.lone <- Some b)
-  | Some (lo_k, iv) ->
-    if not (same_boundary lo_k b) then
-      if b < iv.hi then begin
-        if not (same_boundary iv.hi b) then begin
-          (* split [lo, hi) at b *)
-          let lo = iv.lo and hi = iv.hi in
-          let frac_left = (b -. lo) /. (hi -. lo) in
-          let half len factor =
-            match iv.cache with
-            | None -> None
-            | Some c -> Some (Chen.rescale c ~length:len ~factor)
-          in
-          let right =
-            {
-              lo = b;
-              hi;
-              loads =
-                List.map (fun (id, w) -> (id, w *. (1.0 -. frac_left))) iv.loads;
-              cache = half (hi -. b) (1.0 -. frac_left);
-            }
-          in
-          iv.hi <- b;
-          iv.loads <- List.map (fun (id, w) -> (id, w *. frac_left)) iv.loads;
-          iv.cache <- half (b -. lo) frac_left;
-          t.live <- Tline.add b right t.live
-        end
-      end
-      else if not (same_boundary iv.hi b) then
-        (* [iv] is the last interval (contiguity): append an empty edge
-           interval [old horizon, b) *)
-        t.live <-
-          Tline.add iv.hi { lo = iv.hi; hi = b; loads = []; cache = None }
-            t.live
-
-(* The boundary value representing [x]: exact, or the neighbour [x]
-   snapped to during [insert_boundary]. *)
-let boundary_key t x =
-  let of_lone () =
-    match t.lone with
-    | Some l when same_boundary l x -> Some l
-    | _ -> None
-  in
-  let cand =
-    match Tline.find_last_leq x t.live with
-    | Some (lo_k, iv) ->
-      if same_boundary lo_k x then Some lo_k
-      else if same_boundary iv.hi x then Some iv.hi
-      else None
-    | None -> (
-      match Tline.min_binding_opt t.live with
-      | Some (glo, _) when same_boundary glo x -> Some glo
-      | _ -> of_lone ())
-  in
-  match cand with
-  | Some b -> b
-  | None -> invalid_arg (Fmt.str "Pd.boundary_key: %g is not a boundary" x)
-
-(* ------------------------------------------------------------------ *)
-(* Garbage collection of the wholly-past prefix                         *)
-(* ------------------------------------------------------------------ *)
-
-(* "Wholly in the past", robustly: an interval [lo, hi) may be flushed
-   only when [hi] trails [last_release] by a 4x boundary-tolerance margin
-   (plus the 1e-12 arrival-order slack).  A future release can undershoot
-   [last_release] by at most 1e-12, and a future boundary within the snap
-   tolerance of a retained boundary must still find it — the margin makes
-   it impossible for any future boundary to land at, below, or within
-   snapping distance of a flushed boundary, so flushing can never change
-   a decision.  See DESIGN.md section 5. *)
-let safely_past t hi =
-  let scale = 1.0 +. Float.max (Float.abs hi) (Float.abs t.last_release) in
-  t.last_release -. hi > (4.0 *. boundary_tol *. scale) +. Feq.tol_guard
-
-let flush_slices t iv ~chen =
-  match iv.loads with
-  | [] -> ()
-  | _ ->
-    let slices = Chen.slices (chen iv) ~t0:iv.lo ~t1:iv.hi in
-    List.iter (Slab.push t.finished) (List.rev slices)
-
-let gc_pass t ~chen =
-  if t.gc then begin
-    let continue = ref true in
-    while !continue do
-      match Tline.min_binding_opt t.live with
-      | Some (k, iv) when safely_past t iv.hi ->
-        flush_slices t iv ~chen;
-        t.live <- Tline.remove k t.live;
-        t.flushed_intervals <- t.flushed_intervals + 1
-      | _ -> continue := false
-    done;
-    (match t.lone with
-    | Some x when safely_past t x -> t.lone <- None
-    | _ -> ());
-    let evicting = ref true in
-    while !evicting do
-      match Expiry.peek t.expiry with
-      | Some (d, id) when safely_past t d ->
-        Expiry.pop t.expiry;
-        Hashtbl.remove t.seen_ids id;
-        Hashtbl.remove t.outcomes id;
-        t.evicted_jobs <- t.evicted_jobs + 1
-      | _ -> evicting := false
-    done
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Arrival processing                                                   *)
-(* ------------------------------------------------------------------ *)
-
-type decision = {
+type decision = Pd_core.decision = {
   job : Job.t;
   accepted : bool;
   lambda : float;
@@ -396,438 +50,80 @@ type decision = {
   assignment : (int * float) list;
 }
 
-(* The speed corresponding to price level mu for a job of workload w:
-   mu = delta * w * P'(s). *)
-let speed_of_price t ~workload mu =
-  Power.inv_deriv t.power (mu /. (t.delta *. workload))
+type history_error = Pd_core.history_error = {
+  operation : string;
+  flushed_intervals : int;
+  evicted_jobs : int;
+}
 
-let price_of_speed t ~workload s = t.delta *. workload *. Power.deriv t.power s
+exception Bounded_memory = Pd_core.Bounded_memory
 
-(* Work (in load units) job would commit across [probs] at speed [s].
-   Summation order is interval order (the Ksum accumulation both arrival
-   paths share float-for-float). *)
-let assigned_at_speed t ~w probs s =
-  t.probes_now <- t.probes_now + Array.length probs;
-  let acc = Ksum.create () in
-  Array.iter
-    (fun (_, _, p) ->
-      Ksum.add acc (Float.min (Chen.probe_load_for_speed p s) w))
-    probs;
-  Ksum.total acc
+let create ?clock ?delta ?(gc = false) ~power ~machines () =
+  Core.create ?clock ~gc ~err:"Pd"
+    (O.make ?delta ~err:"Pd.create" ~power ~machines ())
 
-let commit t ~w probs lambda =
-  let s = speed_of_price t ~workload:w lambda in
-  t.probes_now <- t.probes_now + Array.length probs;
-  List.filter_map
-    (fun (k, iv, p) ->
-      let z = Float.min (Chen.probe_load_for_speed p s) w in
-      if z > 0.0 then Some (k, iv, z) else None)
-    (Array.to_list probs)
-
-(* Admission checks, GC, timeline refinement and window extraction shared
-   by both arrival paths. *)
-let arrive_common t ~chen (job : Job.t) =
-  if Hashtbl.mem t.seen_ids job.id then
-    invalid_arg "Pd.arrive: duplicate job id";
-  if job.release < t.last_release -. Feq.tol_guard then
-    invalid_arg "Pd.arrive: jobs must arrive in release order";
-  t.last_release <- Float.max t.last_release job.release;
-  Hashtbl.add t.seen_ids job.id ();
-  if t.gc then Expiry.push t.expiry job.deadline job.id
-  else t.seen <- job :: t.seen;
-  gc_pass t ~chen;
-  insert_boundary t job.release;
-  insert_boundary t job.deadline;
-  let live = Tline.cardinal t.live in
-  if live > t.max_live then t.max_live <- live;
-  let k_lo = boundary_key t job.release
-  and k_hi = boundary_key t job.deadline in
-  if k_lo >= k_hi then [||]
-  else begin
-    let base = Tline.rank k_lo t.live in
-    let window = Tline.bindings_range ~lo:k_lo ~hi:k_hi t.live in
-    Array.of_list
-      (List.mapi (fun i (_, iv) -> (base + i, iv, chen iv)) window)
-  end
-
-let finalize t (job : Job.t) ~accepted ~lambda ~assignment =
-  let w = job.workload in
-  let planned_speed = speed_of_price t ~workload:w lambda in
-  t.lambda_rev <- (job.id, lambda) :: t.lambda_rev;
-  Hashtbl.replace t.outcomes job.id (lambda, accepted);
-  let tables = Hashtbl.length t.seen_ids + Hashtbl.length t.outcomes in
-  if tables > t.max_table then t.max_table <- tables;
-  if accepted then begin
-    t.accepted_rev <- job.id :: t.accepted_rev;
-    (* rescale so the job is finished exactly despite solver dust; a
-       near-zero total cannot be rescued by rescaling — fail loudly
-       instead of recording an acceptance backed by a garbage schedule *)
-    let total = Ksum.sum_by (fun (_, _, z) -> z) assignment in
-    if not (total > Feq.tol_snap *. w) then
-      failwith
-        (Fmt.str
-           "Pd.arrive: job %d accepted but only %g of workload %g was \
-            assigned"
-           job.id total w);
-    let scale = w /. total in
-    let assignment =
-      List.map (fun (k, iv, z) -> (k, iv, z *. scale)) assignment
-    in
-    List.iter
-      (fun (_, iv, z) ->
-        iv.loads <- (job.id, z) :: iv.loads;
-        iv.cache <-
-          (match iv.cache with
-          | Some c -> Some (Chen.add_load c (job.id, z))
-          | None -> None))
-      assignment;
-    let public = List.map (fun (k, _, z) -> (k, z)) assignment in
-    { job; accepted = true; lambda; planned_speed; assignment = public }
-  end
-  else begin
-    t.rejected_rev <- job.id :: t.rejected_rev;
-    { job; accepted = false; lambda; planned_speed; assignment = [] }
-  end
-
-let emit_stats t (d : decision) ~intervals ~breakpoints ~t0 =
-  t.arrivals <- t.arrivals + 1;
-  t.probes_total <- t.probes_total + t.probes_now;
-  t.intervals_total <- t.intervals_total + intervals;
-  t.breakpoints_total <- t.breakpoints_total + breakpoints;
-  match t.observer with
-  | None -> ()
-  | Some obs ->
-    let wall_s = match t.clock with Some c -> c () -. t0 | None -> 0.0 in
-    obs
-      {
-        job_id = d.job.id;
-        accepted = d.accepted;
-        probes = t.probes_now;
-        intervals;
-        breakpoints;
-        wall_s;
-      }
-
-let now t = match t.clock with Some c -> c () | None -> 0.0
-
-(* A job whose window collapsed onto existing boundaries (span below the
-   dedup tolerance) can place no work at all. *)
-let degenerate_window t (job : Job.t) =
-  if Float.is_finite job.value then
-    finalize t job ~accepted:false ~lambda:job.value ~assignment:[]
-  else
-    failwith
-      (Fmt.str
-         "Pd.arrive: job %d must finish but its window [%g, %g) is \
-          degenerate (below the boundary tolerance)"
-         job.id job.release job.deadline)
-
-(* ------------------------------------------------------------------ *)
-(* Optimized price solve: breakpoint walk                               *)
-(* ------------------------------------------------------------------ *)
-
-let merge_sorted a b =
-  let la = Array.length a and lb = Array.length b in
-  if la = 0 then b
-  else if lb = 0 then a
-  else begin
-    let out = Array.make (la + lb) 0.0 in
-    let i = ref 0 and j = ref 0 and k = ref 0 in
-    while !i < la && !j < lb do
-      let x = a.(!i) and y = b.(!j) in
-      if x <= y then begin
-        out.(!k) <- x;
-        incr i
-      end
-      else begin
-        out.(!k) <- y;
-        incr j
-      end;
-      incr k
-    done;
-    if !i < la then Array.blit a !i out !k (la - !i)
-    else Array.blit b !j out !k (lb - !j);
-    out
-  end
-
-(* Merged, sorted, duplicate-free breakpoint speeds of the window's capped
-   probe responses.  The total assigned work is affine between adjacent
-   entries, zero at the first entry.  Per-interval lists are already
-   sorted, so balanced two-way merges do the whole job unboxed —
-   [Array.sort]'s polymorphic comparator boxes every float it touches,
-   which is measurable at one merge per arrival. *)
-let merged_breakpoints ~w probs =
-  let parts =
-    Array.map (fun (_, _, p) -> Chen.probe_breakpoints p ~cap:w) probs
-  in
-  let rec reduce lo hi =
-    if hi - lo = 1 then parts.(lo)
-    else
-      let mid = (lo + hi) / 2 in
-      merge_sorted (reduce lo mid) (reduce mid hi)
-  in
-  let all = reduce 0 (Array.length parts) in
-  let n = Array.length all in
-  let out = ref 0 and prev = ref Float.nan in
-  for i = 0 to n - 1 do
-    let x = all.(i) in
-    if !out = 0 || not (Float.equal !prev x) then begin
-      all.(!out) <- x;
-      incr out;
-      prev := x
-    end
-  done;
-  Array.sub all 0 !out
-
-(* Find the speed s_star with assigned s_star = w by walking the merged
-   breakpoint list: binary-search the first breakpoint whose assignment
-   reaches w, then interpolate inside the bracketing segment (assignment
-   is affine there, so the interpolation is exact up to rounding; a
-   bracketed bisection inside the segment is kept as a fallback).
-
-   [bound_s]: [Some s_v] caps the search at the job's value speed —
-   [None] is returned when the assignment never reaches [w] below it,
-   which the caller interprets as "the job finishes exactly as the price
-   reaches its value".  With [bound_s = None] a sentinel past the global
-   saturation breakpoint guarantees the crossing exists. *)
-let solve_speed t ~w probs ~bound_s =
-  let f s = assigned_at_speed t ~w probs s in
-  let nat = merged_breakpoints ~w probs in
-  let bps =
-    match bound_s with
-    | Some sv ->
-      let below = Array.of_list (List.filter (fun s -> s < sv)
-                                   (Array.to_list nat)) in
-      Array.append below [| sv |]
-    | None ->
-      let last = nat.(Array.length nat - 1) in
-      Array.append nat [| last *. (1.0 +. Feq.tol_loose) |]
-  in
-  let n = Array.length bps in
-  (* Cancellation in the probe's closed form can make f at the exact
-     saturation breakpoint evaluate a few ulp short of w; a strict >= w
-     search would then skip past it onto the plateau, where interpolation
-     is meaningless.  Searching against w minus a whisker keeps the
-     bracketing segment at (or before) the true crossing. *)
-  let w_eff = w -. (Feq.tol_guard *. (1.0 +. w)) in
-  if f bps.(n - 1) < w_eff then (None, n)
-  else begin
-    (* smallest j with f bps.(j) >= w_eff; f is 0 at the first natural
-       breakpoint so the crossing segment has j >= 1 whenever one exists *)
-    let lo = ref 0 and hi = ref (n - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if f bps.(mid) >= w_eff then hi := mid else lo := mid + 1
-    done;
-    let j = !hi in
-    let sa, fa = if j = 0 then (0.0, 0.0) else (bps.(j - 1), f bps.(j - 1)) in
-    let sb = bps.(j) in
-    let fb = f sb in
-    let s_star =
-      if fb < w || fb -. fa <= 0.0 then
-        (* the segment tops out within tolerance of w: its right endpoint
-           is the crossing (either the saturation breakpoint under FP
-           jitter, or the value-speed cap of a job finishing exactly as
-           the price reaches its value) *)
-        sb
-      else begin
-        let s =
-          Feq.clamp ~lo:sa ~hi:sb
-            (sa +. ((w -. fa) *. (sb -. sa) /. (fb -. fa)))
-        in
-        if Float.abs (f s -. w) <= Feq.tol_snap *. (1.0 +. w) then s
-        else Bisect.monotone_inverse ~f ~target:w ~lo:sa ~hi:sb ()
-      end
-    in
-    (Some s_star, n)
-  end
-
-(* The committed-load Chen problem of an interval, built lazily and
-   invalidated whenever the interval is split or receives new load. *)
-let chen t iv =
-  match iv.cache with
-  | Some c -> c
-  | None ->
-    let c =
-      Chen.build ~machines:t.machines ~length:(iv.hi -. iv.lo) iv.loads
-    in
-    iv.cache <- Some c;
-    c
-
-let arrive t (job : Job.t) =
-  let t0 = now t in
-  t.probes_now <- 0;
-  let probs = arrive_common t ~chen:(chen t) job in
-  let w = job.workload in
-  let intervals = Array.length probs in
-  let finite = Float.is_finite job.value in
-  let d, breakpoints =
-    if intervals = 0 then (degenerate_window t job, 0)
-    else begin
-      let s_v = if finite then speed_of_price t ~workload:w job.value else 0.0 in
-      let at_value = if finite then assigned_at_speed t ~w probs s_v else 0.0 in
-      if finite && at_value < w *. (1.0 -. Feq.tol_snap) then
-        (finalize t job ~accepted:false ~lambda:job.value ~assignment:[], 0)
-      else begin
-        let bound_s = if finite then Some s_v else None in
-        let s_star, breakpoints = solve_speed t ~w probs ~bound_s in
-        let lambda =
-          match s_star with
-          | Some s -> price_of_speed t ~workload:w s
-          | None ->
-            (* the assignment never reaches w strictly below the value
-               speed: the job finishes exactly as the price hits v_j *)
-            if finite then job.value
-            else
-              failwith
-                (Fmt.str
-                   "Pd.arrive: job %d: unbounded price search failed to \
-                    place the workload"
-                   job.id)
-        in
-        let assignment = commit t ~w probs lambda in
-        (finalize t job ~accepted:true ~lambda ~assignment, breakpoints)
-      end
-    end
-  in
-  emit_stats t d ~intervals ~breakpoints ~t0;
-  d
-
-(* ------------------------------------------------------------------ *)
-(* Reference arrival path (test oracle)                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* The pre-optimization solver, kept verbatim in structure: one outer
-   bisection on the price with a full window sweep per probe.  Shares the
-   timeline, probe and bookkeeping code with {!arrive}, so any divergence
-   between the two paths isolates the breakpoint walk. *)
-let arrive_reference t (job : Job.t) =
-  let t0 = now t in
-  t.probes_now <- 0;
-  let probs = arrive_common t ~chen:(chen t) job in
-  let w = job.workload in
-  let intervals = Array.length probs in
-  let d =
-    if intervals = 0 then degenerate_window t job
-    else begin
-      let assigned mu = assigned_at_speed t ~w probs (speed_of_price t ~workload:w mu) in
-      let at_value =
-        if Float.is_finite job.value then assigned job.value else 0.0
-      in
-      if Float.is_finite job.value && at_value < w *. (1.0 -. Feq.tol_snap) then
-        finalize t job ~accepted:false ~lambda:job.value ~assignment:[]
-      else begin
-        let hi =
-          if Float.is_finite job.value then job.value
-          else begin
-            (* grow a bracket: the price at which even a single interval
-               could absorb the whole job is a safe upper bound *)
-            let init =
-              t.delta *. w
-              *. Power.deriv t.power
-                   ((w +. 1.0) /. Float.max Feq.tol_snap (Job.span job))
-            in
-            Bisect.grow_bracket ~f:assigned ~target:w ~lo:0.0
-              ~init:(Float.max init Feq.tol_snap) ()
-          end
-        in
-        let mu_star =
-          (* [monotone_inverse] raises when f hi < target; a finite-value
-             job with at_value in [w(1-1e-9), w) legitimately saturates at
-             the value price — that clamp is a modelling decision made
-             here, not inside Bisect (DESIGN.md section 5) *)
-          if assigned hi < w then hi
-          else Bisect.monotone_inverse ~f:assigned ~target:w ~lo:0.0 ~hi ()
-        in
-        finalize t job ~accepted:true ~lambda:mu_star
-          ~assignment:(commit t ~w probs mu_star)
-      end
-    end
-  in
-  emit_stats t d ~intervals ~breakpoints:0 ~t0;
-  d
-
-(* ------------------------------------------------------------------ *)
-(* Results                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let boundaries t =
-  match Tline.max_binding_opt t.live with
-  | None -> (
-    match t.lone with None -> [||] | Some x -> [| x |])
-  | Some (_, last) ->
-    let keys = Tline.fold (fun k _ acc -> k :: acc) t.live [] in
-    Array.of_list (List.rev (last.hi :: keys))
-
-let interval_loads t =
-  let loads = Tline.fold (fun _ iv acc -> iv.loads :: acc) t.live [] in
-  Array.of_list (List.rev loads)
-
-let schedule t =
-  (* prepending in push order reverses the slab; each flush pushed its
-     batch reversed, so this restores newest flush first with
-     batch-internal order intact — the never-flushed slice order *)
-  let finished = Slab.fold (fun acc sl -> sl :: acc) [] t.finished in
-  let slices =
-    Tline.fold
-      (fun _ iv acc ->
-        match iv.loads with
-        | [] -> acc
-        | _ -> Chen.slices (chen t iv) ~t0:iv.lo ~t1:iv.hi @ acc)
-      t.live finished
-  in
-  Schedule.make ~machines:t.machines ~rejected:(List.rev t.rejected_rev)
-    slices
-
-let lambdas t = List.rev t.lambda_rev
-
-let require_full_history t what =
-  if t.gc then
-    invalid_arg
-      (Fmt.str
-         "Pd.%s: needs the full history; this state was created with \
-          ~gc:true (bounded memory)"
-         what)
+let set_observer = Core.set_observer
+let stats = Core.stats
+let mem = Core.mem
+let arrive = Core.arrive
+let arrive_reference = Core.arrive_reference
+let boundaries t = R.boundaries (Core.relax t)
+let interval_loads t = R.interval_loads (Core.relax t)
+let schedule = Core.schedule
+let lambdas = Core.lambdas
+let delta t = O.delta (Core.obj t)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let snapshot_result t =
+  match Core.history_guard t "snapshot" with
+  | Error e -> Error e
+  | Ok () ->
+    let b = Buffer.create 1024 in
+    let pf fmt = Fmt.kstr (Buffer.add_string b) fmt in
+    let obj = Core.obj t in
+    pf "pd-snapshot v1\n";
+    pf "alpha %.17g\n" (Power.alpha (O.power obj));
+    pf "machines %d\n" (O.machines obj);
+    pf "delta %.17g\n" (O.delta obj);
+    pf "last_release %.17g\n" (Core.last_release t);
+    pf "bounds";
+    Array.iter (fun x -> pf " %.17g" x) (boundaries t);
+    pf "\n";
+    Array.iteri
+      (fun k loads ->
+        pf "interval %d" k;
+        List.iter (fun (id, load) -> pf " %d:%.17g" id load) loads;
+        pf "\n")
+      (interval_loads t);
+    (* jobs in arrival order with their outcomes *)
+    List.iter
+      (fun (j : Job.t) ->
+        let lambda, accepted =
+          match Core.outcome t j.id with
+          | Some o -> o
+          | None -> (0.0, false)
+        in
+        let status = if accepted then "accepted" else "rejected" in
+        pf "job %d %.17g %.17g %.17g %s lambda %.17g %s\n" j.id j.release
+          j.deadline j.workload
+          (if Float.equal j.value Float.infinity then "inf"
+           else Fmt.str "%.17g" j.value)
+          lambda status)
+      (Core.seen_jobs t);
+    Ok (Buffer.contents b)
+
 let snapshot t =
-  require_full_history t "snapshot";
-  let b = Buffer.create 1024 in
-  let pf fmt = Fmt.kstr (Buffer.add_string b) fmt in
-  pf "pd-snapshot v1\n";
-  pf "alpha %.17g\n" (Power.alpha t.power);
-  pf "machines %d\n" t.machines;
-  pf "delta %.17g\n" t.delta;
-  pf "last_release %.17g\n" t.last_release;
-  pf "bounds";
-  Array.iter (fun x -> pf " %.17g" x) (boundaries t);
-  pf "\n";
-  let k = ref 0 in
-  Tline.iter
-    (fun _ iv ->
-      pf "interval %d" !k;
-      List.iter (fun (id, load) -> pf " %d:%.17g" id load) iv.loads;
-      pf "\n";
-      incr k)
-    t.live;
-  (* jobs in arrival order with their outcomes *)
-  List.iter
-    (fun (j : Job.t) ->
-      let lambda, accepted = Hashtbl.find t.outcomes j.id in
-      let status = if accepted then "accepted" else "rejected" in
-      pf "job %d %.17g %.17g %.17g %s lambda %.17g %s\n" j.id j.release
-        j.deadline j.workload
-        (if Float.equal j.value Float.infinity then "inf"
-         else Fmt.str "%.17g" j.value)
-        lambda status)
-    (List.rev t.seen);
-  Buffer.contents b
+  match snapshot_result t with
+  | Ok s -> s
+  | Error e -> raise (Bounded_memory e)
 
 let restore text =
-  let fail lineno msg = failwith (Fmt.str "Pd.restore: line %d: %s" lineno msg) in
+  let fail lineno msg =
+    failwith (Fmt.str "Pd.restore: line %d: %s" lineno msg)
+  in
   let parse_float lineno what s =
     match float_of_string_opt s with
     | Some f -> f
@@ -843,8 +139,9 @@ let restore text =
   String.split_on_char '\n' text
   |> List.iteri (fun i line ->
          let lineno = i + 1 in
-         match String.split_on_char ' ' (String.trim line)
-               |> List.filter (( <> ) "")
+         match
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (( <> ) "")
          with
          | [] -> ()
          | [ "pd-snapshot"; "v1" ] -> ()
@@ -884,7 +181,8 @@ let restore text =
              | None -> fail lineno "bad job id"
            in
            let value =
-             if v = "inf" then Float.infinity else parse_float lineno "value" v
+             if v = "inf" then Float.infinity
+             else parse_float lineno "value" v
            in
            let job =
              Job.make ~id ~release:(parse_float lineno "release" r)
@@ -900,56 +198,28 @@ let restore text =
            in
            jobs := (job, parse_float lineno "lambda" l, accepted) :: !jobs
          | _ -> fail lineno (Fmt.str "unrecognized %S" line));
-  let alpha = match !alpha with Some a -> a | None -> failwith "Pd.restore: missing alpha" in
-  let machines = match !machines with Some m -> m | None -> failwith "Pd.restore: missing machines" in
-  let delta = match !delta with Some d -> d | None -> failwith "Pd.restore: missing delta" in
-  let t = create ~delta ~power:(Power.make alpha) ~machines () in
-  let bounds = !bounds in
-  let nb = Array.length bounds in
-  let n_intervals = max 0 (nb - 1) in
-  if nb = 1 then t.lone <- Some bounds.(0);
-  let ivls =
-    Array.init n_intervals (fun k ->
-        { lo = bounds.(k); hi = bounds.(k + 1); loads = []; cache = None })
+  let alpha =
+    match !alpha with Some a -> a | None -> failwith "Pd.restore: missing alpha"
   in
-  Array.iter (fun iv -> t.live <- Tline.add iv.lo iv t.live) ivls;
-  List.iter
-    (fun (k, l) ->
-      if k < 0 || k >= n_intervals then failwith "Pd.restore: interval index out of range";
-      ivls.(k).loads <- l)
-    !intervals;
-  t.last_release <- !last_release;
+  let machines =
+    match !machines with
+    | Some m -> m
+    | None -> failwith "Pd.restore: missing machines"
+  in
+  let delta =
+    match !delta with Some d -> d | None -> failwith "Pd.restore: missing delta"
+  in
+  let t = create ~delta ~power:(Power.make alpha) ~machines () in
+  R.load_timeline (Core.relax t) ~bounds:!bounds ~loads:!intervals;
+  Core.set_last_release t !last_release;
   List.iter
     (fun ((job : Job.t), lambda, accepted) ->
-      (* !jobs is already reversed arrival order, matching the fields *)
-      t.seen <- t.seen @ [ job ];
-      Hashtbl.replace t.seen_ids job.id ();
-      Hashtbl.replace t.outcomes job.id (lambda, accepted);
-      t.lambda_rev <- t.lambda_rev @ [ (job.id, lambda) ];
-      if accepted then t.accepted_rev <- t.accepted_rev @ [ job.id ]
-      else t.rejected_rev <- t.rejected_rev @ [ job.id ])
-    !jobs;
+      Core.record t job ~lambda ~accepted)
+    (List.rev !jobs);
   t
 
-let certificate t =
-  require_full_history t "certificate";
-  match t.seen with
-  | [] -> 0.0
-  | seen ->
-    (* Instance.make re-ranks ids by (release, id); mirror that order to
-       line the multipliers up with the re-ranked jobs. *)
-    let sorted = List.stable_sort Job.compare_release seen in
-    let inst = Instance.make ~power:t.power ~machines:t.machines sorted in
-    let lambda =
-      Array.of_list
-        (List.map
-           (fun (j : Job.t) ->
-             match Hashtbl.find_opt t.outcomes j.id with
-             | Some (l, _) -> l
-             | None -> 0.0)
-           sorted)
-    in
-    (Dual.evaluate inst (Timeline.of_jobs sorted) ~lambda).value
+let certificate = Core.certificate
+let certificate_result = Core.certificate_result
 
 type result = {
   schedule : Schedule.t;
@@ -965,8 +235,8 @@ type result = {
   final_loads : (int * float) list array;
 }
 
-let run ?delta (inst : Instance.t) =
-  let t = create ?delta ~power:inst.power ~machines:inst.machines () in
+let run ?delta:d (inst : Instance.t) =
+  let t = create ?delta:d ~power:inst.power ~machines:inst.machines () in
   let decisions =
     List.init (Instance.n_jobs inst) (fun i -> arrive t (Instance.job inst i))
   in
@@ -980,12 +250,12 @@ let run ?delta (inst : Instance.t) =
     schedule = sched;
     cost = Schedule.cost inst sched;
     lambda;
-    accepted = List.rev t.accepted_rev;
-    rejected = List.rev t.rejected_rev;
+    accepted = Core.accepted t;
+    rejected = Core.rejected t;
     dual_bound = dual.value;
     guarantee = Power.competitive_bound inst.power;
     decisions;
-    delta = t.delta;
+    delta = delta t;
     final_boundaries = boundaries t;
     final_loads = interval_loads t;
   }

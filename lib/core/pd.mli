@@ -32,7 +32,13 @@
 
     With [δ = α^(1-α)] (the default), PD is [α^α]-competitive (Theorem 3),
     and the certificate [g(λ̃)] returned in {!result} proves the bound {e
-    per instance}: [cost <= α^α · g(λ̃) <= α^α · OPT]. *)
+    per instance}: [cost <= α^α · g(λ̃) <= α^α · OPT].
+
+    Since the framework refactor, PD is the reference instantiation of
+    {!Pd_core}: [Pd_core.Make (Energy_value) (Interval (Energy_value))
+    (Lagrangian (Energy_value))], decision-bit-identical to the
+    pre-framework code (qcheck-pinned in [test_core.ml]).  The
+    non-preemptive engine [Npd] swaps only the relaxation module. *)
 
 open Speedscale_model
 
@@ -163,14 +169,35 @@ val schedule : t -> Schedule.t
 val lambdas : t -> (int * float) list
 (** [(job id, λ̃_j)] in arrival order. *)
 
+type history_error = Pd_core.history_error = {
+  operation : string;  (** ["Pd.certificate"] or ["Pd.snapshot"] *)
+  flushed_intervals : int;  (** intervals GC had flushed at the call *)
+  evicted_jobs : int;  (** table entries GC had evicted at the call *)
+}
+(** Why a full-history operation is unavailable on a bounded-memory
+    ([~gc:true]) state: the flushed prefix is gone.  The counters say how
+    much history was dropped, so callers can report precisely instead of
+    guessing.  Render with {!Pd_core.pp_history_error}. *)
+
+exception Bounded_memory of history_error
+(** The same exception as {!Pd_core.Bounded_memory} (rebound, not
+    redeclared).  Raised by {!snapshot} and {!certificate} on a
+    [~gc:true] state.
+    Prefer the [_result] variants in new code; the exception exists for
+    call sites that treat the situation as a programming error. *)
+
 val snapshot : t -> string
 (** Serialize the full online state (boundaries, committed loads,
     multipliers, decisions, seen jobs) as plain text.  A scheduler process
     can persist this after each arrival and {!restore} after a restart,
-    continuing exactly where it left off.  Raises [Invalid_argument] on a
+    continuing exactly where it left off.  Raises {!Bounded_memory} on a
     [~gc:true] state (the flushed history is gone); GC'd deployments
     snapshot at the engine layer instead, whose `online-snapshot v1`
     replay format never needs the internal timeline (doc/ENGINE.md). *)
+
+val snapshot_result : t -> (string, history_error) result
+(** {!snapshot} with the bounded-memory case as a typed [Error] instead
+    of an exception. *)
 
 val restore : string -> t
 (** Inverse of {!snapshot}.  Raises [Failure] with a line-numbered message
@@ -183,7 +210,11 @@ val certificate : t -> float
     of the online execution (weak duality needs no future knowledge).
     [0] before the first arrival.  Together with the running cost this
     gives a live, certified bound on PD's regret.  Raises
-    [Invalid_argument] on a [~gc:true] state (needs every multiplier). *)
+    {!Bounded_memory} on a [~gc:true] state (needs every multiplier). *)
+
+val certificate_result : t -> (float, history_error) result
+(** {!certificate} with the bounded-memory case as a typed [Error]
+    instead of an exception. *)
 
 type result = {
   schedule : Schedule.t;

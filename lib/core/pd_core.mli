@@ -1,0 +1,271 @@
+(** The reusable primal-dual engine behind {!Pd}.
+
+    Nguyen Kim Thang's "Lagrangian Duality based Algorithms in Online
+    Scheduling" observes that the paper's accept/reject + λ-pricing loop
+    is an instance of a general recipe: maintain a relaxed assignment of
+    the committed work, price each arrival by the marginal cost of
+    squeezing it in, accept iff the price stays below the job's worth,
+    and read a dual certificate off the multipliers.  This module factors
+    that recipe into three module parameters:
+
+    + an {{!OBJECTIVE} objective} — the price↔speed conversions, the
+      acceptance cap, and the proven guarantee ({!Energy_value} is the
+      paper's energy + lost-value objective);
+    + a {{!RELAXATION} relaxation} — how committed work is represented,
+      refined, priced, and turned into a schedule ({!Interval} is the
+      paper's atomic-interval timeline with Chen water-filling; [Npd]'s
+      contiguous-slot booking is a second instance);
+    + a {{!CERTIFICATE} certificate} — the per-run dual bound
+      ({!Lagrangian} evaluates [g(λ)], a lower bound on OPT by weak
+      duality, exactly as E11's duality chain does).
+
+    {!Make} ties them into the generic online loop: admission checks,
+    bounded-memory table eviction, decision bookkeeping, observer
+    instrumentation, and certificate reporting.  {!Pd} instantiates
+    [Make (Energy_value) (Interval (Energy_value)) (Lagrangian
+    (Energy_value))] and is decision-bit-identical to the pre-framework
+    code (the qcheck equivalence suite in [test_core.ml] pins this); the
+    non-preemptive engine [Npd] swaps only the relaxation. *)
+
+open Speedscale_model
+
+(* ------------------------------------------------------------------ *)
+(* Numerics shared by relaxations                                       *)
+(* ------------------------------------------------------------------ *)
+
+val boundary_tol : float
+(** Boundary dedup tolerance (DESIGN.md section 5). *)
+
+val same_boundary : float -> float -> bool
+(** Two instants within {!boundary_tol} (absolute + relative). *)
+
+val safely_past : last_release:float -> float -> bool
+(** Whether a boundary trails the newest release by enough margin that no
+    future boundary can land at, below, or within snapping distance of
+    it — the GC flush criterion (DESIGN.md section 5). *)
+
+(* ------------------------------------------------------------------ *)
+(* Vocabulary                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type arrival_stats = {
+  job_id : int;
+  accepted : bool;
+  probes : int;  (** probe evaluations spent on this arrival *)
+  intervals : int;  (** candidate intervals/slots in the job's window *)
+  breakpoints : int;
+      (** merged breakpoint count ([0] on the reference path) *)
+  wall_s : float;  (** wall-clock seconds ([0] without [create ~clock]) *)
+}
+
+type stats = {
+  arrivals : int;
+  probes : int;
+  intervals : int;
+  breakpoints : int;
+}
+
+type mem_stats = {
+  live_intervals : int;
+  max_live_intervals : int;
+  table_entries : int;
+  max_table_entries : int;
+  flushed_intervals : int;
+  evicted_jobs : int;
+  finished_slices : int;
+}
+
+type decision = {
+  job : Job.t;
+  accepted : bool;
+  lambda : float;
+  planned_speed : float;
+  assignment : (int * float) list;
+}
+
+type history_error = {
+  operation : string;  (** e.g. ["Pd.certificate"] *)
+  flushed_intervals : int;  (** intervals GC had flushed at the call *)
+  evicted_jobs : int;  (** table entries GC had evicted at the call *)
+}
+(** Why a full-history operation is unavailable on a bounded-memory
+    ([~gc:true]) state: the flushed prefix is gone. *)
+
+exception Bounded_memory of history_error
+(** Raised by the exception-style full-history entry points
+    ([certificate], [snapshot]) on a [~gc:true] state; the [_result]
+    variants return [Error] instead. *)
+
+val pp_history_error : Format.formatter -> history_error -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Flushed-slice accumulator (shared by relaxations with GC)            *)
+(* ------------------------------------------------------------------ *)
+
+module Slab : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val push : t -> Schedule.slice -> unit
+
+  val fold : ('a -> Schedule.slice -> 'a) -> 'a -> t -> 'a
+  (** Folds in push order. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Module parameters                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module type OBJECTIVE = sig
+  type t
+
+  val name : string
+  val power : t -> Power.t
+  val machines : t -> int
+  val delta : t -> float
+
+  val speed_of_price : t -> workload:float -> float -> float
+  (** The speed at which the marginal price of the job equals the given
+      price level. *)
+
+  val price_of_speed : t -> workload:float -> float -> float
+  (** Inverse of {!speed_of_price}. *)
+
+  val acceptance_cap : t -> Job.t -> float
+  (** The price above which the job is not worth running ([v_j] for the
+      paper's objective; [+∞] for must-finish jobs). *)
+
+  val guarantee : t -> float
+  (** The proven competitive factor at the objective's default
+      parameters ([α^α] for {!Energy_value}, Theorem 3). *)
+end
+
+module Energy_value : sig
+  include OBJECTIVE
+
+  val make :
+    ?delta:float -> err:string -> power:Power.t -> machines:int -> unit -> t
+  (** [delta] defaults to [Power.delta_star].  Raises [Invalid_argument]
+      (prefixed with [err]) for [machines < 1] or [delta <= 0]. *)
+end
+
+type relax_arrival = { r_probes : int; r_intervals : int; r_breakpoints : int }
+
+type relax_mem = {
+  r_live : int;
+  r_max_live : int;
+  r_flushed : int;
+  r_finished_slices : int;
+}
+
+type verdict =
+  | Reject of float  (** the job cannot finish below this price *)
+  | Accept of float * (int * float) list
+      (** final common price and the committed public assignment *)
+
+module type RELAXATION = sig
+  type obj
+  type t
+
+  val name : string
+  val create : obj -> err:string -> gc:bool -> t
+
+  val prepare : t -> Job.t -> last_release:float -> unit
+  (** Timeline refinement (and, under gc, flushing of the wholly-past
+      prefix) before pricing the arrival. *)
+
+  val price : t -> Job.t -> reference:bool -> verdict
+  (** Price the arrival against the committed state and, on acceptance,
+      commit its assignment.  [reference] selects the relaxation's slow
+      oracle solver where it has one.  May raise [Failure] when a
+      must-finish job cannot be placed. *)
+
+  val take_arrival : t -> relax_arrival
+  (** Instrumentation of the last {!price} call. *)
+
+  val schedule : t -> rejected:int list -> Schedule.t
+  val mem : t -> relax_mem
+end
+
+module type CERTIFICATE = sig
+  type obj
+
+  val name : string
+
+  val evaluate : obj -> jobs:Job.t list -> lambda_of:(int -> float) -> float
+  (** A certified lower bound on the optimal cost of the instance made of
+      [jobs] (arrival order), given the multipliers the run fixed. *)
+end
+
+module Lagrangian (O : OBJECTIVE) : CERTIFICATE with type obj = O.t
+(** The paper's dual bound [g(λ)] (weak duality, Theorem 2) — valid for
+    any instantiation whose feasible schedules are contained in the
+    preemptive-migratory relaxation. *)
+
+(* ------------------------------------------------------------------ *)
+(* The generic accept/reject + λ-pricing loop                           *)
+(* ------------------------------------------------------------------ *)
+
+module Make
+    (O : OBJECTIVE)
+    (R : RELAXATION with type obj = O.t)
+    (C : CERTIFICATE with type obj = O.t) : sig
+  type t
+
+  val create : ?clock:(unit -> float) -> ?gc:bool -> err:string -> O.t -> t
+  (** [err] prefixes every raised message (["Pd"], ["Npd"], …). *)
+
+  val obj : t -> O.t
+  val relax : t -> R.t
+  val gc_enabled : t -> bool
+
+  val arrive : t -> Job.t -> decision
+  val arrive_reference : t -> Job.t -> decision
+
+  val schedule : t -> Schedule.t
+  val lambdas : t -> (int * float) list
+  val accepted : t -> int list
+  val rejected : t -> int list
+  val seen_jobs : t -> Job.t list  (** arrival order; [[]] under gc *)
+
+  val outcome : t -> int -> (float * bool) option
+  val last_release : t -> float
+
+  val set_observer : t -> (arrival_stats -> unit) option -> unit
+  val stats : t -> stats
+  val mem : t -> mem_stats
+
+  val certificate : t -> float
+  (** Raises {!Bounded_memory} on a [~gc:true] state. *)
+
+  val certificate_result : t -> (float, history_error) result
+  val history_guard : t -> string -> (unit, history_error) result
+
+  (** Restore support (native snapshot formats): *)
+
+  val set_last_release : t -> float -> unit
+
+  val record : t -> Job.t -> lambda:float -> accepted:bool -> unit
+  (** Replay one recorded outcome into the bookkeeping (callers load the
+      relaxation state separately).  Call in arrival order. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The default relaxation: atomic intervals + Chen water-filling        *)
+(* ------------------------------------------------------------------ *)
+
+module Interval (O : OBJECTIVE) : sig
+  include RELAXATION with type obj = O.t
+
+  (** Beyond the [RELAXATION] contract, the interval timeline exposes its
+      state for {!Pd}'s native snapshot format and inspection API: *)
+
+  val boundaries : t -> float array
+  val interval_loads : t -> (int * float) list array
+
+  val load_timeline :
+    t -> bounds:float array -> loads:(int * (int * float) list) list -> unit
+  (** Load a serialized timeline into a fresh relaxation (snapshot
+      restore).  Raises [Failure] on an out-of-range interval index. *)
+end

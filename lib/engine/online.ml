@@ -1,5 +1,6 @@
 open Speedscale_model
 module Pd = Speedscale_core.Pd
+module Npd = Speedscale_core.Npd
 module Oa_engine = Speedscale_single.Oa_engine
 module Yds = Speedscale_single.Yds
 module Cll = Speedscale_single.Cll
@@ -34,6 +35,15 @@ type decision = {
   lambda : float option;
   planned_speed : float option;
 }
+
+(* Which scheduling model the engine's plans live in; `psched engines`
+   groups the registry by this. *)
+type family = Preemptive | Non_preemptive | Migratory
+
+let family_name = function
+  | Preemptive -> "preemptive"
+  | Non_preemptive -> "non-preemptive"
+  | Migratory -> "migratory"
 
 type event = { decision : decision; wall_s : float }
 
@@ -145,6 +155,7 @@ let parse_snapshot s =
 module type ONLINE = sig
   val name : string
   val description : string
+  val family : family
   val applicable : params -> bool
 
   type state
@@ -165,6 +176,7 @@ end
 module type CORE = sig
   val name : string
   val description : string
+  val family : family
   val applicable : params -> bool
 
   type core
@@ -177,6 +189,7 @@ end
 module Make (C : CORE) : ONLINE = struct
   let name = C.name
   let description = C.description
+  let family = C.family
   let applicable = C.applicable
 
   type state = {
@@ -263,6 +276,7 @@ let pd : engine =
   (module Make (struct
     let name = "pd"
     let description = "primal-dual (the paper's algorithm, Listing 1)"
+    let family = Migratory
     let applicable = any_machines
 
     type core = Pd.t
@@ -282,6 +296,32 @@ let pd : engine =
     let plan_core = Pd.schedule
   end))
 
+(* NPD: the non-preemptive sibling — same framework, same gc contract,
+   but accepted jobs commit to one contiguous slot on one machine. *)
+let npd : engine =
+  (module Make (struct
+    let name = "npd"
+    let description = "non-preemptive primal-dual: pricing over contiguous slots"
+    let family = Non_preemptive
+    let applicable = any_machines
+
+    type core = Npd.t
+
+    let create_core (p : params) =
+      Npd.create ?delta:p.delta ~gc:true ~power:p.power ~machines:p.machines ()
+
+    let arrive_core core j =
+      let d = Npd.arrive core j in
+      {
+        job_id = j.Job.id;
+        accepted = d.Npd.accepted;
+        lambda = Some d.Npd.lambda;
+        planned_speed = Some d.Npd.planned_speed;
+      }
+
+    let plan_core = Npd.schedule
+  end))
+
 (* The OA-family engines share the replan-execute core. *)
 let verdict_decision (j : Job.t) (v : Oa_engine.verdict) =
   {
@@ -294,12 +334,14 @@ let verdict_decision (j : Job.t) (v : Oa_engine.verdict) =
 module Oa_like (S : sig
   val name : string
   val description : string
+  val family : family
   val applicable : params -> bool
   val start : params -> Oa_engine.t
 end) =
 struct
   let name = S.name
   let description = S.description
+  let family = S.family
   let applicable = S.applicable
 
   type core = Oa_engine.t
@@ -315,6 +357,7 @@ let oa : engine =
   (module Make (Oa_like (struct
     let name = "oa"
     let description = "Optimal Available (single processor, must finish)"
+    let family = Preemptive
     let applicable = single_only
 
     let start (_ : params) =
@@ -325,6 +368,7 @@ let cll : engine =
   (module Make (Oa_like (struct
     let name = "cll"
     let description = "Chan-Lam-Li: OA + speed-threshold rejection"
+    let family = Preemptive
     let applicable = single_only
 
     let start (p : params) =
@@ -336,6 +380,7 @@ let moa : engine =
   (module Make (Oa_like (struct
     let name = "moa"
     let description = "multiprocessor Optimal Available (must finish)"
+    let family = Migratory
     let applicable = any_machines
     let start (p : params) = Moa.start ~power:p.power ~machines:p.machines ()
   end)))
@@ -344,6 +389,7 @@ let mcll : engine =
   (module Make (Oa_like (struct
     let name = "mcll"
     let description = "naive multiprocessor CLL (the E22 strawman)"
+    let family = Migratory
     let applicable = any_machines
     let start (p : params) = Mcll.start ~power:p.power ~machines:p.machines ()
   end)))
@@ -356,6 +402,7 @@ let mcll : engine =
 module Accumulate (S : sig
   val name : string
   val description : string
+  val family : family
   val applicable : params -> bool
   val must_finish : bool
   val batch : Instance.t -> Schedule.t
@@ -363,6 +410,7 @@ end) =
 struct
   let name = S.name
   let description = S.description
+  let family = S.family
   let applicable = S.applicable
 
   type core = { p : params; mutable jobs_rev : Job.t list }
@@ -408,6 +456,7 @@ let avr : engine =
   (module Make (Accumulate (struct
     let name = "avr"
     let description = "Average Rate (single processor, must finish)"
+    let family = Preemptive
     let applicable = single_only
     let must_finish = true
     let batch = Avr.schedule
@@ -417,6 +466,7 @@ let bkp : engine =
   (module Make (Accumulate (struct
     let name = "bkp"
     let description = "Bansal-Kimbrel-Pruhs (single processor, must finish)"
+    let family = Preemptive
     let applicable = single_only
     let must_finish = true
     let batch inst = Bkp.schedule inst
@@ -426,6 +476,7 @@ let mavr : engine =
   (module Make (Accumulate (struct
     let name = "mavr"
     let description = "multiprocessor Average Rate (must finish)"
+    let family = Migratory
     let applicable = any_machines
     let must_finish = true
     let batch = Mavr.schedule
@@ -438,6 +489,7 @@ let partitioned : engine =
   (module Make (struct
     let name = "partitioned"
     let description = "non-migratory: greedy per-arrival pinning + per-CPU YDS"
+    let family = Preemptive
     let applicable = any_machines
 
     type core = Partitioned.t
@@ -457,7 +509,7 @@ let partitioned : engine =
 (* ------------------------------------------------------------------ *)
 
 let all : engine list =
-  [ pd; oa; avr; bkp; cll; moa; mavr; mcll; partitioned ]
+  [ pd; npd; oa; avr; bkp; cll; moa; mavr; mcll; partitioned ]
 
 let name (e : engine) =
   let module E = (val e) in
@@ -466,6 +518,10 @@ let name (e : engine) =
 let description (e : engine) =
   let module E = (val e) in
   E.description
+
+let family (e : engine) =
+  let module E = (val e) in
+  E.family
 
 let applicable (e : engine) p =
   let module E = (val e) in

@@ -12,14 +12,18 @@
     provably never see future jobs, because nothing ever hands them more
     than one arrival.
 
-    The registry {!all} covers the nine online algorithms: PD (the
-    paper's primal-dual scheduler), the single-processor classics OA,
-    AVR, BKP and CLL, and the multiprocessor baselines mOA, mAVR, mCLL
-    and partitioned.  Offline algorithms (YDS, OPT-energy, OPT-exact) are
+    The registry {!all} covers the ten online algorithms: PD (the
+    paper's primal-dual scheduler), NPD (its non-preemptive sibling),
+    the single-processor classics OA, AVR, BKP and CLL, and the
+    multiprocessor baselines mOA, mAVR, mCLL and partitioned.  Offline
+    algorithms (YDS, OPT-energy, OPT-exact, OPT-migratory) are
     deliberately absent — they cannot be expressed as per-arrival update
     rules, which is the point of keeping them out.
 
-    Three engine families sit behind the one signature:
+    Each engine declares the scheduling-model {!family} its plans live
+    in (preemptive, non-preemptive, or migratory) — `psched engines`
+    renders the registry grouped by it.  Orthogonally, three {e
+    implementation} families sit behind the one signature:
 
     + {e native incremental} — PD wraps [Pd.arrive], whose state (atomic
       intervals, committed loads, multipliers) evolves per arrival;
@@ -78,6 +82,17 @@ type decision = {
           engine computed one (PD, CLL, mCLL); [None] elsewhere *)
 }
 
+type family = Preemptive | Non_preemptive | Migratory
+(** The scheduling model an engine's plans live in: may a job be paused
+    and resumed ([Preemptive]), must it run as one contiguous slot on
+    one machine ([Non_preemptive]), or may it additionally move between
+    machines ([Migratory])?  Single-machine engines are [Preemptive];
+    [partitioned] pins jobs but preempts within a machine. *)
+
+val family_name : family -> string
+(** ["preemptive"], ["non-preemptive"], ["migratory"] — the spelling
+    `psched engines` prints. *)
+
 type event = { decision : decision; wall_s : float }
 (** Per-arrival observer payload: the decision plus the wall-clock cost
     of processing it ([0] without [params.clock]).  Everything except
@@ -92,6 +107,9 @@ module type ONLINE = sig
   (** Registry key; also the [--algorithm] spelling (case-insensitive). *)
 
   val description : string
+
+  val family : family
+  (** The scheduling model the engine's plans live in. *)
 
   val applicable : params -> bool
   (** E.g. the single-processor classics require [machines = 1]. *)
@@ -147,6 +165,11 @@ type engine = (module ONLINE)
 val pd : engine
 (** The paper's algorithm, [α^α]-competitive (Theorem 3). *)
 
+val npd : engine
+(** Non-preemptive primal-dual: the same λ-pricing admission over
+    contiguous single-machine slots ([Npd]); no worst-case guarantee is
+    claimed (E27 measures it). *)
+
 val oa : engine
 (** Optimal Available (single processor, must-finish view). *)
 
@@ -176,6 +199,7 @@ val all : engine list
 
 val name : engine -> string
 val description : engine -> string
+val family : engine -> family
 val applicable : engine -> params -> bool
 
 val find : string -> engine option

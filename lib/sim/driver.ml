@@ -65,6 +65,7 @@ let pd_with_delta delta =
     engine = Some Online.pd;
   }
 
+let npd = of_engine ~name:"NPD" Online.npd
 let oa = of_engine ~name:"OA" Online.oa
 let avr = of_engine ~name:"AVR" Online.avr
 let bkp = of_engine ~name:"BKP" Online.bkp
@@ -94,4 +95,20 @@ let opt_small =
     engine = None;
   }
 
-let all = [ pd; oa; avr; bkp; cll; moa; mavr; mcll; partitioned; mopt; opt_small ]
+let opt_flow =
+  {
+    name = "OPT-migratory";
+    description = "exact migratory energy optimum (flow peeling), all finished";
+    (* each peeling round is a handful of max-flows on an O(n^2)-edge
+       network; keep batch comparisons to moderate instances *)
+    applicable = (fun inst -> Instance.n_jobs inst <= 60);
+    run =
+      (fun inst -> Speedscale_flow.Migratory.schedule (must_finish_view inst));
+    engine = None;
+  }
+
+let all =
+  [
+    pd; npd; oa; avr; bkp; cll; moa; mavr; mcll; partitioned; mopt; opt_small;
+    opt_flow;
+  ]

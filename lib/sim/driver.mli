@@ -5,8 +5,9 @@
     [Speedscale_engine.Online] registry as incremental per-arrival
     engines, and the driver's batch [run] is a thin fold of
     [Online.arrive] over the release-ordered jobs.  The driver adds the
-    two offline references (OPT-energy, OPT-exact), which need the whole
-    instance up front and therefore cannot be online engines.
+    offline references (OPT-energy, OPT-exact, OPT-migratory), which
+    need the whole instance up front and therefore cannot be online
+    engines.
 
     Each algorithm is wrapped as a {!algorithm} record with an
     applicability predicate (single- vs multi-processor, profitable vs
@@ -53,6 +54,10 @@ val pd : algorithm
 val pd_with_delta : float -> algorithm
 (** PD with an explicit δ (for the E6 sweep). *)
 
+val npd : algorithm
+(** Non-preemptive primal-dual: λ-pricing over contiguous
+    single-machine slots (no proven guarantee — E27 measures it). *)
+
 val oa : algorithm
 (** Single-processor Optimal Available (values forced to [infinity]). *)
 
@@ -78,6 +83,12 @@ val mopt : algorithm
 val opt_small : algorithm
 (** Exact profitable offline optimum by enumeration; applicable to at most
     14 jobs. *)
+
+val opt_flow : algorithm
+(** Exact migratory energy optimum via flow peeling
+    ([Speedscale_flow.Migratory]), values forced to [infinity];
+    applicable to at most 60 jobs.  Unlike {!mopt} it carries a
+    combinatorial optimality certificate (E28). *)
 
 val all : algorithm list
 (** Every algorithm above, PD first. *)

@@ -84,6 +84,32 @@ let test_compare () =
         (run_capture [ "compare"; path ])
         [ "PD"; "mOA"; "OPT-energy" ])
 
+let test_engines () =
+  let code, text = run_capture [ "engines" ] in
+  Alcotest.(check int) "engines exit code" 0 code;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "engines output mentions %S" m)
+        true (contains text m))
+    [
+      "online engines";
+      "offline baselines";
+      "npd";
+      "non-preemptive";
+      "migratory";
+      "preemptive";
+      "OPT-migratory";
+    ];
+  (* every registry engine must appear *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "engines lists %S" name)
+        true
+        (contains text name))
+    [ "pd"; "oa"; "avr"; "bkp"; "cll"; "moa"; "mavr"; "mcll"; "partitioned" ]
+
 let test_certify () =
   with_instance (fun path ->
       check_ok "certify"
@@ -425,6 +451,7 @@ let () =
           Alcotest.test_case "run" `Quick test_run_pd;
           Alcotest.test_case "run schedule" `Quick test_run_with_schedule;
           Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "engines" `Quick test_engines;
           Alcotest.test_case "certify" `Quick test_certify;
           Alcotest.test_case "analyze" `Quick test_analyze;
           Alcotest.test_case "provision" `Quick test_provision;

@@ -803,6 +803,135 @@ let test_pd_adversarial_ratio () =
     true
     (ratio > 1.5 && ratio <= 4.0 +. 1e-6)
 
+(* ------------------------------------------------------------------ *)
+(* The Pd_core framework                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Pd is one instantiation of the Pd_core functor; this suite pins the
+   framework path against Pd's public API so the two can never drift: a
+   hand-assembled Make (Energy_value) (Interval) (Lagrangian) must make
+   bit-identical decisions to Pd.arrive and agree with the bisection
+   oracle Pd.arrive_reference to solver tolerance, with gc on and off,
+   across the alpha/machine grid of the equivalence generator. *)
+module FO = Pd_core.Energy_value
+module FR = Pd_core.Interval (FO)
+module FC = Pd_core.Lagrangian (FO)
+module FCore = Pd_core.Make (FO) (FR) (FC)
+
+let framework_pd ~gc ~power ~machines =
+  FCore.create ~gc ~err:"Pd"
+    (FO.make ~err:"Pd.create" ~power ~machines ())
+
+let prop_framework_instantiation_matches_pd =
+  QCheck.Test.make
+    ~name:"framework instantiation = Pd (decisions, lambdas, schedules)"
+    ~count:150 arb_equiv_setup (fun setup ->
+      let inst = instance_of setup in
+      let legacy = Pd.create ~power:inst.power ~machines:inst.machines () in
+      let framed = framework_pd ~gc:false ~power:inst.power ~machines:inst.machines in
+      let legacy_gc =
+        Pd.create ~gc:true ~power:inst.power ~machines:inst.machines ()
+      in
+      let framed_gc =
+        framework_pd ~gc:true ~power:inst.power ~machines:inst.machines
+      in
+      let oracle = Pd.create ~power:inst.power ~machines:inst.machines () in
+      Array.iter
+        (fun (j : Job.t) ->
+          let dl = Pd.arrive legacy j in
+          let df = FCore.arrive framed j in
+          let dlg = Pd.arrive legacy_gc j in
+          let dfg = FCore.arrive framed_gc j in
+          let dr = Pd.arrive_reference oracle j in
+          if df.accepted <> dl.accepted || not (Float.equal df.lambda dl.lambda)
+          then
+            QCheck.Test.fail_reportf
+              "job %d: framework drifted from Pd (accepted %b/%b, lambda \
+               %.17g vs %.17g)"
+              j.id df.accepted dl.accepted df.lambda dl.lambda;
+          if df.assignment <> dl.assignment then
+            QCheck.Test.fail_reportf
+              "job %d: framework assignment differs from Pd" j.id;
+          if
+            dfg.accepted <> dlg.accepted
+            || not (Float.equal dfg.lambda dlg.lambda)
+          then
+            QCheck.Test.fail_reportf "job %d: framework gc path drifted" j.id;
+          if df.accepted <> dr.accepted then
+            QCheck.Test.fail_reportf
+              "job %d: framework vs reference oracle decision flip" j.id;
+          if
+            Float.abs (df.lambda -. dr.lambda)
+            > 1e-9 *. (1.0 +. Float.abs dr.lambda)
+          then
+            QCheck.Test.fail_reportf
+              "job %d: framework lambda %.17g vs reference %.17g" j.id
+              df.lambda dr.lambda)
+        inst.jobs;
+      let cost_of s = Cost.total (Schedule.cost inst s) in
+      let cl = cost_of (Pd.schedule legacy) in
+      let cf = cost_of (FCore.schedule framed) in
+      let cfg = cost_of (FCore.schedule framed_gc) in
+      if not (Float.equal cl cf) then
+        QCheck.Test.fail_reportf "cost %.17g (framework) vs %.17g (Pd)" cf cl
+      else if not (Float.equal cfg cf) then
+        QCheck.Test.fail_reportf "cost %.17g (framework gc) vs %.17g" cfg cf
+      else if
+        not
+          (Float.equal (Pd.certificate legacy) (FCore.certificate framed))
+      then
+        QCheck.Test.fail_reportf "certificate drifted between Pd and framework"
+      else true)
+
+(* The gc'd full-history operations fail with the documented typed error
+   (the former bare Invalid_argument), and the _result variants report
+   how much history is gone. *)
+let test_gc_history_typed_error () =
+  let pd = Pd.create ~gc:true ~power:p2 ~machines:1 () in
+  for i = 0 to 99 do
+    let r = float_of_int i in
+    ignore (Pd.arrive pd (mk_job ~id:i ~r ~d:(r +. 0.5) ~w:0.5 ~v:50.0 ()))
+  done;
+  let m = Pd.mem pd in
+  Alcotest.(check bool) "gc flushed something" true (m.flushed_intervals > 0);
+  (match Pd.certificate_result pd with
+  | Ok _ -> Alcotest.fail "certificate_result succeeded on a gc state"
+  | Error e ->
+    Alcotest.(check string) "operation" "Pd.certificate" e.operation;
+    Alcotest.(check int) "flushed count" m.flushed_intervals
+      e.flushed_intervals;
+    Alcotest.(check int) "evicted count" m.evicted_jobs e.evicted_jobs);
+  (match Pd.snapshot_result pd with
+  | Ok _ -> Alcotest.fail "snapshot_result succeeded on a gc state"
+  | Error e ->
+    Alcotest.(check string) "operation" "Pd.snapshot" e.operation);
+  (* the exception-style entry points raise the typed exception (not a
+     bare Invalid_argument), and it is Pd_core's exception rebound *)
+  (try
+     ignore (Pd.certificate pd);
+     Alcotest.fail "certificate did not raise"
+   with
+  | Pd.Bounded_memory e ->
+    Alcotest.(check string) "raised operation" "Pd.certificate" e.operation
+  | Invalid_argument _ -> Alcotest.fail "certificate raised Invalid_argument");
+  (try
+     ignore (Pd.snapshot pd);
+     Alcotest.fail "snapshot did not raise"
+   with Pd_core.Bounded_memory e ->
+     Alcotest.(check string) "same exception via Pd_core" "Pd.snapshot"
+       e.operation);
+  (* a full-history state keeps both operations available *)
+  let full = Pd.create ~power:p2 ~machines:1 () in
+  ignore (Pd.arrive full (mk_job ~id:0 ~r:0.0 ~d:1.0 ~w:1.0 ~v:50.0 ()));
+  (match Pd.certificate_result full with
+  | Ok g -> Alcotest.(check bool) "certificate positive" true (g > 0.0)
+  | Error _ -> Alcotest.fail "certificate_result failed without gc");
+  match Pd.snapshot_result full with
+  | Ok s ->
+    Alcotest.(check bool) "snapshot text" true
+      (String.length s > 0 && String.sub s 0 11 = "pd-snapshot")
+  | Error _ -> Alcotest.fail "snapshot_result failed without gc"
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "core"
@@ -843,6 +972,12 @@ let () =
           Alcotest.test_case "flat residency on expired stream" `Quick
             test_gc_flat_residency_on_expired_stream;
           q prop_tline_matches_sorted_assoc_model;
+        ] );
+      ( "framework",
+        [
+          q prop_framework_instantiation_matches_pd;
+          Alcotest.test_case "gc history typed error" `Quick
+            test_gc_history_typed_error;
         ] );
       ( "theorem3",
         [

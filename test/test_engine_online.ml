@@ -25,13 +25,25 @@ let golden_multi =
 (* ------------------------------------------------------------------ *)
 
 let test_registry () =
-  Alcotest.(check int) "nine engines" 9 (List.length Online.all);
+  Alcotest.(check int) "ten engines" 10 (List.length Online.all);
   let names = List.map Online.name Online.all in
   Alcotest.(check (list string))
     "names"
-    [ "pd"; "oa"; "avr"; "bkp"; "cll"; "moa"; "mavr"; "mcll"; "partitioned" ]
+    [
+      "pd"; "npd"; "oa"; "avr"; "bkp"; "cll"; "moa"; "mavr"; "mcll";
+      "partitioned";
+    ]
     names;
+  (* every engine declares its scheduling-model family *)
+  Alcotest.(check (list string))
+    "families"
+    [
+      "migratory"; "non-preemptive"; "preemptive"; "preemptive"; "preemptive";
+      "preemptive"; "migratory"; "migratory"; "migratory"; "preemptive";
+    ]
+    (List.map (fun e -> Online.family_name (Online.family e)) Online.all);
   Alcotest.(check bool) "find pd" true (Online.find "PD" <> None);
+  Alcotest.(check bool) "find npd" true (Online.find "NPD" <> None);
   Alcotest.(check bool) "find unknown" true (Online.find "yds" = None);
   (* single-processor classics refuse multiprocessor params *)
   Alcotest.check_raises "oa on m=2"
@@ -49,6 +61,7 @@ let test_registry () =
 let pinned =
   [
     ("single", "pd", 17.3655266437);
+    ("single", "npd", 10.6774478387);
     ("single", "oa", 72.6165338428);
     ("single", "avr", 95.370113241);
     ("single", "bkp", 240.802924214);
@@ -58,6 +71,7 @@ let pinned =
     ("single", "mcll", 13.1150728299);
     ("single", "partitioned", 70.9525809571);
     ("multi", "pd", 15.3490173698);
+    ("multi", "npd", 40.5850362424);
     ("multi", "moa", 48.4978634059);
     ("multi", "mavr", 75.2535631956);
     ("multi", "mcll", 14.0404649068);

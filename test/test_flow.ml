@@ -258,6 +258,71 @@ let prop_pd_schedule_respects_feasibility =
       let st = Speedscale_metrics.Structure.of_schedule r.schedule in
       st.max_speed >= Feasibility.min_speed_cap inst -. 1e-6)
 
+(* ------------------------------------------------------------------ *)
+(* Migratory — exact optimum by flow peeling                            *)
+(* ------------------------------------------------------------------ *)
+
+let inst_of ~machines jobs =
+  Instance.make ~power:p2 ~machines
+    (List.mapi (fun i (r, d, w) -> mk_job ~id:i ~r ~d ~w) jobs)
+
+(* On one machine the migratory optimum is YDS, which we have in exact
+   closed form — the strongest available oracle for the peeling. *)
+let prop_migratory_matches_yds_single =
+  QCheck.Test.make ~name:"migratory optimum (m=1) = YDS energy" ~count:60
+    arb_jobs (fun jobs ->
+      let inst = inst_of ~machines:1 jobs in
+      let r = Migratory.solve inst in
+      let yds =
+        Speedscale_single.Yds.energy p2 (Array.to_list inst.jobs)
+      in
+      if Float.abs (r.energy -. yds) > 1e-6 *. (1.0 +. yds) then
+        QCheck.Test.fail_reportf "peeling %.12g vs YDS %.12g" r.energy yds
+      else true)
+
+let prop_migratory_schedule_valid_and_certified =
+  QCheck.Test.make
+    ~name:"migratory schedule validates; certificate feasible & pinched"
+    ~count:60
+    QCheck.(pair arb_jobs (QCheck.make QCheck.Gen.(oneofl [ 1; 2; 3 ])))
+    (fun (jobs, machines) ->
+      let inst = inst_of ~machines jobs in
+      let r = Migratory.solve inst in
+      (match Schedule.validate inst r.schedule with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invalid schedule: %s" e);
+      let energy = (Schedule.cost inst r.schedule).energy in
+      if Float.abs (energy -. r.energy) > 1e-6 *. (1.0 +. r.energy) then
+        QCheck.Test.fail_reportf "realized %.12g vs claimed %.12g" energy
+          r.energy;
+      let c = Migratory.certify inst r in
+      if not c.feasible then QCheck.Test.fail_reportf "certificate infeasible"
+      else if not c.pinched then
+        QCheck.Test.fail_reportf "certificate not pinched: a level is slack"
+      else true)
+
+(* Mopt converges to the same optimum numerically: the two independent
+   solvers (projected gradient vs flow peeling) must agree. *)
+let prop_migratory_matches_mopt =
+  QCheck.Test.make ~name:"migratory optimum = Mopt (PGD) energy" ~count:25
+    arb_jobs (fun jobs ->
+      let inst = inst_of ~machines:2 jobs in
+      let peel = Migratory.energy inst in
+      let pgd = Speedscale_multi.Mopt.energy inst in
+      if Float.abs (peel -. pgd) > 1e-4 *. (1.0 +. pgd) then
+        QCheck.Test.fail_reportf "peeling %.12g vs PGD %.12g" peel pgd
+      else true)
+
+let test_migratory_single_job () =
+  (* one job on two machines: runs at its density on one machine *)
+  let inst = Instance.make ~power:p2 ~machines:2 [ mk_job ~id:0 ~r:0.0 ~d:2.0 ~w:4.0 ] in
+  let r = Migratory.solve inst in
+  Alcotest.(check (float 1e-6)) "speed = density" 2.0 r.speeds.(0);
+  (* energy = (w/s) * s^alpha = 2 * 4 = 8 *)
+  Alcotest.(check (float 1e-5)) "energy" 8.0 r.energy;
+  let c = Migratory.certify inst r in
+  Alcotest.(check bool) "certified" true (c.feasible && c.pinched)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "flow"
@@ -284,5 +349,12 @@ let () =
           q prop_min_cap_monotone_in_machines;
           q prop_min_cap_monotone_in_workload_scale;
           q prop_pd_schedule_respects_feasibility;
+        ] );
+      ( "migratory",
+        [
+          Alcotest.test_case "single job" `Quick test_migratory_single_job;
+          q prop_migratory_matches_yds_single;
+          q prop_migratory_schedule_valid_and_certified;
+          q prop_migratory_matches_mopt;
         ] );
     ]
